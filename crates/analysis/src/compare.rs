@@ -1,0 +1,213 @@
+//! Structured comparison of two experiment analyses.
+//!
+//! Used by the ablation tooling (native vs uniform-selection) and by
+//! cross-application comparisons: for each metric it reports the
+//! byte-wise preference delta and a qualitative verdict, so "the bias
+//! collapsed" is a computed statement rather than an eyeballed one.
+
+use crate::report::ExperimentAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// Verdict on how a preference changed between two runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BiasChange {
+    /// The preference dropped by more than the collapse threshold.
+    Collapsed,
+    /// Changed by less than the noise threshold.
+    Unchanged,
+    /// Dropped noticeably but not to baseline.
+    Reduced,
+    /// Grew.
+    Increased,
+    /// Not measurable in one or both runs.
+    Unmeasurable,
+}
+
+/// One metric's comparison row.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name ("BW", "AS", …).
+    pub metric: String,
+    /// Byte-wise download preference in `a`, %.
+    pub a_bytes_pct: f64,
+    /// Byte-wise download preference in `b`, %.
+    pub b_bytes_pct: f64,
+    /// `a − b`, percentage points.
+    pub delta_points: f64,
+    /// Qualitative verdict for `b` relative to `a`.
+    pub change: BiasChange,
+}
+
+/// Full comparison of two analyses (download side, all contributors).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Comparison {
+    /// First run (e.g. native policy).
+    pub a: String,
+    /// Second run (e.g. uniform control).
+    pub b: String,
+    /// Per-metric rows in Table IV order.
+    pub rows: Vec<MetricDelta>,
+}
+
+/// Points of drop below which a change counts as noise.
+pub const NOISE_POINTS: f64 = 3.0;
+/// Fraction of the original bias that must vanish to call it collapsed.
+pub const COLLAPSE_FRACTION: f64 = 0.6;
+
+/// Compares the download-side byte preferences of two analyses.
+pub fn compare(a: &ExperimentAnalysis, b: &ExperimentAnalysis) -> Comparison {
+    let rows = a
+        .preferences
+        .iter()
+        .map(|ma| {
+            let mb = b.preference(&ma.metric);
+            let av = ma.download_all.bytes_pct;
+            let bv = mb.map_or(f64::NAN, |m| m.download_all.bytes_pct);
+            let change = if av.is_nan() || bv.is_nan() {
+                BiasChange::Unmeasurable
+            } else {
+                let delta = av - bv;
+                // "Excess" bias above the 50% coin-flip line for HOP-like
+                // metrics, above 0 for set-membership metrics: use the
+                // drop relative to a as the collapse test.
+                if delta.abs() <= NOISE_POINTS {
+                    BiasChange::Unchanged
+                } else if delta > 0.0 && delta >= COLLAPSE_FRACTION * av {
+                    BiasChange::Collapsed
+                } else if delta > 0.0 {
+                    BiasChange::Reduced
+                } else {
+                    BiasChange::Increased
+                }
+            };
+            MetricDelta {
+                metric: ma.metric.clone(),
+                a_bytes_pct: av,
+                b_bytes_pct: bv,
+                delta_points: av - bv,
+                change,
+            }
+        })
+        .collect();
+    Comparison {
+        a: a.app.clone(),
+        b: b.app.clone(),
+        rows,
+    }
+}
+
+impl Comparison {
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "{} vs {} (B_D%, download, all contributors)", self.a, self.b);
+        let _ = writeln!(
+            s,
+            "  {:<5} {:>8} {:>8} {delta:>8}  verdict",
+            "Net",
+            self.a_short(),
+            self.b_short(),
+            delta = "Δ",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "  {:<5} {:>8.1} {:>8.1} {:>+8.1}  {:?}",
+                r.metric, r.a_bytes_pct, r.b_bytes_pct, r.delta_points, r.change
+            );
+        }
+        s
+    }
+
+    fn a_short(&self) -> &str {
+        if self.a.len() > 8 { &self.a[..8] } else { &self.a }
+    }
+    fn b_short(&self) -> &str {
+        if self.b.len() > 8 { &self.b[..8] } else { &self.b }
+    }
+
+    /// The row for a metric.
+    pub fn row(&self, metric: &str) -> Option<&MetricDelta> {
+        self.rows.iter().find(|r| r.metric == metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asmatrix::AsMatrix;
+    use crate::geo::GeoBreakdown;
+    use crate::hopdist::HopDistribution;
+    use crate::netfriend::Friendliness;
+    use crate::preference::{MetricPreference, PrefValue};
+    use crate::selfbias::SelfBias;
+    use crate::summary::{AppSummary, MeanMaxVal};
+
+    fn analysis_with(app: &str, bw_bytes: f64) -> ExperimentAnalysis {
+        let pref = |pct: f64| MetricPreference {
+            metric: "BW".into(),
+            download_nonw: PrefValue { peers_pct: pct, bytes_pct: pct },
+            download_all: PrefValue { peers_pct: pct, bytes_pct: pct },
+            upload_nonw: PrefValue::nan(),
+            upload_all: PrefValue::nan(),
+        };
+        ExperimentAnalysis {
+            app: app.into(),
+            summary: AppSummary {
+                app: app.into(),
+                rx_kbps: MeanMaxVal::default(),
+                tx_kbps: MeanMaxVal::default(),
+                peers: MeanMaxVal::default(),
+                contrib_rx: MeanMaxVal::default(),
+                contrib_tx: MeanMaxVal::default(),
+            },
+            selfbias: SelfBias::default(),
+            preferences: vec![pref(bw_bytes)],
+            geo: GeoBreakdown::default(),
+            asmatrix: AsMatrix::default(),
+            friendliness: Friendliness::default(),
+            hop_distribution: HopDistribution::default(),
+            hop_threshold: 19,
+            total_packets: 0,
+            total_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn collapse_detected() {
+        let native = analysis_with("SopCast", 98.0);
+        let uniform = analysis_with("SopCast-random", 39.0);
+        let c = compare(&native, &uniform);
+        let r = c.row("BW").unwrap();
+        assert_eq!(r.change, BiasChange::Collapsed);
+        assert!((r.delta_points - 59.0).abs() < 1e-9);
+        assert!(c.render().contains("Collapsed"));
+    }
+
+    #[test]
+    fn noise_is_unchanged() {
+        let a = analysis_with("A", 50.0);
+        let b = analysis_with("B", 48.5);
+        assert_eq!(compare(&a, &b).row("BW").unwrap().change, BiasChange::Unchanged);
+    }
+
+    #[test]
+    fn partial_drop_is_reduced_and_growth_is_increase() {
+        let a = analysis_with("A", 50.0);
+        let b = analysis_with("B", 35.0);
+        assert_eq!(compare(&a, &b).row("BW").unwrap().change, BiasChange::Reduced);
+        let c = analysis_with("C", 70.0);
+        assert_eq!(compare(&a, &c).row("BW").unwrap().change, BiasChange::Increased);
+    }
+
+    #[test]
+    fn missing_metric_is_unmeasurable() {
+        let a = analysis_with("A", f64::NAN);
+        let b = analysis_with("B", 10.0);
+        assert_eq!(
+            compare(&a, &b).row("BW").unwrap().change,
+            BiasChange::Unmeasurable
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! TTL-based hop estimation and the median split.
+//!
+//! "The hop count HOP(e,p) has been evaluated as 128 minus the TTL of
+//! received packets […] As threshold to define two classes, we use the
+//! median of the distance distribution. Since the actual HOP median
+//! ranges from 18 to 20 depending on the application, we use a fixed
+//! threshold of 19 hops for all applications."
+
+use crate::flows::ProbeFlows;
+use crate::heuristics::AnalysisConfig;
+use netaware_net::hops_from_ttl;
+use netaware_sim::Histogram;
+
+/// Estimated hops from a flow's received TTL; `None` when the flow is
+/// TX-only or the remote does not use the Windows initial TTL.
+pub fn flow_hops(rx_ttl: Option<u8>) -> Option<u8> {
+    rx_ttl.and_then(hops_from_ttl)
+}
+
+/// Hop-count distribution over all contributors of an experiment,
+/// weighted one entry per flow.
+pub fn hop_histogram<'a>(flows: impl Iterator<Item = &'a crate::flows::FlowStats>) -> Histogram {
+    let mut h = Histogram::new(129);
+    for f in flows {
+        if let Some(hops) = flow_hops(f.rx_ttl) {
+            h.push(hops as usize);
+        }
+    }
+    h
+}
+
+/// The hop threshold to use: the configured fixed value (the paper's 19)
+/// or the measured median.
+pub fn hop_threshold(pfs: &[ProbeFlows], cfg: &AnalysisConfig) -> u8 {
+    if let Some(t) = cfg.hop_median_override {
+        return t;
+    }
+    let h = hop_histogram(pfs.iter().flat_map(|pf| pf.flows.values()));
+    h.quantile(0.5).unwrap_or(19) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowStats;
+    use netaware_net::Ip;
+
+    #[test]
+    fn hops_from_received_ttl() {
+        assert_eq!(flow_hops(Some(109)), Some(19));
+        assert_eq!(flow_hops(Some(128)), Some(0));
+        assert_eq!(flow_hops(Some(255)), None); // non-Windows stack
+        assert_eq!(flow_hops(None), None); // TX-only flow
+    }
+
+    fn pf_with_ttls(ttls: &[u8]) -> ProbeFlows {
+        let mut pf = ProbeFlows::default();
+        for (i, &t) in ttls.iter().enumerate() {
+            pf.flows.insert(
+                Ip(i as u32 + 1),
+                FlowStats {
+                    rx_ttl: Some(t),
+                    ..Default::default()
+                },
+            );
+        }
+        pf
+    }
+
+    #[test]
+    fn override_wins() {
+        let cfg = AnalysisConfig::default();
+        let pfs = vec![pf_with_ttls(&[128, 128, 128])];
+        assert_eq!(hop_threshold(&pfs, &cfg), 19);
+    }
+
+    #[test]
+    fn measured_median_when_no_override() {
+        let cfg = AnalysisConfig {
+            hop_median_override: None,
+            ..Default::default()
+        };
+        // Hops: 8, 18, 20, 22, 30 → median 20.
+        let pfs = vec![pf_with_ttls(&[120, 110, 108, 106, 98])];
+        assert_eq!(hop_threshold(&pfs, &cfg), 20);
+    }
+
+    #[test]
+    fn median_of_empty_falls_back_to_19() {
+        let cfg = AnalysisConfig {
+            hop_median_override: None,
+            ..Default::default()
+        };
+        assert_eq!(hop_threshold(&[], &cfg), 19);
+    }
+
+    #[test]
+    fn histogram_skips_unmeasurable_flows() {
+        let mut pf = pf_with_ttls(&[110, 110]);
+        pf.flows.insert(
+            Ip(99),
+            FlowStats {
+                rx_ttl: None,
+                ..Default::default()
+            },
+        );
+        let h = hop_histogram(pf.flows.values());
+        assert_eq!(h.total(), 2);
+    }
+}

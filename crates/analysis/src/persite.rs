@@ -1,0 +1,194 @@
+//! Per-vantage-point breakdowns.
+//!
+//! The paper aggregates the 44 probes into single numbers; this module
+//! exposes the variation underneath — per-probe preference values — so
+//! heterogeneity across sites/access types is visible (e.g. DSL probes
+//! cannot observe high-bandwidth paths; firewalled probes upload less).
+//! This is reproduction-quality tooling the original analysis scripts
+//! would have had internally.
+
+use crate::contributors::{is_rx_contributor, is_tx_contributor};
+use crate::flows::ProbeFlows;
+use crate::heuristics::AnalysisConfig;
+use crate::partition::{Metric, PairCtx};
+use netaware_net::{GeoRegistry, Ip};
+use serde::{Deserialize, Serialize};
+
+/// One probe's row of the per-site breakdown.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeBreakdown {
+    /// Vantage point.
+    pub probe: Ip,
+    /// Distinct peers seen.
+    pub peers: usize,
+    /// Download contributors.
+    pub contrib_rx: usize,
+    /// Upload contributors.
+    pub contrib_tx: usize,
+    /// RX bytes.
+    pub bytes_rx: u64,
+    /// TX bytes.
+    pub bytes_tx: u64,
+    /// Byte-wise download preference per metric, in [`Metric::ALL`]
+    /// order; `NaN` when unmeasurable at this probe.
+    pub bytes_pref_pct: [f64; 5],
+}
+
+/// Computes the per-probe breakdown of an experiment.
+pub fn per_probe(
+    pfs: &[ProbeFlows],
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    hop_threshold: u8,
+) -> Vec<ProbeBreakdown> {
+    pfs.iter()
+        .map(|pf| {
+            let mut b = ProbeBreakdown {
+                probe: pf.probe,
+                peers: pf.peers_seen(),
+                ..Default::default()
+            };
+            let mut pref = [0u64; 5];
+            let mut tot = [0u64; 5];
+            for f in pf.flows.values() {
+                b.bytes_rx += f.bytes_rx;
+                b.bytes_tx += f.bytes_tx;
+                let rx = is_rx_contributor(f, cfg);
+                if rx {
+                    b.contrib_rx += 1;
+                }
+                if is_tx_contributor(f, cfg) {
+                    b.contrib_tx += 1;
+                }
+                if !rx {
+                    continue;
+                }
+                let ctx = PairCtx {
+                    flow: f,
+                    registry,
+                    cfg,
+                    hop_threshold,
+                };
+                for (k, m) in Metric::ALL.iter().enumerate() {
+                    if let Some(p) = m.preferred(&ctx) {
+                        tot[k] += f.bytes_rx;
+                        if p {
+                            pref[k] += f.bytes_rx;
+                        }
+                    }
+                }
+            }
+            for k in 0..5 {
+                b.bytes_pref_pct[k] = if tot[k] == 0 {
+                    f64::NAN
+                } else {
+                    100.0 * pref[k] as f64 / tot[k] as f64
+                };
+            }
+            b
+        })
+        .collect()
+}
+
+/// Renders the breakdown as a table (one row per probe).
+pub fn render(rows: &[ProbeBreakdown]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<18} {:>7} {:>6} {:>6} {:>11} {:>11} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "probe", "peers", "cRX", "cTX", "RX bytes", "TX bytes", "BW%", "AS%", "CC%", "NET%", "HOP%"
+    );
+    for r in rows {
+        let cell = |v: f64| {
+            if v.is_nan() {
+                "     -".to_string()
+            } else {
+                format!("{v:>6.1}")
+            }
+        };
+        let _ = writeln!(
+            s,
+            "{:<18} {:>7} {:>6} {:>6} {:>11} {:>11} | {} {} {} {} {}",
+            r.probe.to_string(),
+            r.peers,
+            r.contrib_rx,
+            r.contrib_tx,
+            r.bytes_rx,
+            r.bytes_tx,
+            cell(r.bytes_pref_pct[0]),
+            cell(r.bytes_pref_pct[1]),
+            cell(r.bytes_pref_pct[2]),
+            cell(r.bytes_pref_pct[3]),
+            cell(r.bytes_pref_pct[4]),
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowStats;
+    use netaware_net::{AsId, AsInfo, AsKind, CountryCode, GeoRegistryBuilder, Prefix};
+
+    fn reg() -> GeoRegistry {
+        let mut b = GeoRegistryBuilder::new();
+        b.register_as(AsInfo::new(2, CountryCode::IT, AsKind::Academic, "GARR"));
+        b.register_as(AsInfo::new(100, CountryCode::CN, AsKind::Carrier, "CN"));
+        b.announce(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16), AsId(2))
+            .unwrap();
+        b.announce(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8), AsId(100))
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn per_probe_rows_and_preferences() {
+        let probe = Ip::from_octets(130, 192, 1, 1);
+        let mut pf = ProbeFlows {
+            probe,
+            ..Default::default()
+        };
+        let fast_cn = Ip::from_octets(58, 0, 0, 1);
+        pf.flows.insert(
+            fast_cn,
+            FlowStats {
+                probe,
+                remote: fast_cn,
+                bytes_rx: 50_000,
+                video_bytes_rx: 50_000,
+                video_pkts_rx: 40,
+                pkts_rx: 40,
+                min_ipg_us: Some(100),
+                rx_ttl: Some(109),
+                ..Default::default()
+            },
+        );
+        let rows = per_probe(&[pf], &reg(), &AnalysisConfig::default(), 19);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.peers, 1);
+        assert_eq!(r.contrib_rx, 1);
+        assert_eq!(r.bytes_pref_pct[0], 100.0); // BW
+        assert_eq!(r.bytes_pref_pct[1], 0.0); // AS (CN remote)
+        assert_eq!(r.bytes_pref_pct[4], 0.0); // HOP: 19 not < 19
+
+        let out = render(&rows);
+        assert!(out.contains("130.192.1.1"));
+        assert!(out.contains("100.0"));
+    }
+
+    #[test]
+    fn probe_without_contributors_is_all_nan() {
+        let probe = Ip::from_octets(130, 192, 1, 1);
+        let pf = ProbeFlows {
+            probe,
+            ..Default::default()
+        };
+        let rows = per_probe(&[pf], &reg(), &AnalysisConfig::default(), 19);
+        assert!(rows[0].bytes_pref_pct.iter().all(|v| v.is_nan()));
+        let out = render(&rows);
+        assert!(out.contains("-"));
+    }
+}

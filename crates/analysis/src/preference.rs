@@ -1,0 +1,348 @@
+//! Peer-wise and byte-wise preference percentages (Eq. 1–8).
+//!
+//! For a partition `X_P`, direction `dir ∈ {U, D}` and probe set `W`:
+//!
+//! ```text
+//! P_dir = 100 · Σ_p Σ_{e ∈ dir(p)} 1_P(p,e)            / Σ_p |dir(p)|
+//! B_dir = 100 · Σ_p Σ_{e ∈ dir(p)} 1_P(p,e) · B(p,e)   / Σ_p Σ_e B(p,e)
+//! ```
+//!
+//! The primed variants `P'`, `B'` evaluate the same sums over
+//! `P'(p) = P(p) \ W`, removing the self-induced bias of the probes
+//! ("NAPA-WINE peers clearly prefer to exchange data among them").
+
+use crate::contributors::{is_rx_contributor, is_tx_contributor};
+use crate::flows::ProbeFlows;
+use crate::heuristics::AnalysisConfig;
+use crate::partition::{Metric, PairCtx};
+use netaware_net::{GeoRegistry, Ip};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// (De)serialises `f64::NAN` as JSON `null` so unmeasurable cells
+/// survive a round trip.
+pub mod nan_as_null {
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    /// Serialises NaN as `null`.
+    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+        if v.is_nan() {
+            s.serialize_none()
+        } else {
+            s.serialize_some(v)
+        }
+    }
+
+    /// Deserialises `null` back to NaN.
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NAN))
+    }
+}
+
+/// A peer-wise / byte-wise percentage pair. `NaN` encodes "no measurable
+/// pairs" and renders as `-`, like the paper's empty cells.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PrefValue {
+    /// Peer-wise preference `P`, percent.
+    #[serde(with = "nan_as_null")]
+    pub peers_pct: f64,
+    /// Byte-wise preference `B`, percent.
+    #[serde(with = "nan_as_null")]
+    pub bytes_pct: f64,
+}
+
+impl PrefValue {
+    /// An unmeasurable cell.
+    pub const fn nan() -> Self {
+        PrefValue {
+            peers_pct: f64::NAN,
+            bytes_pct: f64::NAN,
+        }
+    }
+
+    /// Whether the cell carries data.
+    pub fn is_measurable(&self) -> bool {
+        !self.peers_pct.is_nan()
+    }
+}
+
+/// Table IV cells for one metric and one application.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricPreference {
+    /// Row label ("BW", "AS", …).
+    pub metric: String,
+    /// Download, excluding probe set (B′_D, P′_D).
+    pub download_nonw: PrefValue,
+    /// Download, all contributors (B_D, P_D).
+    pub download_all: PrefValue,
+    /// Upload, excluding probe set (B′_U, P′_U).
+    pub upload_nonw: PrefValue,
+    /// Upload, all contributors (B_U, P_U).
+    pub upload_all: PrefValue,
+}
+
+/// Traffic direction, relative to the probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Download: remotes in `D(p)`, bytes received.
+    Download,
+    /// Upload: remotes in `U(p)`, bytes sent.
+    Upload,
+}
+
+/// Computes `P` and `B` for one metric/direction over the given probe
+/// flows, optionally excluding remotes in `exclude` (the probe set `W`).
+pub fn preference(
+    pfs: &[ProbeFlows],
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    hop_threshold: u8,
+    metric: Metric,
+    dir: Dir,
+    exclude: Option<&BTreeSet<Ip>>,
+) -> PrefValue {
+    if dir == Dir::Upload && !metric.upload_measurable() {
+        return PrefValue::nan();
+    }
+    let mut peers_pref = 0u64;
+    let mut peers_tot = 0u64;
+    let mut bytes_pref = 0u64;
+    let mut bytes_tot = 0u64;
+
+    for pf in pfs {
+        for f in pf.flows.values() {
+            if let Some(w) = exclude {
+                if w.contains(&f.remote) {
+                    continue;
+                }
+            }
+            let (in_dir, bytes) = match dir {
+                Dir::Download => (is_rx_contributor(f, cfg), f.bytes_rx),
+                Dir::Upload => (is_tx_contributor(f, cfg), f.bytes_tx),
+            };
+            if !in_dir {
+                continue;
+            }
+            let ctx = PairCtx {
+                flow: f,
+                registry,
+                cfg,
+                hop_threshold,
+            };
+            let Some(pref) = metric.preferred(&ctx) else {
+                continue; // unmeasurable pair: out of both sums
+            };
+            peers_tot += 1;
+            bytes_tot += bytes;
+            if pref {
+                peers_pref += 1;
+                bytes_pref += bytes;
+            }
+        }
+    }
+    if peers_tot == 0 {
+        return PrefValue::nan();
+    }
+    PrefValue {
+        peers_pct: 100.0 * peers_pref as f64 / peers_tot as f64,
+        bytes_pct: if bytes_tot == 0 {
+            f64::NAN
+        } else {
+            100.0 * bytes_pref as f64 / bytes_tot as f64
+        },
+    }
+}
+
+/// Computes the full Table IV row block (all four variants) for one
+/// metric.
+pub fn metric_preference(
+    pfs: &[ProbeFlows],
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    hop_threshold: u8,
+    metric: Metric,
+    probe_set: &BTreeSet<Ip>,
+) -> MetricPreference {
+    MetricPreference {
+        metric: metric.name().to_string(),
+        download_nonw: preference(
+            pfs,
+            registry,
+            cfg,
+            hop_threshold,
+            metric,
+            Dir::Download,
+            Some(probe_set),
+        ),
+        download_all: preference(pfs, registry, cfg, hop_threshold, metric, Dir::Download, None),
+        upload_nonw: preference(
+            pfs,
+            registry,
+            cfg,
+            hop_threshold,
+            metric,
+            Dir::Upload,
+            Some(probe_set),
+        ),
+        upload_all: preference(pfs, registry, cfg, hop_threshold, metric, Dir::Upload, None),
+    }
+}
+
+/// All five metrics (the full Table IV block for one application).
+pub fn all_preferences(
+    pfs: &[ProbeFlows],
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    hop_threshold: u8,
+    probe_set: &BTreeSet<Ip>,
+) -> Vec<MetricPreference> {
+    Metric::ALL
+        .iter()
+        .map(|&m| metric_preference(pfs, registry, cfg, hop_threshold, m, probe_set))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowStats;
+    use netaware_net::{AsId, AsInfo, AsKind, CountryCode, GeoRegistryBuilder, Prefix};
+
+    fn reg() -> GeoRegistry {
+        let mut b = GeoRegistryBuilder::new();
+        b.register_as(AsInfo::new(2, CountryCode::IT, AsKind::Academic, "GARR"));
+        b.register_as(AsInfo::new(100, CountryCode::CN, AsKind::Carrier, "CN"));
+        b.announce(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16), AsId(2))
+            .unwrap();
+        b.announce(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8), AsId(100))
+            .unwrap();
+        b.build()
+    }
+
+    fn probe() -> Ip {
+        Ip::from_octets(130, 192, 1, 1)
+    }
+
+    fn rx_flow(remote: Ip, bytes: u64, ipg: Option<u64>) -> FlowStats {
+        FlowStats {
+            probe: probe(),
+            remote,
+            bytes_rx: bytes,
+            video_bytes_rx: bytes,
+            video_pkts_rx: 100,
+            min_ipg_us: ipg,
+            rx_ttl: Some(110),
+            ..Default::default()
+        }
+    }
+
+    fn pfs_of(flows: Vec<FlowStats>) -> Vec<ProbeFlows> {
+        let mut pf = ProbeFlows {
+            probe: probe(),
+            ..Default::default()
+        };
+        for f in flows {
+            pf.flows.insert(f.remote, f);
+        }
+        vec![pf]
+    }
+
+    #[test]
+    fn bw_preference_counts_peers_and_bytes() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        // 2 high-bw remotes carrying 90k of 110k bytes; 1 low-bw with
+        // 20k (just at the contributor bar).
+        let pfs = pfs_of(vec![
+            rx_flow(Ip::from_octets(58, 0, 0, 1), 45_000, Some(100)),
+            rx_flow(Ip::from_octets(58, 0, 0, 2), 45_000, Some(200)),
+            rx_flow(Ip::from_octets(58, 0, 0, 3), 20_000, Some(20_000)),
+        ]);
+        let v = preference(&pfs, &r, &cfg, 19, Metric::Bw, Dir::Download, None);
+        assert!((v.peers_pct - 66.666).abs() < 0.01, "{}", v.peers_pct);
+        assert!((v.bytes_pct - 100.0 * 90.0 / 110.0).abs() < 0.01, "{}", v.bytes_pct);
+    }
+
+    #[test]
+    fn complement_identity() {
+        // P(X_P) + P(X̄_P) must equal 100 — evaluate by inverting the
+        // preferred set via the AS metric on a mixed population.
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        let pfs = pfs_of(vec![
+            rx_flow(Ip::from_octets(130, 192, 9, 9), 20_000, Some(100)),
+            rx_flow(Ip::from_octets(58, 0, 0, 2), 60_000, Some(100)),
+        ]);
+        let v = preference(&pfs, &r, &cfg, 19, Metric::As, Dir::Download, None);
+        assert!((v.peers_pct - 50.0).abs() < 1e-9);
+        assert!((v.bytes_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn excluding_probe_set_removes_their_flows() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        let sibling = Ip::from_octets(130, 192, 1, 2); // also a probe
+        let pfs = pfs_of(vec![
+            rx_flow(sibling, 80_000, Some(100)),
+            rx_flow(Ip::from_octets(58, 0, 0, 2), 20_000, Some(100)),
+        ]);
+        let mut w = BTreeSet::new();
+        w.insert(probe());
+        w.insert(sibling);
+        let all = preference(&pfs, &r, &cfg, 19, Metric::As, Dir::Download, None);
+        let nonw = preference(&pfs, &r, &cfg, 19, Metric::As, Dir::Download, Some(&w));
+        assert!((all.peers_pct - 50.0).abs() < 1e-9);
+        assert!((all.bytes_pct - 80.0).abs() < 1e-9);
+        assert!((nonw.peers_pct - 0.0).abs() < 1e-9);
+        assert!((nonw.bytes_pct - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bw_upload_is_unmeasurable() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        let pfs = pfs_of(vec![rx_flow(Ip::from_octets(58, 0, 0, 1), 45_000, Some(100))]);
+        let v = preference(&pfs, &r, &cfg, 19, Metric::Bw, Dir::Upload, None);
+        assert!(!v.is_measurable());
+    }
+
+    #[test]
+    fn empty_contributor_set_is_nan() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        let v = preference(&pfs_of(vec![]), &r, &cfg, 19, Metric::As, Dir::Download, None);
+        assert!(!v.is_measurable());
+    }
+
+    #[test]
+    fn unmeasurable_pairs_leave_both_sums() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        // One flow with no IPG train: BW skips it entirely, so the one
+        // classifiable flow decides the percentages alone.
+        let mut no_train = rx_flow(Ip::from_octets(58, 0, 0, 9), 50_000, None);
+        no_train.min_ipg_us = None;
+        let pfs = pfs_of(vec![
+            no_train,
+            rx_flow(Ip::from_octets(58, 0, 0, 1), 25_000, Some(100)),
+        ]);
+        let v = preference(&pfs, &r, &cfg, 19, Metric::Bw, Dir::Download, None);
+        assert!((v.peers_pct - 100.0).abs() < 1e-9);
+        assert!((v.bytes_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_block_has_five_rows() {
+        let r = reg();
+        let cfg = AnalysisConfig::default();
+        let pfs = pfs_of(vec![rx_flow(Ip::from_octets(58, 0, 0, 1), 45_000, Some(100))]);
+        let w = BTreeSet::new();
+        let block = all_preferences(&pfs, &r, &cfg, 19, &w);
+        assert_eq!(block.len(), 5);
+        assert_eq!(block[0].metric, "BW");
+        assert_eq!(block[4].metric, "HOP");
+        assert!(!block[0].upload_all.is_measurable());
+        assert!(block[1].download_all.is_measurable());
+    }
+}

@@ -1,0 +1,191 @@
+//! One-call experiment analysis.
+
+use crate::asmatrix::{as_matrix, AsMatrix};
+use crate::flows::{aggregate, ProbeFlows};
+use crate::geo::{geo_breakdown, GeoBreakdown};
+use crate::heuristics::AnalysisConfig;
+use crate::hop::hop_threshold;
+use crate::hopdist::{hop_distribution, HopDistribution};
+use crate::netfriend::{friendliness, Friendliness};
+use crate::preference::{all_preferences, MetricPreference};
+use crate::selfbias::{self_bias, SelfBias};
+use crate::summary::{summarize, AppSummary};
+use netaware_net::{GeoRegistry, Ip};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Everything the paper reports about one experiment, computed from its
+/// traces alone.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentAnalysis {
+    /// Application under test.
+    pub app: String,
+    /// Table II row.
+    pub summary: AppSummary,
+    /// Table III row.
+    pub selfbias: SelfBias,
+    /// Table IV block (five metric rows).
+    pub preferences: Vec<MetricPreference>,
+    /// Figure 1 data.
+    pub geo: GeoBreakdown,
+    /// Figure 2 data.
+    pub asmatrix: AsMatrix,
+    /// Traffic-locality / network-friendliness summary (extension
+    /// metric for the next-generation experiment).
+    pub friendliness: Friendliness,
+    /// Hop-count distribution of the contributors (§III-B: the median
+    /// justifies the fixed threshold).
+    pub hop_distribution: HopDistribution,
+    /// Hop threshold used by the HOP partition.
+    pub hop_threshold: u8,
+    /// Total packets across all probes.
+    pub total_packets: usize,
+    /// Total bytes across all probes.
+    pub total_bytes: u64,
+}
+
+/// Runs the complete pipeline on one experiment's traces.
+///
+/// `highbw_probes` is Table I knowledge: which probes sit on institution
+/// LANs (needed for Figure 2's restriction to high-bandwidth probes).
+///
+/// ```no_run
+/// use netaware_analysis::{analyze, AnalysisConfig};
+/// # fn load_traces() -> netaware_trace::TraceSet { unimplemented!() }
+/// # fn load_registry() -> netaware_net::GeoRegistry { unimplemented!() }
+/// let traces = load_traces();
+/// let registry = load_registry();
+/// let analysis = analyze(&traces, &registry, &AnalysisConfig::paper(),
+///                        &traces.probe_set());
+/// let bw = analysis.preference("BW").unwrap();
+/// println!("{:.1}% of received bytes come from high-bandwidth peers",
+///          bw.download_all.bytes_pct);
+/// ```
+pub fn analyze(
+    set: &netaware_trace::TraceSet,
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    highbw_probes: &BTreeSet<Ip>,
+) -> ExperimentAnalysis {
+    let pfs: Vec<ProbeFlows> = aggregate(set, cfg);
+    let probe_set = set.probe_set();
+    let hop_thr = hop_threshold(&pfs, cfg);
+    ExperimentAnalysis {
+        app: set.app.clone(),
+        summary: summarize(set, &pfs, cfg),
+        selfbias: self_bias(&pfs, cfg, &probe_set),
+        preferences: all_preferences(&pfs, registry, cfg, hop_thr, &probe_set),
+        geo: geo_breakdown(&pfs, registry),
+        asmatrix: as_matrix(&pfs, registry, highbw_probes),
+        friendliness: friendliness(&pfs, registry, cfg),
+        hop_distribution: hop_distribution(&pfs, cfg, hop_thr),
+        hop_threshold: hop_thr,
+        total_packets: set.total_packets(),
+        total_bytes: set.total_bytes(),
+    }
+}
+
+impl ExperimentAnalysis {
+    /// The Table IV block row for a given metric name.
+    pub fn preference(&self, metric: &str) -> Option<&MetricPreference> {
+        self.preferences.iter().find(|m| m.metric == metric)
+    }
+
+    /// Serialises to pretty JSON (for EXPERIMENTS.md artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("analysis serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaware_net::{AsId, AsInfo, AsKind, CountryCode, GeoRegistryBuilder, Prefix};
+    use netaware_trace::{PacketRecord, PayloadKind, ProbeTrace, TraceSet};
+
+    fn reg() -> GeoRegistry {
+        let mut b = GeoRegistryBuilder::new();
+        b.register_as(AsInfo::new(2, CountryCode::IT, AsKind::Academic, "GARR"));
+        b.register_as(AsInfo::new(100, CountryCode::CN, AsKind::Carrier, "CN"));
+        b.announce(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16), AsId(2))
+            .unwrap();
+        b.announce(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8), AsId(100))
+            .unwrap();
+        b.build()
+    }
+
+    fn synthetic_set() -> TraceSet {
+        let probe = Ip::from_octets(130, 192, 1, 1);
+        let fast = Ip::from_octets(58, 0, 0, 1);
+        let slow = Ip::from_octets(58, 0, 0, 2);
+        let mut t = ProbeTrace::new(probe);
+        // Fast remote: 60 chunks of 20 packets with 100 µs gaps.
+        for c in 0..60u64 {
+            for k in 0..20u64 {
+                t.push(PacketRecord {
+                    ts_us: c * 500_000 + k * 100,
+                    src: fast,
+                    dst: probe,
+                    sport: 1,
+                    dport: 2,
+                    size: 1250,
+                    ttl: 109,
+                    kind: PayloadKind::Video,
+                });
+            }
+        }
+        // Slow remote: 3 chunks with 20 ms gaps.
+        for c in 0..3u64 {
+            for k in 0..20u64 {
+                t.push(PacketRecord {
+                    ts_us: 1_000 + c * 2_000_000 + k * 20_000,
+                    src: slow,
+                    dst: probe,
+                    sport: 1,
+                    dport: 2,
+                    size: 1250,
+                    ttl: 105,
+                    kind: PayloadKind::Video,
+                });
+            }
+        }
+        let mut set = TraceSet::new("TestApp", 30_000_000);
+        set.add(t);
+        set.finalize();
+        set
+    }
+
+    #[test]
+    fn end_to_end_pipeline() {
+        let set = synthetic_set();
+        let cfg = AnalysisConfig::default();
+        let highbw: BTreeSet<Ip> = set.probe_set();
+        let a = analyze(&set, &reg(), &cfg, &highbw);
+        assert_eq!(a.app, "TestApp");
+        assert_eq!(a.hop_threshold, 19);
+        assert_eq!(a.total_packets, 60 * 20 + 3 * 20);
+        // Both remotes are download contributors; only the fast one is
+        // high-bw: P_D = 50%, B_D ≈ 95%.
+        let bw = a.preference("BW").unwrap();
+        assert!((bw.download_all.peers_pct - 50.0).abs() < 1e-9);
+        assert!(bw.download_all.bytes_pct > 90.0);
+        // All traffic came from CN: geo CN RX share 100%.
+        let cn = a.geo.rows.iter().find(|r| r.label == "CN").unwrap();
+        assert!((cn.rx_pct - 100.0).abs() < 1e-9);
+        // JSON round-trip sanity.
+        let js = a.to_json();
+        assert!(js.contains("\"app\""));
+        let back: ExperimentAnalysis = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.total_packets, a.total_packets);
+    }
+
+    #[test]
+    fn preference_lookup_by_name() {
+        let set = synthetic_set();
+        let cfg = AnalysisConfig::default();
+        let a = analyze(&set, &reg(), &cfg, &BTreeSet::new());
+        assert!(a.preference("BW").is_some());
+        assert!(a.preference("HOP").is_some());
+        assert!(a.preference("XYZ").is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Flow-level scatter views (the method of Silverston & Fourmaux,
+//! ref. \[12\] of the paper).
+//!
+//! The closest comparative study before NAPA-WINE characterised P2P-TV
+//! systems by "flow-level scatter plots of mean packet size versus flow
+//! duration and data rate of the top-10 contributors versus the overall
+//! download rate". This module reproduces both views over our traces,
+//! letting the two methodologies be compared on the same corpus.
+
+use crate::flows::ProbeFlows;
+use serde::{Deserialize, Serialize};
+
+/// One flow's scatter point: the ref. \[12\] axes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlowPoint {
+    /// Mean packet size over both directions, bytes.
+    pub mean_pkt_size: f64,
+    /// Flow duration, seconds.
+    pub duration_s: f64,
+    /// Mean flow rate over its lifetime, kb/s (both directions).
+    pub rate_kbps: f64,
+    /// Total bytes.
+    pub bytes: u64,
+}
+
+/// Scatter points for every flow of the experiment (≥2 packets — a
+/// single packet has no duration).
+pub fn flow_points(pfs: &[ProbeFlows]) -> Vec<FlowPoint> {
+    let mut pts = Vec::new();
+    for pf in pfs {
+        for f in pf.flows.values() {
+            let pkts = f.pkts_rx + f.pkts_tx;
+            if pkts < 2 {
+                continue;
+            }
+            let bytes = f.bytes_rx + f.bytes_tx;
+            let dur_us = f.last_ts_us.saturating_sub(f.first_ts_us).max(1);
+            pts.push(FlowPoint {
+                mean_pkt_size: bytes as f64 / pkts as f64,
+                duration_s: dur_us as f64 / 1e6,
+                rate_kbps: bytes as f64 * 8.0 / dur_us as f64 * 1_000.0,
+                bytes,
+            });
+        }
+    }
+    pts
+}
+
+/// Quartile summary of the scatter cloud, for terminal rendering and
+/// cross-application comparison without plotting.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ScatterSummary {
+    /// Number of flows summarised.
+    pub flows: usize,
+    /// Mean-packet-size quartiles (Q1, median, Q3), bytes.
+    pub pkt_size_q: [f64; 3],
+    /// Duration quartiles, seconds.
+    pub duration_q: [f64; 3],
+    /// Rate quartiles, kb/s.
+    pub rate_q: [f64; 3],
+}
+
+fn quartiles(mut xs: Vec<f64>) -> [f64; 3] {
+    if xs.is_empty() {
+        return [0.0; 3];
+    }
+    xs.sort_by(f64::total_cmp);
+    let at = |q: f64| xs[((q * (xs.len() - 1) as f64).round() as usize).min(xs.len() - 1)];
+    [at(0.25), at(0.5), at(0.75)]
+}
+
+/// Summarises a scatter cloud into quartiles per axis.
+pub fn summarize(points: &[FlowPoint]) -> ScatterSummary {
+    ScatterSummary {
+        flows: points.len(),
+        pkt_size_q: quartiles(points.iter().map(|p| p.mean_pkt_size).collect()),
+        duration_q: quartiles(points.iter().map(|p| p.duration_s).collect()),
+        rate_q: quartiles(points.iter().map(|p| p.rate_kbps).collect()),
+    }
+}
+
+/// Ref. \[12\]'s second view: per probe, the share of the download that
+/// the top-`k` contributors supply.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TopContributorShare {
+    /// Probes measured.
+    pub probes: usize,
+    /// Mean share of RX bytes supplied by each probe's top-k remotes, %.
+    pub mean_share_pct: f64,
+    /// Minimum share across probes, %.
+    pub min_share_pct: f64,
+    /// Maximum share across probes, %.
+    pub max_share_pct: f64,
+}
+
+/// Computes the top-`k` download concentration.
+pub fn top_contributor_share(pfs: &[ProbeFlows], k: usize) -> TopContributorShare {
+    let mut shares = Vec::new();
+    for pf in pfs {
+        let mut rx: Vec<u64> = pf.flows.values().map(|f| f.bytes_rx).collect();
+        let total: u64 = rx.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        rx.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = rx.iter().take(k).sum();
+        shares.push(100.0 * top as f64 / total as f64);
+    }
+    if shares.is_empty() {
+        return TopContributorShare::default();
+    }
+    TopContributorShare {
+        probes: shares.len(),
+        mean_share_pct: shares.iter().sum::<f64>() / shares.len() as f64,
+        min_share_pct: shares.iter().cloned().fold(f64::MAX, f64::min),
+        max_share_pct: shares.iter().cloned().fold(f64::MIN, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowStats;
+    use netaware_net::Ip;
+
+    fn flow(remote: u32, bytes_rx: u64, pkts: u64, first: u64, last: u64) -> (Ip, FlowStats) {
+        let ip = Ip(remote);
+        (
+            ip,
+            FlowStats {
+                probe: Ip(1),
+                remote: ip,
+                bytes_rx,
+                pkts_rx: pkts,
+                first_ts_us: first,
+                last_ts_us: last,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn pf(flows: Vec<(Ip, FlowStats)>) -> Vec<ProbeFlows> {
+        let mut p = ProbeFlows {
+            probe: Ip(1),
+            ..Default::default()
+        };
+        for (ip, f) in flows {
+            p.flows.insert(ip, f);
+        }
+        vec![p]
+    }
+
+    #[test]
+    fn points_compute_the_ref12_axes() {
+        let pts = flow_points(&pf(vec![flow(100, 10_000, 10, 0, 1_000_000)]));
+        assert_eq!(pts.len(), 1);
+        let p = pts[0];
+        assert!((p.mean_pkt_size - 1_000.0).abs() < 1e-9);
+        assert!((p.duration_s - 1.0).abs() < 1e-9);
+        assert!((p.rate_kbps - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_packet_flows_skipped() {
+        let pts = flow_points(&pf(vec![flow(100, 100, 1, 0, 0)]));
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn top_share_concentration() {
+        // Top-1 of three flows carrying 80/15/5.
+        let flows = vec![
+            flow(1, 8_000, 8, 0, 10),
+            flow(2, 1_500, 2, 0, 10),
+            flow(3, 500, 2, 0, 10),
+        ];
+        let s = top_contributor_share(&pf(flows), 1);
+        assert_eq!(s.probes, 1);
+        assert!((s.mean_share_pct - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_share_with_k_exceeding_flows() {
+        let s = top_contributor_share(&pf(vec![flow(1, 100, 2, 0, 10)]), 10);
+        assert!((s.mean_share_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let flows: Vec<(Ip, FlowStats)> = (1..=9u32)
+            .map(|i| flow(i, (i as u64) * 1_000, 10, 0, 1_000_000))
+            .collect();
+        let pts = flow_points(&pf(flows));
+        let s = summarize(&pts);
+        assert_eq!(s.flows, 9);
+        // Mean packet sizes are 100..900 in steps of 100.
+        assert!((s.pkt_size_q[1] - 500.0).abs() < 1e-9, "median {}", s.pkt_size_q[1]);
+        assert!((s.pkt_size_q[0] - 300.0).abs() < 1e-9);
+        assert!((s.pkt_size_q[2] - 700.0).abs() < 1e-9);
+        assert!((s.duration_q[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = summarize(&[]);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.pkt_size_q, [0.0; 3]);
+    }
+
+    #[test]
+    fn empty_input_defaults() {
+        assert!(flow_points(&[]).is_empty());
+        let s = top_contributor_share(&[], 10);
+        assert_eq!(s.probes, 0);
+        assert_eq!(s.mean_share_pct, 0.0);
+    }
+}

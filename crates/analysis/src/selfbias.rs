@@ -1,0 +1,139 @@
+//! Table III: NAPA-WINE self-induced bias.
+//!
+//! "It reports the percentage of peers and bytes exchanged among
+//! NAPA-WINE peers, considering contributors only, or all peers." High
+//! values flag that the probe set biases itself — the reason Table IV
+//! carries the primed (probe-excluded) variants.
+
+use crate::contributors::is_contributor;
+use crate::flows::ProbeFlows;
+use crate::heuristics::AnalysisConfig;
+use netaware_net::Ip;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One application's Table III row.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SelfBias {
+    /// % of contributor (probe, remote) pairs whose remote is a probe.
+    pub contrib_peer_pct: f64,
+    /// % of contributor bytes exchanged with probes.
+    pub contrib_bytes_pct: f64,
+    /// Same over all observed peers.
+    pub all_peer_pct: f64,
+    /// Same over all observed bytes.
+    pub all_bytes_pct: f64,
+}
+
+/// Computes Table III for one experiment.
+pub fn self_bias(pfs: &[ProbeFlows], cfg: &AnalysisConfig, probe_set: &BTreeSet<Ip>) -> SelfBias {
+    let mut c_peers = (0u64, 0u64); // (to probes, total)
+    let mut c_bytes = (0u64, 0u64);
+    let mut a_peers = (0u64, 0u64);
+    let mut a_bytes = (0u64, 0u64);
+
+    for pf in pfs {
+        for f in pf.flows.values() {
+            let to_probe = probe_set.contains(&f.remote);
+            let bytes = f.bytes_rx + f.bytes_tx;
+            a_peers.1 += 1;
+            a_bytes.1 += bytes;
+            if to_probe {
+                a_peers.0 += 1;
+                a_bytes.0 += bytes;
+            }
+            if is_contributor(f, cfg) {
+                c_peers.1 += 1;
+                c_bytes.1 += bytes;
+                if to_probe {
+                    c_peers.0 += 1;
+                    c_bytes.0 += bytes;
+                }
+            }
+        }
+    }
+    let pct = |(num, den): (u64, u64)| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
+    SelfBias {
+        contrib_peer_pct: pct(c_peers),
+        contrib_bytes_pct: pct(c_bytes),
+        all_peer_pct: pct(a_peers),
+        all_bytes_pct: pct(a_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::FlowStats;
+
+    fn flow(probe: Ip, remote: Ip, bytes: u64, contributor: bool) -> FlowStats {
+        FlowStats {
+            probe,
+            remote,
+            bytes_rx: bytes,
+            video_bytes_rx: if contributor { 30_000 } else { 0 },
+            video_pkts_rx: if contributor { 24 } else { 0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn splits_probe_and_external_shares() {
+        let p1 = Ip::from_octets(10, 0, 0, 1);
+        let p2 = Ip::from_octets(10, 0, 0, 2);
+        let e = Ip::from_octets(58, 0, 0, 1);
+        let mut w = BTreeSet::new();
+        w.insert(p1);
+        w.insert(p2);
+
+        let mut pf = ProbeFlows {
+            probe: p1,
+            ..Default::default()
+        };
+        pf.flows.insert(p2, flow(p1, p2, 60_000, true)); // probe-probe
+        pf.flows.insert(e, flow(p1, e, 40_000, true)); // probe-external
+        let cfg = AnalysisConfig::default();
+        let sb = self_bias(&[pf], &cfg, &w);
+        assert!((sb.contrib_peer_pct - 50.0).abs() < 1e-9);
+        assert!((sb.contrib_bytes_pct - 60.0).abs() < 1e-9);
+        assert!((sb.all_peer_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contributors_vs_all_differ() {
+        let p1 = Ip::from_octets(10, 0, 0, 1);
+        let p2 = Ip::from_octets(10, 0, 0, 2);
+        let mut w = BTreeSet::new();
+        w.insert(p1);
+        w.insert(p2);
+        let mut pf = ProbeFlows {
+            probe: p1,
+            ..Default::default()
+        };
+        pf.flows.insert(p2, flow(p1, p2, 50_000, true));
+        // Ten signalling-only externals.
+        for i in 0..10u32 {
+            let e = Ip(Ip::from_octets(58, 0, 0, 10).0 + i);
+            pf.flows.insert(e, flow(p1, e, 500, false));
+        }
+        let cfg = AnalysisConfig::default();
+        let sb = self_bias(&[pf], &cfg, &w);
+        assert!((sb.contrib_peer_pct - 100.0).abs() < 1e-9);
+        assert!((sb.all_peer_pct - (100.0 / 11.0)).abs() < 1e-6);
+        assert!(sb.all_bytes_pct > 85.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let cfg = AnalysisConfig::default();
+        let sb = self_bias(&[], &cfg, &BTreeSet::new());
+        assert_eq!(sb.contrib_peer_pct, 0.0);
+        assert_eq!(sb.all_bytes_pct, 0.0);
+    }
+}

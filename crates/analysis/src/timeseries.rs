@@ -1,0 +1,198 @@
+//! Temporal evolution of per-probe metrics.
+//!
+//! The closest prior work the paper cites (\[11\], Ali et al.) studied
+//! the *temporal evolution* of transmitted/received bytes and peer
+//! counts; this module provides the same view over our traces: windowed
+//! RX/TX rates and active-peer counts per probe or aggregated, with a
+//! terminal sparkline renderer. Useful for eyeballing warm-up, churn
+//! waves, and upload bursts that the scalar tables average away.
+
+use netaware_trace::{ProbeTrace, TraceSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One probe's (or an aggregate's) windowed series.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RateSeries {
+    /// Window length, µs.
+    pub window_us: u64,
+    /// RX rate per window, kb/s.
+    pub rx_kbps: Vec<f64>,
+    /// TX rate per window, kb/s.
+    pub tx_kbps: Vec<f64>,
+    /// Distinct remotes seen per window.
+    pub active_peers: Vec<u32>,
+}
+
+impl RateSeries {
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.rx_kbps.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx_kbps.is_empty()
+    }
+
+    /// Element-wise accumulation (for aggregating probes).
+    pub fn accumulate(&mut self, other: &RateSeries) {
+        let n = self.len().max(other.len());
+        self.rx_kbps.resize(n, 0.0);
+        self.tx_kbps.resize(n, 0.0);
+        self.active_peers.resize(n, 0);
+        for (i, v) in other.rx_kbps.iter().enumerate() {
+            self.rx_kbps[i] += v;
+        }
+        for (i, v) in other.tx_kbps.iter().enumerate() {
+            self.tx_kbps[i] += v;
+        }
+        for (i, v) in other.active_peers.iter().enumerate() {
+            self.active_peers[i] += v;
+        }
+    }
+
+    /// Renders a sparkline of one component.
+    pub fn sparkline(values: &[f64]) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return "▁".repeat(values.len());
+        }
+        values
+            .iter()
+            .map(|&v| BARS[((v / max) * 7.0).round() as usize])
+            .collect()
+    }
+}
+
+/// Computes the windowed series for one probe trace.
+pub fn probe_series(trace: &ProbeTrace, duration_us: u64, window_us: u64) -> RateSeries {
+    assert!(window_us > 0);
+    let n = (duration_us.div_ceil(window_us)).max(1) as usize;
+    let mut rx = vec![0u64; n];
+    let mut tx = vec![0u64; n];
+    let mut peers: Vec<HashSet<netaware_net::Ip>> = vec![HashSet::new(); n];
+    for r in trace.records_unsorted() {
+        let w = ((r.ts_us / window_us) as usize).min(n - 1);
+        if r.dst == trace.probe {
+            rx[w] += r.size as u64;
+        } else {
+            tx[w] += r.size as u64;
+        }
+        if let Some(remote) = r.remote_of(trace.probe) {
+            peers[w].insert(remote);
+        }
+    }
+    let to_kbps = |bytes: u64| bytes as f64 * 8.0 / window_us as f64 * 1_000.0;
+    RateSeries {
+        window_us,
+        rx_kbps: rx.into_iter().map(to_kbps).collect(),
+        tx_kbps: tx.into_iter().map(to_kbps).collect(),
+        active_peers: peers.into_iter().map(|s| s.len() as u32).collect(),
+    }
+}
+
+/// Aggregate series across every probe of an experiment (rates summed).
+pub fn experiment_series(set: &TraceSet, window_us: u64) -> RateSeries {
+    let mut acc = RateSeries {
+        window_us,
+        ..Default::default()
+    };
+    for t in &set.traces {
+        acc.accumulate(&probe_series(t, set.duration_us, window_us));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaware_net::Ip;
+    use netaware_trace::{PacketRecord, PayloadKind};
+
+    fn rec(ts: u64, src: Ip, dst: Ip, size: u16) -> PacketRecord {
+        PacketRecord {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            size,
+            ttl: 110,
+            kind: PayloadKind::Video,
+        }
+    }
+
+    #[test]
+    fn windows_and_rates() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let b = Ip::from_octets(58, 0, 0, 2);
+        let mut t = ProbeTrace::new(p);
+        // Window 0: 1000 B RX from a. Window 1: 500 B TX to b.
+        t.push(rec(100, a, p, 1000));
+        t.push(rec(1_000_100, p, b, 500));
+        let s = probe_series(&t, 3_000_000, 1_000_000);
+        assert_eq!(s.len(), 3);
+        assert!((s.rx_kbps[0] - 8.0).abs() < 1e-9); // 1000B/1s = 8 kb/s
+        assert!((s.tx_kbps[1] - 4.0).abs() < 1e-9);
+        assert_eq!(s.active_peers, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn late_records_clamp_into_last_window() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let mut t = ProbeTrace::new(p);
+        t.push(rec(9_999_999, a, p, 100)); // beyond nominal duration
+        let s = probe_series(&t, 2_000_000, 1_000_000);
+        assert_eq!(s.len(), 2);
+        assert!(s.rx_kbps[1] > 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums_and_resizes() {
+        let mut a = RateSeries {
+            window_us: 1,
+            rx_kbps: vec![1.0],
+            tx_kbps: vec![2.0],
+            active_peers: vec![3],
+        };
+        let b = RateSeries {
+            window_us: 1,
+            rx_kbps: vec![1.0, 5.0],
+            tx_kbps: vec![1.0, 1.0],
+            active_peers: vec![1, 1],
+        };
+        a.accumulate(&b);
+        assert_eq!(a.rx_kbps, vec![2.0, 5.0]);
+        assert_eq!(a.tx_kbps, vec![3.0, 1.0]);
+        assert_eq!(a.active_peers, vec![4, 1]);
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = RateSeries::sparkline(&[0.0, 1.0, 2.0, 4.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.ends_with('█'));
+        assert_eq!(RateSeries::sparkline(&[0.0, 0.0]), "▁▁");
+    }
+
+    #[test]
+    fn experiment_aggregation() {
+        let p1 = Ip::from_octets(10, 0, 0, 1);
+        let p2 = Ip::from_octets(10, 0, 1, 1);
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let mut set = TraceSet::new("X", 2_000_000);
+        let mut t1 = ProbeTrace::new(p1);
+        t1.push(rec(0, a, p1, 1000));
+        let mut t2 = ProbeTrace::new(p2);
+        t2.push(rec(0, a, p2, 1000));
+        set.add(t1);
+        set.add(t2);
+        let s = experiment_series(&set, 1_000_000);
+        assert!((s.rx_kbps[0] - 16.0).abs() < 1e-9);
+        assert_eq!(s.active_peers[0], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Analysis-pipeline performance and threshold-sensitivity benches
+//! (Ablation B of DESIGN.md).
+//!
+//! * flow aggregation throughput, sequential vs rayon-parallel — the
+//!   hot loop of the whole framework (one pass over every packet);
+//! * the preference computation across hop/IPG threshold sweeps, which
+//!   doubles as the sensitivity ablation: the assertions verify that the
+//!   BW conclusion is stable in a wide band around the paper's 1 ms
+//!   threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netaware_analysis::flows::{aggregate, aggregate_probe};
+use netaware_analysis::partition::Metric;
+use netaware_analysis::preference::{preference, Dir};
+use netaware_analysis::AnalysisConfig;
+use netaware_bench::fixture;
+use std::hint::black_box;
+
+fn flow_aggregation(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let total_packets: usize = f.traces.total_packets();
+
+    let mut g = c.benchmark_group("flows/aggregate");
+    g.throughput(Throughput::Elements(total_packets as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let out: Vec<_> = f
+                .traces
+                .traces
+                .iter()
+                .map(|t| aggregate_probe(t, &cfg))
+                .collect();
+            black_box(out)
+        })
+    });
+    g.bench_function("parallel", |b| b.iter(|| black_box(aggregate(&f.traces, &cfg))));
+    g.finish();
+}
+
+fn preference_computation(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let mut g = c.benchmark_group("preference");
+    for metric in Metric::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(metric.name()),
+            &metric,
+            |b, &m| {
+                b.iter(|| {
+                    black_box(preference(
+                        &f.flows,
+                        &f.registry,
+                        &cfg,
+                        19,
+                        m,
+                        Dir::Download,
+                        None,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Sensitivity sweep: how the BW byte preference responds to the IPG
+/// threshold. The conclusion ("traffic comes overwhelmingly from
+/// high-bandwidth peers") must hold from 0.3 ms to 3 ms.
+fn ipg_threshold_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("sensitivity/ipg_threshold");
+    for thr_us in [300u64, 1_000, 3_000] {
+        let cfg = AnalysisConfig {
+            ipg_high_bw_us: thr_us,
+            ..Default::default()
+        };
+        let v = preference(&f.flows, &f.registry, &cfg, 19, Metric::Bw, Dir::Download, None);
+        assert!(
+            v.bytes_pct > 75.0,
+            "BW conclusion unstable at {thr_us} µs: {:.1}%",
+            v.bytes_pct
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(thr_us), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(preference(
+                    &f.flows,
+                    &f.registry,
+                    cfg,
+                    19,
+                    Metric::Bw,
+                    Dir::Download,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Hop-threshold sweep around the paper's fixed 19.
+fn hop_threshold_sweep(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let mut g = c.benchmark_group("sensitivity/hop_threshold");
+    for thr in [15u8, 19, 23] {
+        g.bench_with_input(BenchmarkId::from_parameter(thr), &thr, |b, &t| {
+            b.iter(|| {
+                black_box(preference(
+                    &f.flows,
+                    &f.registry,
+                    &cfg,
+                    t,
+                    Metric::Hop,
+                    Dir::Download,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = flow_aggregation, preference_computation, ipg_threshold_sweep, hop_threshold_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benches for the extension analyses: network-friendliness, flow
+//! scatter, hop distribution, time series, per-probe breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netaware_analysis::hopdist::hop_distribution;
+use netaware_analysis::netfriend::friendliness;
+use netaware_analysis::persite::per_probe;
+use netaware_analysis::scatter::{flow_points, top_contributor_share};
+use netaware_analysis::timeseries::experiment_series;
+use netaware_analysis::AnalysisConfig;
+use netaware_bench::fixture;
+use std::hint::black_box;
+
+fn friendliness_bench(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("ext/friendliness", |b| {
+        b.iter(|| black_box(friendliness(&f.flows, &f.registry, &cfg)))
+    });
+}
+
+fn scatter_bench(c: &mut Criterion) {
+    let f = fixture();
+    let n: usize = f.flows.iter().map(|pf| pf.flows.len()).sum();
+    let mut g = c.benchmark_group("ext/scatter");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("flow_points", |b| b.iter(|| black_box(flow_points(&f.flows))));
+    g.bench_function("top10_share", |b| {
+        b.iter(|| black_box(top_contributor_share(&f.flows, 10)))
+    });
+    g.finish();
+}
+
+fn hopdist_bench(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("ext/hop_distribution", |b| {
+        b.iter(|| black_box(hop_distribution(&f.flows, &cfg, 19)))
+    });
+}
+
+fn timeseries_bench(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("ext/timeseries");
+    g.throughput(Throughput::Elements(f.traces.total_packets() as u64));
+    g.bench_function("experiment_series_10s", |b| {
+        b.iter(|| black_box(experiment_series(&f.traces, 10_000_000)))
+    });
+    g.finish();
+}
+
+fn persite_bench(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("ext/per_probe", |b| {
+        b.iter(|| black_box(per_probe(&f.flows, &f.registry, &cfg, 19)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = friendliness_bench, scatter_bench, hopdist_bench, timeseries_bench, persite_bench
+}
+criterion_main!(benches);

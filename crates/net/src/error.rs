@@ -1,0 +1,68 @@
+//! Error type for the network substrate.
+
+use std::fmt;
+
+/// Errors raised while building or querying the network model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The address allocator ran out of space in the requested prefix.
+    PrefixExhausted {
+        /// The prefix that filled up.
+        prefix: String,
+    },
+    /// Two registered prefixes overlap.
+    OverlappingPrefix {
+        /// The newly registered prefix.
+        new: String,
+        /// The already-present conflicting prefix.
+        existing: String,
+    },
+    /// Lookup of an address that no registered prefix covers.
+    UnknownAddress(
+        /// The unresolvable address.
+        String,
+    ),
+    /// Reference to an AS that was never registered.
+    UnknownAs(
+        /// The missing AS number.
+        u32,
+    ),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PrefixExhausted { prefix } => {
+                write!(f, "address prefix {prefix} exhausted")
+            }
+            NetError::OverlappingPrefix { new, existing } => {
+                write!(f, "prefix {new} overlaps already-registered {existing}")
+            }
+            NetError::UnknownAddress(ip) => write!(f, "no registered prefix covers {ip}"),
+            NetError::UnknownAs(asn) => write!(f, "AS{asn} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetError::UnknownAddress("1.2.3.4".into());
+        assert!(e.to_string().contains("1.2.3.4"));
+        let e = NetError::PrefixExhausted {
+            prefix: "10.0.0.0/30".into(),
+        };
+        assert!(e.to_string().contains("exhausted"));
+        let e = NetError::OverlappingPrefix {
+            new: "10.0.0.0/8".into(),
+            existing: "10.1.0.0/16".into(),
+        };
+        assert!(e.to_string().contains("overlaps"));
+        assert!(NetError::UnknownAs(7).to_string().contains("AS7"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic mixing functions.
+//!
+//! The path and latency models need stable pseudo-random values per
+//! endpoint pair without carrying RNG state: `mix64` is the SplitMix64
+//! finalizer, a bijective avalanche mix that turns structured inputs
+//! (AS numbers, IPs) into uniformly scattered 64-bit values. Being a pure
+//! function of its input, it keeps every derived quantity reproducible.
+
+/// SplitMix64 finalizer: bijective 64-bit avalanche mix.
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes two values into one (order-sensitive, for directional paths).
+#[inline]
+pub const fn mix2(a: u64, b: u64) -> u64 {
+    mix64(mix64(a) ^ b.rotate_left(32))
+}
+
+/// A value in `[lo, hi]` (inclusive) derived deterministically from `x`.
+#[inline]
+pub fn ranged(x: u64, lo: u32, hi: u32) -> u32 {
+    debug_assert!(lo <= hi);
+    let span = (hi - lo + 1) as u64;
+    lo + (mix64(x) % span) as u32
+}
+
+/// A uniform float in `[0, 1)` derived deterministically from `x`.
+#[inline]
+pub fn unit(x: u64) -> f64 {
+    // 53 mantissa bits of the mixed value.
+    (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+    }
+
+    #[test]
+    fn mix64_avalanches_adjacent_inputs() {
+        // Adjacent inputs should differ in many output bits.
+        let d = (mix64(1000) ^ mix64(1001)).count_ones();
+        assert!(d > 16, "only {d} differing bits");
+    }
+
+    #[test]
+    fn mix2_is_order_sensitive() {
+        assert_ne!(mix2(1, 2), mix2(2, 1));
+        assert_eq!(mix2(1, 2), mix2(1, 2));
+    }
+
+    #[test]
+    fn ranged_respects_bounds() {
+        for x in 0..10_000u64 {
+            let v = ranged(x, 3, 7);
+            assert!((3..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranged_hits_every_value() {
+        let mut seen = [false; 5];
+        for x in 0..1_000u64 {
+            seen[(ranged(x, 10, 14) - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ranged_degenerate_interval() {
+        assert_eq!(ranged(99, 5, 5), 5);
+    }
+
+    #[test]
+    fn unit_in_half_open_interval() {
+        for x in 0..10_000u64 {
+            let v = unit(x);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(unit).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

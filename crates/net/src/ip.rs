@@ -1,0 +1,269 @@
+//! IPv4 addresses and CIDR prefixes.
+//!
+//! Addresses are a thin `u32` newtype: hashable, orderable, copyable, and
+//! cheap enough to appear in tens of millions of packet records. The
+//! paper's `NET` metric ("the subnetwork a peer belongs to") is evaluated
+//! as membership in the same `/24`, which is how the NAPA-WINE probe LANs
+//! were laid out.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Prefix length used for the paper's `NET` (same-subnet) metric.
+pub const SUBNET_PREFIX_LEN: u8 = 24;
+
+/// An IPv4 address stored as a host-order `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Builds an address from dotted-quad octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The four dotted-quad octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The enclosing subnet, defined as the `/24` the address sits in.
+    pub const fn subnet(self) -> Prefix {
+        Prefix::new_truncating(self.0, SUBNET_PREFIX_LEN)
+    }
+
+    /// `true` if both addresses share the same `/24` — the paper's
+    /// `NET` preferential partition (`HOP(e,p) = 0` in LAN terms).
+    pub const fn same_subnet(self, other: Ip) -> bool {
+        self.0 >> 8 == other.0 >> 8
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ip({self})")
+    }
+}
+
+impl From<Ipv4Addr> for Ip {
+    fn from(a: Ipv4Addr) -> Self {
+        Ip(u32::from(a))
+    }
+}
+
+impl From<Ip> for Ipv4Addr {
+    fn from(a: Ip) -> Self {
+        Ipv4Addr::from(a.0)
+    }
+}
+
+impl FromStr for Ip {
+    type Err = std::net::AddrParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ipv4Addr::from_str(s).map(Ip::from)
+    }
+}
+
+/// A CIDR prefix (`base/len`). The base is always stored with host bits
+/// cleared, so two equal prefixes compare equal structurally.
+///
+/// ```
+/// use netaware_net::{Ip, Prefix};
+///
+/// let p = Prefix::of(Ip::from_octets(130, 192, 0, 0), 16);
+/// assert!(p.contains("130.192.7.9".parse().unwrap()));
+/// assert!(!p.contains("130.193.0.1".parse().unwrap()));
+/// assert_eq!(p.to_string(), "130.192.0.0/16");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    base: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, truncating any set host bits in `base`.
+    pub const fn new_truncating(base: u32, len: u8) -> Self {
+        assert!(len <= 32);
+        Prefix {
+            base: base & Self::mask(len),
+            len,
+        }
+    }
+
+    /// Creates a prefix from an address and a length.
+    pub const fn of(ip: Ip, len: u8) -> Self {
+        Self::new_truncating(ip.0, len)
+    }
+
+    /// The network mask for a prefix length.
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// First address of the prefix.
+    pub const fn first(self) -> Ip {
+        Ip(self.base)
+    }
+
+    /// Last address of the prefix.
+    pub const fn last(self) -> Ip {
+        Ip(self.base | !Self::mask(self.len))
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix always covers ≥1 address
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered (saturates at `u32::MAX` for `/0`).
+    pub const fn size(self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len)
+        }
+    }
+
+    /// `true` when `ip` falls inside this prefix.
+    pub const fn contains(self, ip: Ip) -> bool {
+        ip.0 & Self::mask(self.len) == self.base
+    }
+
+    /// `true` when `other` is fully covered by `self`.
+    pub const fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && (other.base & Self::mask(self.len)) == self.base
+    }
+
+    /// The `idx`-th host address inside the prefix, if it exists.
+    pub fn host(self, idx: u32) -> Option<Ip> {
+        if self.len < 32 && idx >= self.size() {
+            return None;
+        }
+        Some(Ip(self.base.wrapping_add(idx)))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ip(self.base), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octets_roundtrip() {
+        let ip = Ip::from_octets(192, 168, 1, 42);
+        assert_eq!(ip.octets(), [192, 168, 1, 42]);
+        assert_eq!(ip.to_string(), "192.168.1.42");
+    }
+
+    #[test]
+    fn std_conversion_roundtrip() {
+        let std_ip = Ipv4Addr::new(10, 0, 7, 9);
+        let ip: Ip = std_ip.into();
+        let back: Ipv4Addr = ip.into();
+        assert_eq!(std_ip, back);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        let ip: Ip = "130.192.1.1".parse().unwrap();
+        assert_eq!(ip, Ip::from_octets(130, 192, 1, 1));
+        assert!("not-an-ip".parse::<Ip>().is_err());
+    }
+
+    #[test]
+    fn same_subnet_is_slash24() {
+        let a = Ip::from_octets(130, 192, 1, 1);
+        let b = Ip::from_octets(130, 192, 1, 254);
+        let c = Ip::from_octets(130, 192, 2, 1);
+        assert!(a.same_subnet(b));
+        assert!(!a.same_subnet(c));
+        assert!(a.same_subnet(a));
+    }
+
+    #[test]
+    fn prefix_truncates_host_bits() {
+        let p = Prefix::new_truncating(0xC0A8_0142, 24);
+        assert_eq!(p.first(), Ip::from_octets(192, 168, 1, 0));
+        assert_eq!(p.last(), Ip::from_octets(192, 168, 1, 255));
+        assert_eq!(p.size(), 256);
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::of(Ip::from_octets(10, 1, 0, 0), 16);
+        assert!(p.contains(Ip::from_octets(10, 1, 200, 3)));
+        assert!(!p.contains(Ip::from_octets(10, 2, 0, 0)));
+    }
+
+    #[test]
+    fn prefix_covers() {
+        let big = Prefix::of(Ip::from_octets(10, 0, 0, 0), 8);
+        let small = Prefix::of(Ip::from_octets(10, 9, 3, 0), 24);
+        assert!(big.covers(small));
+        assert!(!small.covers(big));
+        assert!(big.covers(big));
+    }
+
+    #[test]
+    fn prefix_host_indexing() {
+        let p = Prefix::of(Ip::from_octets(10, 0, 0, 0), 30);
+        assert_eq!(p.host(0), Some(Ip::from_octets(10, 0, 0, 0)));
+        assert_eq!(p.host(3), Some(Ip::from_octets(10, 0, 0, 3)));
+        assert_eq!(p.host(4), None);
+    }
+
+    #[test]
+    fn zero_len_prefix_covers_everything() {
+        let p = Prefix::new_truncating(0, 0);
+        assert!(p.contains(Ip(u32::MAX)));
+        assert!(p.contains(Ip(0)));
+        assert_eq!(p.size(), u32::MAX);
+    }
+
+    #[test]
+    fn slash32_is_single_host() {
+        let ip = Ip::from_octets(8, 8, 8, 8);
+        let p = Prefix::of(ip, 32);
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.host(0), Some(ip));
+        assert!(p.contains(ip));
+        assert!(!p.contains(Ip(ip.0 + 1)));
+    }
+
+    #[test]
+    fn prefix_display() {
+        let p = Prefix::of(Ip::from_octets(172, 16, 0, 0), 12);
+        assert_eq!(p.to_string(), "172.16.0.0/12");
+    }
+}

@@ -1,0 +1,65 @@
+//! TTL semantics.
+//!
+//! The paper evaluates hop counts "as 128 minus the TTL of received
+//! packets, since 128 is the default TTL considering Windows O.S." — all
+//! peers in 2008-era P2P-TV overlays ran Windows clients. We model exactly
+//! that: packets leave a sender with TTL 128 and lose one unit per router
+//! hop.
+
+/// Initial TTL of every generated packet (Windows default).
+pub const DEFAULT_TTL: u8 = 128;
+
+/// TTL observed at the receiver after `hops` router traversals.
+///
+/// Saturates at 1: real packets with more hops than TTL would be dropped
+/// in flight, but hop counts in this model never approach 128.
+pub const fn ttl_at_receiver(hops: u8) -> u8 {
+    if hops >= DEFAULT_TTL {
+        1
+    } else {
+        DEFAULT_TTL - hops
+    }
+}
+
+/// The paper's hop estimator: `128 - TTL`. Returns `None` for TTLs above
+/// 128 (a host that is not using the Windows default, which the analysis
+/// must tolerate gracefully).
+pub const fn hops_from_ttl(ttl: u8) -> Option<u8> {
+    if ttl > DEFAULT_TTL || ttl == 0 {
+        None
+    } else {
+        Some(DEFAULT_TTL - ttl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for hops in 0..64u8 {
+            let ttl = ttl_at_receiver(hops);
+            assert_eq!(hops_from_ttl(ttl), Some(hops));
+        }
+    }
+
+    #[test]
+    fn zero_hops_full_ttl() {
+        assert_eq!(ttl_at_receiver(0), 128);
+        assert_eq!(hops_from_ttl(128), Some(0));
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(ttl_at_receiver(200), 1);
+        assert_eq!(ttl_at_receiver(128), 1);
+    }
+
+    #[test]
+    fn non_windows_ttl_rejected() {
+        assert_eq!(hops_from_ttl(255), None); // unix initial TTL 255
+        assert_eq!(hops_from_ttl(129), None);
+        assert_eq!(hops_from_ttl(0), None); // expired
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the network substrate.
+
+use netaware_net::{
+    hash, hops_from_ttl, ttl_at_receiver, AddressAllocator, AsId, AsInfo, AsKind, CountryCode,
+    GeoRegistry, GeoRegistryBuilder, Ip, LatencyModel, PathModel, Prefix,
+};
+use proptest::prelude::*;
+
+fn registry() -> GeoRegistry {
+    let mut b = GeoRegistryBuilder::new();
+    b.register_as(AsInfo::new(1, CountryCode::IT, AsKind::Academic, "A"));
+    b.register_as(AsInfo::new(2, CountryCode::CN, AsKind::Carrier, "B"));
+    b.announce(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16), AsId(1))
+        .unwrap();
+    b.announce(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8), AsId(2))
+        .unwrap();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A prefix contains exactly the addresses sharing its masked bits.
+    #[test]
+    fn prefix_membership(base in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+        let p = Prefix::new_truncating(base, len);
+        let member = (probe & Prefix::mask(len)) == p.first().0;
+        prop_assert_eq!(p.contains(Ip(probe)), member);
+        // First/last are always members; size matches the mask width.
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+    }
+
+    /// `covers` is a partial order consistent with `contains`.
+    #[test]
+    fn covers_consistent(a_base in any::<u32>(), a_len in 0u8..=32,
+                         b_base in any::<u32>(), b_len in 0u8..=32) {
+        let a = Prefix::new_truncating(a_base, a_len);
+        let b = Prefix::new_truncating(b_base, b_len);
+        if a.covers(b) {
+            prop_assert!(a.contains(b.first()));
+            prop_assert!(a.contains(b.last()));
+            prop_assert!(a.len() <= b.len());
+        }
+    }
+
+    /// Dense and scattered allocators both yield unique in-prefix hosts
+    /// and agree on capacity.
+    #[test]
+    fn allocators_unique(seed in any::<u64>(), len in 20u8..=28) {
+        let p = Prefix::of(Ip::from_octets(10, 7, 0, 0), len);
+        for mut alloc in [AddressAllocator::dense(p), AddressAllocator::scattered(p, seed)] {
+            let cap = alloc.capacity();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..cap {
+                let ip = alloc.next_ip().unwrap();
+                prop_assert!(p.contains(ip));
+                prop_assert!(seen.insert(ip));
+                // Network/broadcast never handed out on classic subnets.
+                prop_assert_ne!(ip, p.first());
+                prop_assert_ne!(ip, p.last());
+            }
+            prop_assert!(alloc.next_ip().is_err());
+        }
+    }
+
+    /// TTL encoding round-trips for every plausible hop count.
+    #[test]
+    fn ttl_roundtrip(hops in 0u8..=127) {
+        prop_assert_eq!(hops_from_ttl(ttl_at_receiver(hops)), Some(hops));
+    }
+
+    /// Hop counts are deterministic, bounded, and zero exactly on the
+    /// same subnet.
+    #[test]
+    fn hops_bounded_and_deterministic(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
+        let reg = registry();
+        let m = PathModel::new(seed);
+        let (a, b) = (Ip(a), Ip(b));
+        let h1 = m.hops(&reg, a, b);
+        let h2 = m.hops(&reg, a, b);
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1 <= 64);
+        if a.same_subnet(b) {
+            prop_assert_eq!(h1, 0);
+        } else {
+            prop_assert!(h1 >= 1);
+        }
+    }
+
+    /// Forward and reverse hop counts stay within the modelled asymmetry
+    /// bound.
+    #[test]
+    fn hop_asymmetry_bounded(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
+        let reg = registry();
+        let m = PathModel::new(seed);
+        let f = m.hops(&reg, Ip(a), Ip(b)) as i32;
+        let r = m.hops(&reg, Ip(b), Ip(a)) as i32;
+        prop_assert!((f - r).abs() <= 6, "f={f} r={r}");
+    }
+
+    /// Latency is deterministic, positive, and nearly symmetric.
+    #[test]
+    fn latency_sane(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
+        prop_assume!(a != b);
+        let reg = registry();
+        let m = LatencyModel::new(seed);
+        let f = m.one_way_us(&reg, Ip(a), Ip(b));
+        prop_assert_eq!(f, m.one_way_us(&reg, Ip(a), Ip(b)));
+        prop_assert!(f >= 100);
+        prop_assert!(f < 1_000_000, "one-way {f}µs");
+        let r = m.one_way_us(&reg, Ip(b), Ip(a));
+        let ratio = f as f64 / r as f64;
+        prop_assert!((0.85..1.18).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// The mixing primitives stay in range.
+    #[test]
+    fn hash_ranges(x in any::<u64>(), lo in 0u32..1000, span in 0u32..1000) {
+        let hi = lo + span;
+        let v = hash::ranged(x, lo, hi);
+        prop_assert!((lo..=hi).contains(&v));
+        let u = hash::unit(x);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    /// Registry lookups agree with the announcing prefix.
+    #[test]
+    fn registry_lookup_sound(ip in any::<u32>()) {
+        let reg = registry();
+        match reg.as_of(Ip(ip)) {
+            Some(AsId(1)) => prop_assert!(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip))),
+            Some(AsId(2)) => prop_assert!(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip))),
+            Some(other) => prop_assert!(false, "unexpected {other}"),
+            None => {
+                prop_assert!(!Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip)));
+                prop_assert!(!Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip)));
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_serde_roundtrip_with_reindex() {
+    let reg = registry();
+    let js = serde_json::to_string(&reg).unwrap();
+    let mut back: GeoRegistry = serde_json::from_str(&js).unwrap();
+    // The AS index is skipped during (de)serialisation and must be rebuilt.
+    back.reindex();
+    let probe = Ip::from_octets(130, 192, 9, 9);
+    assert_eq!(back.as_of(probe), reg.as_of(probe));
+    assert_eq!(
+        back.info(AsId(1)).map(|i| i.country),
+        reg.info(AsId(1)).map(|i| i.country)
+    );
+    assert_eq!(back.prefixes(), reg.prefixes());
+}

@@ -1,0 +1,85 @@
+//! Protocol messages and their wire sizes.
+//!
+//! The analysis never parses message payloads (the real protocols were
+//! proprietary and encrypted); what matters is the *packet size* each
+//! message type puts on the wire, because the paper's contributor
+//! heuristic separates video from signalling by size. The sizes used here
+//! match the signalling profiles reported for 2008-era P2P-TV systems:
+//! small keep-alives and requests, a few hundred bytes for peer lists and
+//! buffer maps, and ~full-MTU packets only for video.
+
+use crate::chunk::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// Signalling message kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Signal {
+    /// First contact / session handshake.
+    Hello,
+    /// Ask a peer for (part of) its neighbor list.
+    PeerListRequest,
+    /// Neighbor-list reply carrying `n` entries.
+    PeerListReply(u8),
+    /// Buffer-map advertisement.
+    BufferMap,
+    /// Request for one chunk.
+    ChunkRequest(ChunkId),
+    /// Liveness probe.
+    KeepAlive,
+}
+
+impl Signal {
+    /// IP datagram size for this message (IP+UDP headers included).
+    pub const fn wire_size(self) -> u16 {
+        match self {
+            Signal::Hello => 92,
+            Signal::PeerListRequest => 68,
+            Signal::PeerListReply(n) => 76 + 6 * n as u16,
+            Signal::BufferMap => 148,
+            Signal::ChunkRequest(_) => 72,
+            Signal::KeepAlive => 56,
+        }
+    }
+}
+
+/// The largest signalling datagram the protocol can emit. The analysis'
+/// video/signalling size threshold must sit above this and below the
+/// smallest video packet.
+pub const MAX_SIGNAL_SIZE: u16 = 76 + 6 * 255;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_stable() {
+        assert_eq!(Signal::Hello.wire_size(), 92);
+        assert_eq!(Signal::KeepAlive.wire_size(), 56);
+        assert_eq!(Signal::PeerListReply(0).wire_size(), 76);
+        assert_eq!(Signal::PeerListReply(10).wire_size(), 136);
+        assert_eq!(Signal::ChunkRequest(ChunkId(5)).wire_size(), 72);
+    }
+
+    #[test]
+    fn max_signal_bound_holds() {
+        for s in [
+            Signal::Hello,
+            Signal::PeerListRequest,
+            Signal::PeerListReply(255),
+            Signal::BufferMap,
+            Signal::ChunkRequest(ChunkId(0)),
+            Signal::KeepAlive,
+        ] {
+            assert!(s.wire_size() <= MAX_SIGNAL_SIZE);
+        }
+    }
+
+    #[test]
+    fn all_signalling_below_video_packets() {
+        // Video packets are ~1250 B; every signal must stay well below so
+        // the size heuristic can separate them. PeerListReply is capped in
+        // practice at ~40 entries by the profiles.
+        assert!(Signal::PeerListReply(40).wire_size() < 400);
+        assert!(Signal::BufferMap.wire_size() < 400);
+    }
+}

@@ -1,0 +1,80 @@
+//! Peer identities and static descriptions.
+
+use netaware_net::{AccessLink, Ip};
+use serde::{Deserialize, Serialize};
+
+/// Dense peer index within one swarm simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct PeerId(pub u32);
+
+/// What a peer is, from the simulation's point of view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PeerRole {
+    /// The broadcast source (channel server). Has every chunk as soon as
+    /// it is generated; uploads to bootstrap the swarm.
+    Source,
+    /// A NAPA-WINE probe: full protocol state *and* packet capture.
+    Probe,
+    /// An external swarm member, modelled statistically (content
+    /// availability via playout lag, demand via request processes). Only
+    /// its exchanges with probes materialise as packets.
+    External,
+}
+
+/// Static description of a peer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// Dense index.
+    pub id: PeerId,
+    /// Network address (resolves to AS/CC through the registry).
+    pub ip: Ip,
+    /// Access link: capacity + middleboxes.
+    pub access: AccessLink,
+    /// Role in the simulation.
+    pub role: PeerRole,
+}
+
+impl PeerInfo {
+    /// `true` for NAPA-WINE vantage points.
+    pub fn is_probe(&self) -> bool {
+        self.role == PeerRole::Probe
+    }
+
+    /// Upstream capacity in bits per second.
+    pub fn up_bps(&self) -> u64 {
+        self.access.class.up_bps()
+    }
+
+    /// Downstream capacity in bits per second.
+    pub fn down_bps(&self) -> u64 {
+        self.access.class.down_bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaware_net::AccessClass;
+
+    #[test]
+    fn roles_and_capacity() {
+        let p = PeerInfo {
+            id: PeerId(0),
+            ip: Ip::from_octets(10, 0, 0, 1),
+            access: AccessLink::lan(),
+            role: PeerRole::Probe,
+        };
+        assert!(p.is_probe());
+        assert_eq!(p.up_bps(), 100_000_000);
+
+        let e = PeerInfo {
+            id: PeerId(1),
+            ip: Ip::from_octets(58, 0, 0, 1),
+            access: AccessLink::open(AccessClass::Dsl(4000, 384)),
+            role: PeerRole::External,
+        };
+        assert!(!e.is_probe());
+        assert_eq!(e.up_bps(), 384_000);
+        assert_eq!(e.down_bps(), 4_000_000);
+    }
+}

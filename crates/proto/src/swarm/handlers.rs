@@ -1,0 +1,497 @@
+//! Event handlers: the protocol logic.
+
+use super::state::{Event, Neighbor, Pending};
+use super::Swarm;
+use crate::chunk::ChunkId;
+use crate::message::Signal;
+use crate::peer::{PeerId, PeerRole};
+use crate::policy::Candidate;
+use netaware_sim::{Scheduler, SimTime};
+use netaware_trace::PayloadKind;
+
+/// Real clients rarely pull from the source itself once the swarm is
+/// warm; this factor keeps the source as a fallback, not a favourite.
+const SOURCE_WEIGHT_FACTOR: f64 = 0.05;
+/// Estimate recorded for a provider that timed out (punitive, keeps it
+/// classified as "tried" while making re-selection unlikely).
+const TIMEOUT_EST_BPS: u64 = 200_000;
+/// Upload stickiness pool size.
+const ACTIVE_REQUESTER_CAP: usize = 48;
+
+impl Swarm<'_> {
+    pub(crate) fn handle(&mut self, sched: &mut Scheduler<Event>, now: SimTime, ev: Event) {
+        match ev {
+            Event::Tick(i) => self.on_tick(sched, now, i as usize),
+            Event::Demand(i) => self.on_demand(sched, now, i as usize),
+            Event::Halo(i) => self.on_halo(sched, now, i as usize),
+            Event::Serve { provider, to, chunk } => self.on_serve(sched, now, provider, to, chunk),
+            Event::Delivered {
+                to,
+                from,
+                chunk,
+                est_bps,
+            } => self.on_delivered(now, to, from, chunk, est_bps),
+        }
+    }
+
+    fn on_tick(&mut self, sched: &mut Scheduler<Event>, now: SimTime, i: usize) {
+        let pid = PeerId((1 + i) as u32);
+        let profile = self.cfg.profile.clone();
+        let now_us = now.as_us();
+
+        // 1. Neighbor churn: drop expired externals, top up via discovery.
+        self.probe_states[i]
+            .neighbors
+            .retain(|n| n.expires_us > now_us);
+        let want = {
+            let f = profile.discovery_per_tick;
+            let whole = f.floor() as usize;
+            let frac = f - whole as f64;
+            whole + usize::from(self.probe_states[i].rng.chance(frac))
+        };
+        for _ in 0..want {
+            try_discover_neighbor(self, i, now_us);
+        }
+
+        // 2. Buffer-map signalling.
+        self.exchange_announces(now, i, pid, &profile);
+
+        // 3. Playout bookkeeping and chunk requests.
+        let Some(head) = self.cfg.stream.head_at(now_us) else {
+            sched.push(now + profile.tick_us, Event::Tick(i as u32));
+            return;
+        };
+        // This probe's fetch frontier sits `2 + fetch_lag` chunks behind
+        // the source head (brand-new chunks exist only at the source;
+        // staggered lags put probes at different playout positions), and
+        // its buffer window extends `buffer_delay` chunks further back.
+        let fetch_lag = self.probe_states[i].fetch_lag_chunks;
+        let frontier = ChunkId(head.0.saturating_sub(2 + fetch_lag));
+        let playhead = ChunkId(frontier.0.saturating_sub(profile.buffer_delay_chunks));
+
+        {
+            let s = &mut self.probe_states[i];
+            // Chunks that fell behind the playout deadline are lost.
+            if playhead.0 > s.bufmap.base().0 {
+                let lost = s
+                    .bufmap
+                    .missing_in(s.bufmap.base(), ChunkId(playhead.0 - 1))
+                    .count() as u64;
+                s.lost += lost;
+                s.bufmap.advance_base(playhead);
+            }
+            // Expire timed-out requests, punishing the slow provider.
+            let mut timed_out = Vec::new();
+            s.pending.retain(|p| {
+                if p.deadline_us <= now_us {
+                    timed_out.push(p.provider);
+                    false
+                } else {
+                    true
+                }
+            });
+            for prov in timed_out {
+                let e = s.est_bps.entry(prov).or_insert(TIMEOUT_EST_BPS);
+                *e = (*e).min(TIMEOUT_EST_BPS);
+            }
+        }
+
+        // Issue requests for missing chunks, oldest-deadline-first.
+        let target = ChunkId(frontier.0.max(playhead.0));
+        let budget = profile
+            .max_parallel_requests
+            .saturating_sub(self.probe_states[i].pending.len());
+        if budget > 0 {
+            let missing: Vec<ChunkId> = {
+                let s = &self.probe_states[i];
+                s.bufmap
+                    .missing_in(playhead, target)
+                    .filter(|c| !s.pending.iter().any(|p| p.chunk == *c))
+                    .take(budget)
+                    .collect()
+            };
+            for chunk in missing {
+                self.request_chunk(sched, now, i, pid, chunk, &profile);
+            }
+        }
+
+        sched.push(now + profile.tick_us, Event::Tick(i as u32));
+    }
+
+    /// Buffer-map announcements: TX to random neighbors, RX from random
+    /// *external* neighbors (probe neighbors announce on their own tick).
+    fn exchange_announces(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        pid: PeerId,
+        profile: &crate::profiles::AppProfile,
+    ) {
+        let (tx_n, rx_n) = profile.announces_per_tick;
+        let n_neigh = self.probe_states[i].neighbors.len();
+        if n_neigh == 0 {
+            return;
+        }
+        let tick = profile.tick_us;
+        for k in 0..tx_n {
+            let pick = self.probe_states[i].rng.range(0..n_neigh);
+            let to = self.probe_states[i].neighbors[pick].id;
+            let at = now + (k as u64 * tick) / (tx_n.max(1) as u64 * 2);
+            self.send_signal(at, pid, to, Signal::BufferMap);
+        }
+        // RX: sample external neighbors only.
+        let ext_neighbors: Vec<PeerId> = self.probe_states[i]
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| self.peers[id.0 as usize].role == PeerRole::External)
+            .collect();
+        if ext_neighbors.is_empty() {
+            return;
+        }
+        for k in 0..rx_n {
+            let pick = self.probe_states[i].rng.range(0..ext_neighbors.len());
+            let from = ext_neighbors[pick];
+            let at = now + (k as u64 * tick) / (rx_n.max(1) as u64);
+            let ttl = self.ttl_to(from, pid);
+            self.capture(
+                i,
+                at,
+                from,
+                pid,
+                Signal::BufferMap.wire_size(),
+                ttl,
+                PayloadKind::Signaling,
+            );
+            self.report.signal_packets += 1;
+        }
+    }
+
+    /// Selects a provider for `chunk` and fires the request.
+    fn request_chunk(
+        &mut self,
+        sched: &mut Scheduler<Event>,
+        now: SimTime,
+        i: usize,
+        pid: PeerId,
+        chunk: ChunkId,
+        profile: &crate::profiles::AppProfile,
+    ) {
+        let now_us = now.as_us();
+        let my = self.meta[pid.0 as usize].clone();
+
+        // Gather candidates that plausibly hold the chunk.
+        let mut cand_ids: Vec<PeerId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut untried: Vec<PeerId> = Vec::new();
+        {
+            let s = &self.probe_states[i];
+            let chunk_ready_us = self.cfg.stream.chunk_time_us(chunk);
+            for n in &s.neighbors {
+                let id = n.id;
+                let available = match self.peers[id.0 as usize].role {
+                    PeerRole::Source => true,
+                    PeerRole::Probe => {
+                        let qi = id.0 as usize - 1;
+                        self.probe_states[qi].bufmap.contains(chunk)
+                    }
+                    PeerRole::External => {
+                        let m = &self.meta[id.0 as usize];
+                        chunk_ready_us + m.lag_us <= now_us
+                    }
+                };
+                if !available {
+                    continue;
+                }
+                let m = &self.meta[id.0 as usize];
+                let cand = Candidate {
+                    est_up_bps: s.est_bps.get(&id).copied(),
+                    same_subnet: m.ip.same_subnet(my.ip),
+                    same_as: m.asn.is_some() && m.asn == my.asn,
+                    same_cc: m.cc.is_some() && m.cc == my.cc,
+                    is_last_provider: s.last_provider == Some(id),
+                };
+                let mut w = profile.download_policy.weight(&cand);
+                if self.peers[id.0 as usize].role == PeerRole::Source {
+                    w *= SOURCE_WEIGHT_FACTOR;
+                }
+                cand_ids.push(id);
+                weights.push(w);
+                if cand.est_up_bps.is_none()
+                    && self.peers[id.0 as usize].role == PeerRole::External
+                {
+                    untried.push(id);
+                }
+            }
+        }
+        if cand_ids.is_empty() {
+            return; // nobody has it yet; retry next tick
+        }
+
+        let s = &mut self.probe_states[i];
+        let provider = if !untried.is_empty() && s.rng.chance(profile.exploration) {
+            untried[s.rng.range(0..untried.len())]
+        } else {
+            match s.rng.pick_weighted(&weights) {
+                Some(k) => cand_ids[k],
+                None => cand_ids[s.rng.range(0..cand_ids.len())],
+            }
+        };
+
+        s.pending.push(Pending {
+            chunk,
+            provider,
+            deadline_us: now_us + profile.request_timeout_us,
+        });
+        let arrival = self.send_signal(now, pid, provider, Signal::ChunkRequest(chunk));
+        sched.push(
+            arrival,
+            Event::Serve {
+                provider,
+                to: pid,
+                chunk,
+            },
+        );
+    }
+
+    fn on_serve(
+        &mut self,
+        sched: &mut Scheduler<Event>,
+        now: SimTime,
+        provider: PeerId,
+        to: PeerId,
+        chunk: ChunkId,
+    ) {
+        match self.peers[provider.0 as usize].role {
+            PeerRole::Probe => {
+                let pi = provider.0 as usize - 1;
+                let has = self.probe_states[pi].bufmap.contains(chunk);
+                let backlog_ok = self.probe_states[pi].uplink.backlog_us(now)
+                    <= self.cfg.profile.upload_backlog_cap_us;
+                if has && backlog_ok {
+                    self.probe_serve_chunk(sched, now, provider, to, chunk);
+                } else {
+                    self.report.chunks_refused += 1;
+                }
+            }
+            PeerRole::Source | PeerRole::External => {
+                // The source always has the chunk; externals were
+                // availability-checked at request time (their lag only
+                // shrinks relative to a fixed chunk).
+                self.external_serve_chunk(sched, now, provider, to, chunk);
+            }
+        }
+    }
+
+    fn on_delivered(&mut self, _now: SimTime, to: PeerId, from: PeerId, chunk: ChunkId, est: u64) {
+        let Some(ti) = self.probe_index(to) else {
+            return;
+        };
+        let s = &mut self.probe_states[ti];
+        s.pending.retain(|p| p.chunk != chunk);
+        if !s.bufmap.contains(chunk) && chunk.0 >= s.bufmap.base().0 {
+            s.bufmap.insert(chunk);
+            s.delivered += 1;
+        }
+        s.est_bps.insert(from, est);
+        s.last_provider = Some(from);
+    }
+
+    /// Aggregate external demand on probe `i`: one chunk request arrives.
+    fn on_demand(&mut self, sched: &mut Scheduler<Event>, now: SimTime, i: usize) {
+        let profile = self.cfg.profile.clone();
+        let pid = PeerId((1 + i) as u32);
+
+        // Schedule the next arrival first (Poisson process).
+        let rate = self.probe_states[i].demand_rate_hz;
+        if rate > 0.0 {
+            let dt = self.probe_states[i].rng.exp(1.0 / rate);
+            let dt_us = (dt * 1e6).clamp(1_000.0, 120_000_000.0) as u64;
+            sched.push(now + dt_us, Event::Demand(i as u32));
+        }
+
+        // Pick the requester.
+        let my = self.meta[pid.0 as usize].clone();
+        let requester = {
+            let sticky = {
+                let s = &mut self.probe_states[i];
+                !s.active_requesters.is_empty() && s.rng.chance(profile.demand_stickiness)
+            };
+            if sticky {
+                let s = &mut self.probe_states[i];
+                let k = s.rng.range(0..s.active_requesters.len());
+                Some(s.active_requesters[k])
+            } else {
+                // Weighted draft among external neighbors by the upload
+                // policy's locality terms.
+                let cands: Vec<PeerId> = self.probe_states[i]
+                    .neighbors
+                    .iter()
+                    .map(|n| n.id)
+                    .filter(|id| self.peers[id.0 as usize].role == PeerRole::External)
+                    .collect();
+                if cands.is_empty() {
+                    None
+                } else {
+                    let weights: Vec<f64> = cands
+                        .iter()
+                        .map(|id| {
+                            let m = &self.meta[id.0 as usize];
+                            profile.upload_policy.weight(&Candidate {
+                                est_up_bps: None,
+                                same_subnet: m.ip.same_subnet(my.ip),
+                                same_as: m.asn.is_some() && m.asn == my.asn,
+                                same_cc: m.cc.is_some() && m.cc == my.cc,
+                                is_last_provider: false,
+                            })
+                        })
+                        .collect();
+                    let s = &mut self.probe_states[i];
+                    let pick = s
+                        .rng
+                        .pick_weighted(&weights)
+                        .unwrap_or_else(|| s.rng.range(0..cands.len()));
+                    let r = cands[pick];
+                    if !s.active_requesters.contains(&r) {
+                        if s.active_requesters.len() >= ACTIVE_REQUESTER_CAP {
+                            let evict = s.rng.range(0..s.active_requesters.len());
+                            s.active_requesters.swap_remove(evict);
+                        }
+                        s.active_requesters.push(r);
+                    }
+                    Some(r)
+                }
+            }
+        };
+        let Some(requester) = requester else { return };
+
+        // The request packet arrives at the probe now.
+        let ttl = self.ttl_to(requester, pid);
+        self.capture(
+            i,
+            now,
+            requester,
+            pid,
+            Signal::ChunkRequest(ChunkId(0)).wire_size(),
+            ttl,
+            PayloadKind::Signaling,
+        );
+        self.report.signal_packets += 1;
+
+        self.probe_serve_external(now, pid, requester);
+    }
+
+    /// Signalling-only discovery contact (the PPLive "halo").
+    fn on_halo(&mut self, sched: &mut Scheduler<Event>, now: SimTime, i: usize) {
+        let pid = PeerId((1 + i) as u32);
+        let rate = self.probe_states[i].halo_rate_hz;
+        if rate > 0.0 {
+            let dt = self.probe_states[i].rng.exp(1.0 / rate);
+            let dt_us = (dt * 1e6).clamp(1_000.0, 600_000_000.0) as u64;
+            sched.push(now + dt_us, Event::Halo(i as u32));
+        }
+
+        let Some(target) = self.discovery.sample_uniform(&mut self.probe_states[i].rng) else {
+            return;
+        };
+        let entries = self.cfg.profile.peerlist_entries;
+        let arrival = self.send_signal(now, pid, target, Signal::Hello);
+        // NATted externals answer only if the hole punch works.
+        let replies = {
+            let m = &self.meta[target.0 as usize];
+            let s = &mut self.probe_states[i];
+            !m.nat || s.rng.chance(0.6)
+        };
+        if replies {
+            let lat = self.delay_us(target, pid);
+            let back = arrival + lat;
+            let ttl = self.ttl_to(target, pid);
+            self.capture(
+                i,
+                back,
+                target,
+                pid,
+                Signal::PeerListReply(entries).wire_size(),
+                ttl,
+                PayloadKind::Signaling,
+            );
+            self.report.signal_packets += 1;
+        }
+    }
+}
+
+/// Attempts to acquire one new external neighbor for probe `i`.
+/// Returns `true` on success.
+pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64) -> bool {
+    let profile = swarm.cfg.profile.clone();
+    if swarm.probe_states[i].neighbors.len() >= profile.max_neighbors {
+        return false;
+    }
+    let pid = PeerId((1 + i) as u32);
+    let my_asn = swarm.meta[pid.0 as usize].asn;
+
+    // AS-biased discovery: with probability derived from the boost and
+    // the same-AS population share, draw from the same-AS shortlist.
+    let candidate = {
+        let total = swarm.discovery.ext_ids.len().max(1);
+        let same_as_n = my_asn
+            .and_then(|a| swarm.discovery.by_as.get(&a))
+            .map_or(0, |v| v.len());
+        let f = same_as_n as f64 / total as f64;
+        let b = profile.discovery_as_boost;
+        let q = if same_as_n == 0 {
+            0.0
+        } else {
+            (b * f) / (b * f + (1.0 - f)).max(1e-12)
+        };
+        let s = &mut swarm.probe_states[i];
+        if q > 0.0 && s.rng.chance(q) {
+            my_asn.and_then(|a| swarm.discovery.sample_in_as(a, &mut s.rng))
+        } else if profile.discovery_bw_exponent > 0.0 {
+            swarm.discovery.sample_bw(&mut s.rng)
+        } else {
+            swarm.discovery.sample_uniform(&mut s.rng)
+        }
+    };
+    let Some(cand) = candidate else { return false };
+
+    // Already a neighbor?
+    if swarm.probe_states[i].neighbors.iter().any(|n| n.id == cand) {
+        return false;
+    }
+    // NAT traversal.
+    {
+        let nat = swarm.meta[cand.0 as usize].nat;
+        let s = &mut swarm.probe_states[i];
+        if nat && !s.rng.chance(0.7) {
+            return false;
+        }
+    }
+
+    let lifetime = {
+        let s = &mut swarm.probe_states[i];
+        let mean = profile.neighbor_lifetime_us as f64;
+        (s.rng.exp(mean)).clamp(5e6, 20.0 * mean) as u64
+    };
+    swarm.probe_states[i].neighbors.push(Neighbor {
+        id: cand,
+        expires_us: now_us.saturating_add(lifetime),
+    });
+
+    // Handshake on the wire.
+    let now = SimTime::from_us(now_us);
+    let arrival = swarm.send_signal(now, pid, cand, Signal::Hello);
+    let lat = swarm.delay_us(cand, pid);
+    let ttl = swarm.ttl_to(cand, pid);
+    swarm.capture(
+        i,
+        arrival + lat,
+        cand,
+        pid,
+        Signal::Hello.wire_size(),
+        ttl,
+        PayloadKind::Signaling,
+    );
+    swarm.report.signal_packets += 1;
+    true
+}

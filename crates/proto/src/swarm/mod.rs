@@ -1,0 +1,153 @@
+//! The swarm simulation: one experiment of one application.
+//!
+//! A [`Swarm`] wires together the network substrate, a population of
+//! peers, and an [`crate::profiles::AppProfile`], runs the
+//! mesh-pull protocol for the configured duration, and returns the packet
+//! traces captured at the probe vantage points — exactly the artifact the
+//! NAPA-WINE partners got from tcpdump — plus a ground-truth
+//! [`SwarmReport`] for validation.
+//!
+//! ## Fidelity boundary
+//!
+//! Probes run the full protocol: buffer maps, provider selection, chunk
+//! requests, upload scheduling, discovery, churn, signalling. External
+//! peers are modelled *statistically* — their content availability is a
+//! playout lag, their upload demand a Poisson process — because the
+//! analysis can only observe traffic that touches a probe, so
+//! external↔external dynamics matter only through what externals offer
+//! to and demand from probes. This is the scale trick that lets a 181k
+//! peer PPLive overlay run on a laptop while keeping every
+//! probe-observable quantity (packet timing, TTLs, byte shares, peer
+//! counts) behaviourally faithful.
+
+mod handlers;
+mod report;
+mod state;
+mod transfer;
+
+pub use report::{ProbePerf, SwarmReport};
+pub use state::{ExternalSpec, NetworkEnv, PeerSetup, ProbeSpec};
+
+use crate::chunk::StreamParams;
+use crate::peer::{PeerId, PeerInfo, PeerRole};
+use crate::profiles::AppProfile;
+use netaware_sim::{DetRng, Scheduler, SimTime};
+use netaware_trace::{ProbeTrace, TraceSet};
+use state::{Event, ExtDynamic, PeerMeta, ProbeState};
+use std::collections::HashMap;
+
+/// Experiment-level configuration of one swarm run.
+#[derive(Clone, Debug)]
+pub struct SwarmConfig {
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// Experiment duration in microseconds (the paper ran 1-hour
+    /// experiments; tests use seconds).
+    pub duration_us: u64,
+    /// Stream encoding parameters.
+    pub stream: StreamParams,
+    /// Application behaviour.
+    pub profile: AppProfile,
+}
+
+/// A fully wired simulation, ready to run.
+pub struct Swarm<'a> {
+    pub(crate) cfg: SwarmConfig,
+    pub(crate) env: NetworkEnv<'a>,
+    /// Index 0 is the source, `1..=n_probes` the probes, the rest
+    /// externals.
+    pub(crate) peers: Vec<PeerInfo>,
+    pub(crate) meta: Vec<PeerMeta>,
+    pub(crate) n_probes: usize,
+    pub(crate) probe_states: Vec<ProbeState>,
+    pub(crate) ext_dyn: HashMap<PeerId, ExtDynamic>,
+    pub(crate) traces: Vec<ProbeTrace>,
+    pub(crate) rng: DetRng,
+    pub(crate) report: SwarmReport,
+    /// Alias buckets for discovery sampling: same-AS shortlists per probe
+    /// plus the global bandwidth-weighted candidate list.
+    pub(crate) discovery: state::DiscoveryTables,
+}
+
+impl<'a> Swarm<'a> {
+    /// Builds a swarm over `env` with the given population.
+    pub fn new(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Self {
+        state::build(cfg, env, setup)
+    }
+
+    /// Number of probe vantage points.
+    pub fn n_probes(&self) -> usize {
+        self.n_probes
+    }
+
+    /// The peer table (source, probes, externals).
+    pub fn peers(&self) -> &[PeerInfo] {
+        &self.peers
+    }
+
+    /// Runs the experiment and returns the captured traces plus the
+    /// ground-truth report.
+    pub fn run(mut self) -> (TraceSet, SwarmReport) {
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        let horizon = SimTime::from_us(self.cfg.duration_us);
+
+        // Stagger initial ticks across one tick interval so probes do not
+        // act in lockstep.
+        let tick = self.cfg.profile.tick_us;
+        for p in 0..self.n_probes {
+            let offset = self.rng.range(0..tick.max(1));
+            sched.push(SimTime::from_us(offset), Event::Tick(p as u32));
+            // Demand and halo processes start once the stream exists.
+            let warmup = self.cfg.stream.chunk_interval_us()
+                * (self.cfg.profile.buffer_delay_chunks as u64 + 2);
+            let d0 = warmup + self.rng.range(0..1_000_000);
+            sched.push(SimTime::from_us(d0), Event::Demand(p as u32));
+            if self.cfg.profile.halo_contacts_per_sec > 0.0 {
+                let h0 = self.rng.range(0..2_000_000);
+                sched.push(SimTime::from_us(h0), Event::Halo(p as u32));
+            }
+        }
+
+        while let Some(t) = sched.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = sched.pop().expect("peeked event vanished");
+            self.handle(&mut sched, now, ev);
+        }
+        self.report.events_dispatched = sched.dispatched();
+        for (i, s) in self.probe_states.iter().enumerate() {
+            self.report.chunks_delivered += s.delivered;
+            self.report.chunks_lost += s.lost;
+            let total = s.delivered + s.lost;
+            self.report.per_probe.push(report::ProbePerf {
+                probe: self.meta[1 + i].ip,
+                delivered: s.delivered,
+                lost: s.lost,
+                continuity: if total == 0 {
+                    1.0
+                } else {
+                    s.delivered as f64 / total as f64
+                },
+            });
+        }
+
+        let mut set = TraceSet::new(self.cfg.profile.name.clone(), self.cfg.duration_us);
+        for t in self.traces {
+            set.add(t);
+        }
+        set.finalize();
+        (set, self.report)
+    }
+
+    pub(crate) fn is_probe(&self, id: PeerId) -> bool {
+        self.peers[id.0 as usize].role == PeerRole::Probe
+    }
+
+    pub(crate) fn probe_index(&self, id: PeerId) -> Option<usize> {
+        self.is_probe(id).then(|| id.0 as usize - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests;

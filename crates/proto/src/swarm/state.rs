@@ -1,0 +1,393 @@
+//! Swarm state: peer tables, probe protocol state, discovery tables.
+
+use super::{Swarm, SwarmConfig, SwarmReport};
+use crate::chunk::{BufferMap, ChunkId};
+use crate::peer::{PeerId, PeerInfo, PeerRole};
+use netaware_net::{
+    hash, AccessLink, AsId, CountryCode, GeoRegistry, Ip, LatencyModel, PathModel,
+};
+use netaware_sim::{AccessSerializer, DetRng};
+use netaware_trace::ProbeTrace;
+use std::collections::HashMap;
+
+/// The network substrate a swarm runs over.
+#[derive(Clone, Copy)]
+pub struct NetworkEnv<'a> {
+    /// Prefix → AS → country registry.
+    pub registry: &'a GeoRegistry,
+    /// Directional hop-count model.
+    pub paths: PathModel,
+    /// One-way delay model.
+    pub latency: LatencyModel,
+}
+
+/// One probe host as configured in the scenario (Table I rows).
+#[derive(Clone, Debug)]
+pub struct ProbeSpec {
+    /// Address (resolves to site subnet / AS / CC).
+    pub ip: Ip,
+    /// Access link incl. NAT/firewall flags.
+    pub access: AccessLink,
+}
+
+/// One external peer of the synthetic population.
+#[derive(Clone, Debug)]
+pub struct ExternalSpec {
+    /// Address.
+    pub ip: Ip,
+    /// Access link.
+    pub access: AccessLink,
+}
+
+/// The population handed to [`Swarm::new`].
+#[derive(Clone, Debug)]
+pub struct PeerSetup {
+    /// The broadcast source (the CCTV-1 ingest server, in China).
+    pub source: ExternalSpec,
+    /// NAPA-WINE probes.
+    pub probes: Vec<ProbeSpec>,
+    /// External overlay population.
+    pub externals: Vec<ExternalSpec>,
+}
+
+/// Pre-resolved geolocation and capacity of a peer (lookups are hot).
+#[derive(Clone, Debug)]
+pub struct PeerMeta {
+    pub ip: Ip,
+    pub asn: Option<AsId>,
+    pub cc: Option<CountryCode>,
+    pub up_bps: u64,
+    pub down_bps: u64,
+    pub nat: bool,
+    pub fw: bool,
+    /// Playout lag of an external peer, µs (how far behind the source its
+    /// buffer runs); 0 for the source.
+    pub lag_us: u64,
+    /// UDP port this peer speaks from.
+    pub port: u16,
+}
+
+/// A neighbor-table entry at a probe.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbor {
+    pub id: PeerId,
+    pub expires_us: u64,
+}
+
+/// An in-flight chunk request.
+#[derive(Clone, Copy, Debug)]
+pub struct Pending {
+    pub chunk: ChunkId,
+    pub provider: PeerId,
+    pub deadline_us: u64,
+}
+
+/// Modem burst-coalescing state (ADSL interleaving): packets that drain
+/// from the bottleneck within the same interleave window are handed to
+/// the host NIC back-to-back, which is why packet-pair capacity probes
+/// behind 2008-era DSL lines still saw sub-millisecond gaps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModemState {
+    pub bucket: u64,
+    pub count: u32,
+}
+
+/// Full protocol state of one probe.
+pub struct ProbeState {
+    pub bufmap: BufferMap,
+    pub uplink: AccessSerializer,
+    pub downlink: AccessSerializer,
+    /// Present on probes behind interleaving modems (down < 15 Mb/s).
+    pub modem: Option<ModemState>,
+    /// Last downlink delivery per providing flow (per-flow pacing).
+    pub last_rx_from: HashMap<PeerId, netaware_sim::SimTime>,
+    /// How far behind the stream head this probe fetches, in chunks.
+    /// Peers joining a live channel sit at different playout positions;
+    /// the spread is what lets earlier peers serve later ones.
+    pub fetch_lag_chunks: u32,
+    pub neighbors: Vec<Neighbor>,
+    /// Upstream estimate per remote, learned from chunk deliveries.
+    pub est_bps: HashMap<PeerId, u64>,
+    pub last_provider: Option<PeerId>,
+    pub pending: Vec<Pending>,
+    /// Requesters recently served (upload stickiness pool).
+    pub active_requesters: Vec<PeerId>,
+    /// Aggregate external demand rate on this probe, Hz.
+    pub demand_rate_hz: f64,
+    /// Per-probe halo contact rate, Hz.
+    pub halo_rate_hz: f64,
+    pub rng: DetRng,
+    /// Chunks lost to playout deadline.
+    pub lost: u64,
+    /// Chunks successfully received.
+    pub delivered: u64,
+}
+
+/// Discovery sampling structures shared by all probes.
+pub struct DiscoveryTables {
+    /// External indices (into `peers`) with cumulative bandwidth-biased
+    /// weights, for O(log n) weighted sampling.
+    pub ext_ids: Vec<PeerId>,
+    pub cum_weights: Vec<f64>,
+    /// Externals grouped by AS (for AS-biased discovery shortlists).
+    pub by_as: HashMap<AsId, Vec<PeerId>>,
+}
+
+impl DiscoveryTables {
+    /// Samples an external by the bandwidth-biased weight.
+    pub fn sample_bw(&self, rng: &mut DetRng) -> Option<PeerId> {
+        let total = *self.cum_weights.last()?;
+        if total <= 0.0 {
+            return None;
+        }
+        let x = rng.unit() * total;
+        let idx = self.cum_weights.partition_point(|&w| w < x);
+        Some(self.ext_ids[idx.min(self.ext_ids.len() - 1)])
+    }
+
+    /// Samples an external uniformly.
+    pub fn sample_uniform(&self, rng: &mut DetRng) -> Option<PeerId> {
+        if self.ext_ids.is_empty() {
+            return None;
+        }
+        let i = rng.range(0..self.ext_ids.len());
+        Some(self.ext_ids[i])
+    }
+
+    /// Samples an external in the given AS, if any live there.
+    pub fn sample_in_as(&self, asn: AsId, rng: &mut DetRng) -> Option<PeerId> {
+        let list = self.by_as.get(&asn)?;
+        if list.is_empty() {
+            return None;
+        }
+        Some(list[rng.range(0..list.len())])
+    }
+}
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+pub enum Event {
+    /// Protocol tick at probe `i`.
+    Tick(u32),
+    /// Aggregate external demand arrival at probe `i`.
+    Demand(u32),
+    /// Signalling-only discovery contact by probe `i`.
+    Halo(u32),
+    /// A chunk request arrives at its provider.
+    Serve {
+        /// Who must upload.
+        provider: PeerId,
+        /// Who asked.
+        to: PeerId,
+        /// Which chunk.
+        chunk: ChunkId,
+    },
+    /// A chunk finished arriving at a probe.
+    Delivered {
+        /// Receiving probe.
+        to: PeerId,
+        /// Providing peer.
+        from: PeerId,
+        /// Which chunk.
+        chunk: ChunkId,
+        /// Observed delivery throughput (the requester's new estimate of
+        /// the provider's upstream).
+        est_bps: u64,
+    },
+}
+
+/// Upload-side dynamic state of an external peer, created lazily the
+/// first time it serves a probe.
+pub struct ExtDynamic {
+    pub uplink: AccessSerializer,
+}
+
+/// Deterministic playout lag of an external: 0.5–5 s behind the source.
+/// Must sit well inside the probes' buffer window (≈7 s), otherwise
+/// externals could never hold the chunks probes are still missing.
+pub fn ext_lag_us(ip: Ip) -> u64 {
+    500_000 + (hash::unit(ip.0 as u64 ^ 0x1A6) * 4_500_000.0) as u64
+}
+
+/// Deterministic application port of a peer.
+pub fn app_port(ip: Ip) -> u16 {
+    30_000 + (hash::mix64(ip.0 as u64) % 30_000) as u16
+}
+
+fn meta_of(reg: &GeoRegistry, ip: Ip, access: AccessLink, lag_us: u64) -> PeerMeta {
+    PeerMeta {
+        ip,
+        asn: reg.as_of(ip),
+        cc: reg.country_of(ip),
+        up_bps: access.class.up_bps(),
+        down_bps: access.class.down_bps(),
+        nat: access.nat,
+        fw: access.firewall,
+        lag_us,
+        port: app_port(ip),
+    }
+}
+
+/// Builds the fully wired swarm (called by [`Swarm::new`]).
+pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swarm<'a> {
+    let n_probes = setup.probes.len();
+    let mut peers = Vec::with_capacity(1 + n_probes + setup.externals.len());
+    let mut meta = Vec::with_capacity(peers.capacity());
+
+    // Index 0: the source.
+    peers.push(PeerInfo {
+        id: PeerId(0),
+        ip: setup.source.ip,
+        access: setup.source.access,
+        role: PeerRole::Source,
+    });
+    meta.push(meta_of(env.registry, setup.source.ip, setup.source.access, 0));
+
+    for (i, p) in setup.probes.iter().enumerate() {
+        peers.push(PeerInfo {
+            id: PeerId((1 + i) as u32),
+            ip: p.ip,
+            access: p.access,
+            role: PeerRole::Probe,
+        });
+        meta.push(meta_of(env.registry, p.ip, p.access, 0));
+    }
+    for (i, e) in setup.externals.iter().enumerate() {
+        let id = PeerId((1 + n_probes + i) as u32);
+        peers.push(PeerInfo {
+            id,
+            ip: e.ip,
+            access: e.access,
+            role: PeerRole::External,
+        });
+        meta.push(meta_of(env.registry, e.ip, e.access, ext_lag_us(e.ip)));
+    }
+
+    // Discovery tables over externals only.
+    let mut ext_ids = Vec::with_capacity(setup.externals.len());
+    let mut cum_weights = Vec::with_capacity(setup.externals.len());
+    let mut by_as: HashMap<AsId, Vec<PeerId>> = HashMap::new();
+    let mut acc = 0.0f64;
+    let bw_exp = cfg.profile.discovery_bw_exponent;
+    for i in 0..setup.externals.len() {
+        let id = PeerId((1 + n_probes + i) as u32);
+        let m = &meta[id.0 as usize];
+        let w = (m.up_bps as f64 / 1e6).max(0.05).powf(bw_exp);
+        acc += w;
+        ext_ids.push(id);
+        cum_weights.push(acc);
+        if let Some(asn) = m.asn {
+            by_as.entry(asn).or_default().push(id);
+        }
+    }
+
+    let rng = DetRng::stream(cfg.seed, "swarm");
+
+    // Per-probe upload popularity: Pareto spread normalised to mean ~1.
+    let mut popularity: Vec<f64> = (0..n_probes)
+        .map(|i| {
+            let mut r = DetRng::substream(cfg.seed, "popularity", i as u64);
+            if cfg.profile.popularity_spread <= 0.0 {
+                1.0
+            } else {
+                r.pareto(0.5, 1.0 / cfg.profile.popularity_spread.max(0.05), 12.0)
+            }
+        })
+        .collect();
+    let mean_pop: f64 = popularity.iter().sum::<f64>() / n_probes.max(1) as f64;
+    if mean_pop > 0.0 {
+        popularity.iter_mut().for_each(|p| *p /= mean_pop);
+    }
+
+    let stream = cfg.stream;
+    let chunk_bits = stream.chunk_bytes as f64 * 8.0;
+
+    let mut probe_states = Vec::with_capacity(n_probes);
+    let mut traces = Vec::with_capacity(n_probes);
+    #[allow(clippy::needless_range_loop)] // i is also the probe index baked into ids/seeds
+    for i in 0..n_probes {
+        let id = PeerId((1 + i) as u32);
+        let m = meta[id.0 as usize].clone();
+        // Neighbor table: the source, every probe-pair edge that the
+        // mesh probability grants, plus tracker-provided externals.
+        let mut neighbors = vec![Neighbor {
+            id: PeerId(0),
+            expires_us: u64::MAX,
+        }];
+        for j in 0..n_probes {
+            if i == j {
+                continue;
+            }
+            // Symmetric coin per unordered pair.
+            let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+            let coin = hash::unit(hash::mix2(cfg.seed ^ lo as u64, hi as u64));
+            if coin < cfg.profile.probe_mesh_prob {
+                neighbors.push(Neighbor {
+                    id: PeerId((1 + j) as u32),
+                    expires_us: u64::MAX,
+                });
+            }
+        }
+
+        let prng = DetRng::substream(cfg.seed, "probe", i as u64);
+
+        // External demand rate on this probe: capped by its uplink.
+        let target_bps = cfg.profile.upload_target_factor * stream.rate_bps as f64
+            * popularity[i];
+        let cap_bps = 0.7 * m.up_bps as f64;
+        let mut demand_hz = target_bps.min(cap_bps) / chunk_bits;
+        if m.fw {
+            demand_hz *= 0.25;
+        } else if m.nat {
+            demand_hz *= 0.5;
+        }
+
+        let halo_jitter = 0.6 + 0.8 * hash::unit(cfg.seed ^ (i as u64) << 7 ^ 0x4A10);
+        let stagger = ((i as u32) * 5) % 12;
+        probe_states.push(ProbeState {
+            bufmap: BufferMap::new(),
+            uplink: AccessSerializer::new(m.up_bps.max(1)),
+            downlink: AccessSerializer::new(m.down_bps.max(1)),
+            modem: (m.down_bps < 15_000_000).then(ModemState::default),
+            last_rx_from: HashMap::new(),
+            fetch_lag_chunks: stagger,
+            neighbors,
+            est_bps: HashMap::new(),
+            last_provider: None,
+            pending: Vec::new(),
+            active_requesters: Vec::new(),
+            demand_rate_hz: demand_hz,
+            halo_rate_hz: cfg.profile.halo_contacts_per_sec * halo_jitter,
+            rng: prng,
+            lost: 0,
+            delivered: 0,
+        });
+        traces.push(ProbeTrace::new(m.ip));
+    }
+
+    // Tracker bootstrap: hand each probe its initial external neighbors.
+    let mut swarm = Swarm {
+        cfg,
+        env,
+        peers,
+        meta,
+        n_probes,
+        probe_states,
+        ext_dyn: HashMap::new(),
+        traces,
+        rng,
+        report: SwarmReport::default(),
+        discovery: DiscoveryTables {
+            ext_ids,
+            cum_weights,
+            by_as,
+        },
+    };
+    for i in 0..n_probes {
+        let want = swarm.cfg.profile.init_neighbors;
+        for _ in 0..want {
+            super::handlers::try_discover_neighbor(&mut swarm, i, 0);
+        }
+    }
+    swarm
+}

@@ -1,0 +1,327 @@
+//! Chunk packetisation and packet-record emission.
+//!
+//! Everything that turns "peer X sends chunk c to peer Y" into timed,
+//! TTL-stamped packet records in the probes' traces lives here. Packet
+//! trains serialise on the sender's uplink (plus occasional background
+//! cross-traffic for externals), propagate with the path's one-way delay,
+//! and drain through the receiver's downlink — so the inter-packet gaps
+//! a probe records genuinely encode the path bottleneck, which is the
+//! signal the analysis' BW classifier extracts.
+
+use super::state::{Event, ExtDynamic};
+use super::Swarm;
+use crate::message::Signal;
+use crate::peer::PeerId;
+use netaware_net::{ttl_at_receiver, DEFAULT_TTL};
+use netaware_sim::{AccessSerializer, Scheduler, SimTime};
+use netaware_trace::{PacketRecord, PayloadKind};
+
+/// ADSL interleave window: packets draining within the same window reach
+/// the host NIC as one burst.
+const MODEM_BUCKET_US: u64 = 10_000;
+/// Spacing of packets within a modem burst (host-side Ethernet speed).
+const MODEM_BURST_GAP_US: u64 = 100;
+/// Uplink backlog beyond which an external refuses to serve (upload
+/// queue bound of real clients).
+const EXT_BACKLOG_CAP_US: u64 = 2_000_000;
+
+impl Swarm<'_> {
+    /// Delivers a packet through a probe's downlink.
+    ///
+    /// The downlink paces each *flow* at its bottleneck: a packet from
+    /// `from` arrives no earlier than one downlink transmission time
+    /// after the previous packet of the same flow. Flows are not
+    /// serialised against each other — deliveries from different
+    /// providers arrive at independent (possibly far-future, if the
+    /// provider is backlogged) times, and coupling them through one FIFO
+    /// clock would let one slow provider's late burst fictitiously
+    /// compress everyone else's inter-packet gaps.
+    ///
+    /// On low-bandwidth accesses the modem burst-coalescing model (ADSL
+    /// interleaving) applies on top: packets draining within one
+    /// interleave window reach the capture point back-to-back.
+    pub(crate) fn deliver_to_probe(
+        &mut self,
+        probe_idx: usize,
+        from: PeerId,
+        reach: SimTime,
+        size: u32,
+    ) -> SimTime {
+        let s = &mut self.probe_states[probe_idx];
+        let tx = s.downlink.tx_time_us(size);
+        let floor = s
+            .last_rx_from
+            .get(&from)
+            .map_or(SimTime::ZERO, |&t| t + tx);
+        let drain = reach.max(floor);
+        s.last_rx_from.insert(from, drain);
+        let Some(m) = &mut s.modem else {
+            return drain;
+        };
+        let bucket = drain.as_us().div_ceil(MODEM_BUCKET_US);
+        if m.bucket == bucket {
+            m.count += 1;
+        } else {
+            m.bucket = bucket;
+            m.count = 0;
+        }
+        SimTime::from_us(bucket * MODEM_BUCKET_US + m.count as u64 * MODEM_BURST_GAP_US)
+    }
+
+    /// One-way delay between two peers, µs.
+    pub(crate) fn delay_us(&self, from: PeerId, to: PeerId) -> u64 {
+        let a = self.meta[from.0 as usize].ip;
+        let b = self.meta[to.0 as usize].ip;
+        self.env.latency.one_way_us(self.env.registry, a, b)
+    }
+
+    /// TTL a packet from `from` carries when it reaches `to`.
+    pub(crate) fn ttl_to(&self, from: PeerId, to: PeerId) -> u8 {
+        let a = self.meta[from.0 as usize].ip;
+        let b = self.meta[to.0 as usize].ip;
+        ttl_at_receiver(self.env.paths.hops(self.env.registry, a, b))
+    }
+
+    /// Records a packet in probe `probe_idx`'s trace.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn capture(
+        &mut self,
+        probe_idx: usize,
+        ts: SimTime,
+        src: PeerId,
+        dst: PeerId,
+        size: u16,
+        ttl: u8,
+        kind: PayloadKind,
+    ) {
+        let sm = &self.meta[src.0 as usize];
+        let dm = &self.meta[dst.0 as usize];
+        self.traces[probe_idx].push(PacketRecord {
+            ts_us: ts.as_us(),
+            src: sm.ip,
+            dst: dm.ip,
+            sport: sm.port,
+            dport: dm.port,
+            size,
+            ttl,
+            kind,
+        });
+    }
+
+    /// Emits a signalling packet `from → to`, recording it at whichever
+    /// endpoints are probes. Returns its arrival time.
+    pub(crate) fn send_signal(
+        &mut self,
+        now: SimTime,
+        from: PeerId,
+        to: PeerId,
+        sig: Signal,
+    ) -> SimTime {
+        let size = sig.wire_size();
+        let arrival = now + self.delay_us(from, to);
+        if let Some(pi) = self.probe_index(from) {
+            // Captured leaving the sender: TTL still at its initial value.
+            self.capture(pi, now, from, to, size, DEFAULT_TTL, PayloadKind::Signaling);
+        }
+        if let Some(pi) = self.probe_index(to) {
+            let ttl = self.ttl_to(from, to);
+            self.capture(pi, arrival, from, to, size, ttl, PayloadKind::Signaling);
+        }
+        self.report.signal_packets += 1;
+        arrival
+    }
+
+    /// Serves one chunk from a probe provider: packetises through the
+    /// probe's uplink, captures TX records, and (when the requester is a
+    /// probe too) captures RX records and schedules the delivery event.
+    pub(crate) fn probe_serve_chunk(
+        &mut self,
+        sched: &mut Scheduler<Event>,
+        now: SimTime,
+        provider: PeerId,
+        to: PeerId,
+        chunk: crate::chunk::ChunkId,
+    ) {
+        let stream = self.cfg.stream;
+        let n_pkts = stream.packets_per_chunk();
+        let lat = self.delay_us(provider, to);
+        let prov_idx = self
+            .probe_index(provider)
+            .expect("probe_serve_chunk needs a probe provider");
+        let ttl = self.ttl_to(provider, to);
+        let to_probe_idx = self.probe_index(to);
+
+        let mut first_arrival = None;
+        let mut last_arrival = SimTime::ZERO;
+        for i in 0..n_pkts {
+            let size = stream.packet_size(i) as u16;
+            let dep = self.probe_states[prov_idx].uplink.enqueue(now, size as u32);
+            self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
+            let reach = dep + lat;
+            let arrival = if let Some(ti) = to_probe_idx {
+                let a = self.deliver_to_probe(ti, provider, reach, size as u32);
+                self.capture(ti, a, provider, to, size, ttl, PayloadKind::Video);
+                a
+            } else {
+                reach
+            };
+            first_arrival.get_or_insert(arrival);
+            last_arrival = arrival;
+        }
+        self.report.chunks_served_by_probes += 1;
+        self.report.video_bytes_tx += stream.chunk_bytes as u64;
+
+        if to_probe_idx.is_some() {
+            let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
+            let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
+            sched.push(
+                last_arrival,
+                Event::Delivered {
+                    to,
+                    from: provider,
+                    chunk,
+                    est_bps: est,
+                },
+            );
+        }
+    }
+
+    /// Serves one chunk from an external provider to a probe requester.
+    pub(crate) fn external_serve_chunk(
+        &mut self,
+        sched: &mut Scheduler<Event>,
+        now: SimTime,
+        provider: PeerId,
+        to: PeerId,
+        chunk: crate::chunk::ChunkId,
+    ) {
+        let stream = self.cfg.stream;
+        let n_pkts = stream.packets_per_chunk();
+        let lat = self.delay_us(provider, to);
+        let ttl = self.ttl_to(provider, to);
+        let to_idx = self
+            .probe_index(to)
+            .expect("external_serve_chunk requester must be a probe");
+
+        // Real clients bound their upload queue: an external whose
+        // uplink is already seconds behind refuses further requests (the
+        // requester's timeout re-routes the chunk). This also keeps
+        // departure times physically near the present.
+        if let Some(ext) = self.ext_dyn.get(&provider) {
+            if ext.uplink.backlog_us(now) > EXT_BACKLOG_CAP_US {
+                self.report.chunks_refused += 1;
+                return;
+            }
+        }
+
+        // Pre-draw the background cross-traffic pattern: the external
+        // also uploads to peers we cannot see. A short burst ahead of
+        // ours delays the train start; occasional interleaved packets
+        // stretch some gaps (min-IPG still finds clean back-to-back
+        // pairs).
+        let (bg_before, bg_flags) = {
+            let rng = &mut self.probe_states[to_idx].rng;
+            let before = rng.range(0..3u32);
+            let flags: Vec<bool> = (0..n_pkts).map(|_| rng.chance(0.08)).collect();
+            (before, flags)
+        };
+
+        let up_bps = self.meta[provider.0 as usize].up_bps.max(1);
+        let mut departures = Vec::with_capacity(n_pkts as usize);
+        {
+            let ext = self.ext_dyn.entry(provider).or_insert_with(|| ExtDynamic {
+                uplink: AccessSerializer::new(up_bps),
+            });
+            for _ in 0..bg_before {
+                ext.uplink.enqueue(now, stream.packet_bytes);
+            }
+            for i in 0..n_pkts {
+                if bg_flags[i as usize] {
+                    ext.uplink.enqueue(now, stream.packet_bytes); // interleaved bg
+                }
+                let size = stream.packet_size(i);
+                departures.push((ext.uplink.enqueue(now, size), size as u16));
+            }
+        }
+
+        let mut first_arrival = None;
+        let mut last_arrival = SimTime::ZERO;
+        for (dep, size) in departures {
+            let reach = dep + lat;
+            let arrival = self.deliver_to_probe(to_idx, provider, reach, size as u32);
+            self.capture(to_idx, arrival, provider, to, size, ttl, PayloadKind::Video);
+            first_arrival.get_or_insert(arrival);
+            last_arrival = arrival;
+        }
+        self.report.chunks_served_by_externals += 1;
+
+        let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
+        let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
+        sched.push(
+            last_arrival,
+            Event::Delivered {
+                to,
+                from: provider,
+                chunk,
+                est_bps: est,
+            },
+        );
+    }
+
+    /// Serves one chunk from probe `prov_idx` to an external requester
+    /// (demand path): only TX records materialise.
+    pub(crate) fn probe_serve_external(
+        &mut self,
+        now: SimTime,
+        provider: PeerId,
+        to: PeerId,
+    ) -> bool {
+        let prov_idx = self.probe_index(provider).expect("provider must be probe");
+        // Refuse when the uplink backlog is past the cap — the real
+        // clients stop accepting requests when saturated.
+        if self.probe_states[prov_idx].uplink.backlog_us(now)
+            > self.cfg.profile.upload_backlog_cap_us
+        {
+            self.report.chunks_refused += 1;
+            return false;
+        }
+        let Some(chunk) = ({
+            let s = &mut self.probe_states[prov_idx];
+            let pick = s.rng.next_u64() as u32;
+            sample_held(&s.bufmap, pick)
+        }) else {
+            self.report.chunks_refused += 1;
+            return false;
+        };
+        let _ = chunk;
+        let stream = self.cfg.stream;
+        for i in 0..stream.packets_per_chunk() {
+            let size = stream.packet_size(i) as u16;
+            let dep = self.probe_states[prov_idx].uplink.enqueue(now, size as u32);
+            self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
+        }
+        self.report.chunks_served_by_probes += 1;
+        self.report.video_bytes_tx += stream.chunk_bytes as u64;
+        true
+    }
+}
+
+/// Picks a uniformly random held chunk from a buffer map.
+pub(crate) fn sample_held(map: &crate::chunk::BufferMap, pick: u32) -> Option<crate::chunk::ChunkId> {
+    let held = map.held();
+    if held == 0 {
+        return None;
+    }
+    let target = pick % held;
+    let mut seen = 0;
+    for off in 0..crate::chunk::BUFFER_WINDOW {
+        let c = crate::chunk::ChunkId(map.base().0 + off);
+        if map.contains(c) {
+            if seen == target {
+                return Some(c);
+            }
+            seen += 1;
+        }
+    }
+    None
+}

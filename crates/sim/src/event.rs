@@ -1,0 +1,261 @@
+//! The event queue.
+//!
+//! A binary-heap scheduler with two guarantees the simulation relies on:
+//!
+//! 1. **Monotonic time** — events pop in non-decreasing timestamp order,
+//!    and scheduling in the past is a logic error caught by a debug
+//!    assertion;
+//! 2. **Stable ties** — events scheduled for the same instant pop in the
+//!    order they were pushed, so the run is a pure function of the seed
+//!    rather than of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, sequence).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic event scheduler.
+///
+/// ```
+/// use netaware_sim::{Scheduler, SimTime};
+///
+/// let mut s = Scheduler::new();
+/// s.push(SimTime::from_ms(2), "later");
+/// s.push(SimTime::from_ms(1), "sooner");
+/// let (t, ev) = s.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_ms(1), "sooner"));
+/// assert_eq!(s.now(), SimTime::from_ms(1));
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling strictly in the past is a logic error (debug-asserted);
+    /// in release builds the event fires "now" instead, keeping time
+    /// monotonic.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at:?} < {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay in microseconds.
+    pub fn push_after(&mut self, delay_us: u64, event: E) {
+        let at = self.now + delay_us;
+        self.push(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drains and handles events until the queue empties or the next
+    /// event is past `horizon`; events beyond the horizon stay queued.
+    /// Returns the number of events dispatched.
+    pub fn run_until<F: FnMut(&mut Self, SimTime, E)>(
+        &mut self,
+        horizon: SimTime,
+        mut handler: F,
+    ) -> u64 {
+        let start = self.popped;
+        while let Some(t) = self.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (at, ev) = self.pop().expect("peeked entry vanished");
+            handler(self, at, ev);
+        }
+        // The experiment formally ends at the horizon even if the queue
+        // drained early.
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.popped - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_us(30), "c");
+        s.push(SimTime::from_us(10), "a");
+        s.push(SimTime::from_us(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.push(SimTime::from_us(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ms(2), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_ms(2));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ms(5), 1);
+        s.pop();
+        s.push_after(1_000, 2);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_ms(6));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut s = Scheduler::new();
+        for i in 1..=10u64 {
+            s.push(SimTime::from_ms(i), i);
+        }
+        let mut seen = Vec::new();
+        let n = s.run_until(SimTime::from_ms(5), |_, _, e| seen.push(e));
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.now(), SimTime::from_ms(5));
+    }
+
+    #[test]
+    fn run_until_lets_handler_reschedule() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.push(SimTime::from_ms(1), 0);
+        let mut count = 0;
+        s.run_until(SimTime::from_ms(10), |sched, _, gen| {
+            count += 1;
+            if gen < 100 {
+                sched.push_after(1_000, gen + 1);
+            }
+        });
+        assert_eq!(count, 10); // 1ms..10ms inclusive
+        assert_eq!(s.now(), SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_horizon_when_drained() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.push(SimTime::from_ms(1), ());
+        s.run_until(SimTime::from_secs(60), |_, _, _| {});
+        assert_eq!(s.now(), SimTime::from_secs(60));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dispatched_counter() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_us(1), ());
+        s.push(SimTime::from_us(2), ());
+        s.pop();
+        s.pop();
+        assert_eq!(s.dispatched(), 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_asserts() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ms(10), 1);
+        s.pop();
+        s.push(SimTime::from_ms(5), 2);
+    }
+}

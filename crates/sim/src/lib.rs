@@ -1,0 +1,33 @@
+//! # netaware-sim — deterministic discrete-event simulation engine
+//!
+//! A minimal, fast DES core used to drive the P2P-TV protocol models:
+//!
+//! * [`SimTime`] — microsecond-resolution simulated clock;
+//! * [`Scheduler`] — a stable-priority event queue (ties break in
+//!   insertion order, so runs are reproducible);
+//! * [`DetRng`] — named, independently-seeded RNG streams so adding a
+//!   random draw in one component never perturbs another;
+//! * [`AccessSerializer`] — FIFO transmission-queue model of an access
+//!   link, the mechanism that turns "peer sends a chunk" into a train of
+//!   packets whose inter-packet gaps encode the bottleneck capacity (the
+//!   packet-pair signal the paper's BW inference exploits);
+//! * [`stats`] — streaming mean/max/variance, rate meters and integer
+//!   histograms used by both the protocol models and the benchmarks.
+//!
+//! The engine is intentionally single-threaded: determinism comes first.
+//! Parallel speed-ups belong one level up (running independent experiment
+//! configurations concurrently), where they are data-race-free for free.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod link;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::Scheduler;
+pub use link::{AccessSerializer, DownlinkQueue};
+pub use rng::DetRng;
+pub use stats::{Histogram, MeanMax, RateMeter, Welford};
+pub use time::SimTime;

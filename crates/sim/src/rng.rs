@@ -1,0 +1,216 @@
+//! Named deterministic RNG streams.
+//!
+//! Each simulation component draws from its own stream, derived from the
+//! experiment seed and a label. Components therefore stay statistically
+//! independent *and* insulated: adding a draw to the peer-selection stream
+//! cannot shift the churn stream, which keeps A/B ablations comparable.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream.
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Derives the stream identified by `label` from `seed`.
+    pub fn stream(seed: u64, label: &str) -> Self {
+        let mut h = seed ^ 0xA076_1D64_78BD_642F;
+        for b in label.bytes() {
+            h = splitmix(h ^ b as u64);
+        }
+        DetRng {
+            inner: SmallRng::seed_from_u64(splitmix(h)),
+        }
+    }
+
+    /// Derives a sub-stream, e.g. one per peer.
+    pub fn substream(seed: u64, label: &str, idx: u64) -> Self {
+        let mut s = Self::stream(seed, label);
+        // Burn the index in so substreams are independent.
+        let derived = splitmix(s.inner.gen::<u64>() ^ splitmix(idx));
+        DetRng {
+            inner: SmallRng::seed_from_u64(derived),
+        }
+    }
+
+    /// Uniform sample from a range.
+    pub fn range<T: SampleUniform, R: SampleRange<T>>(&mut self, r: R) -> T {
+        self.inner.gen_range(r)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform float in `[0,1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Exponential variate with the given mean (rate = 1/mean).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto variate (heavy-tailed session lengths, swarm sizes).
+    pub fn pareto(&mut self, scale: f64, shape: f64, cap: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        (scale / u.powf(1.0 / shape)).min(cap)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.inner.gen_range(0..xs.len())]
+    }
+
+    /// Picks an index according to non-negative weights; `None` when all
+    /// weights are zero or the slice is empty.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mut x = self.inner.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return Some(i);
+            }
+        }
+        Some(weights.len() - 1) // float round-off fell off the end
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = DetRng::stream(1, "sel");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DetRng::stream(1, "sel");
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = DetRng::stream(1, "sel");
+        let mut b = DetRng::stream(1, "churn");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::stream(1, "x");
+        let mut b = DetRng::stream(2, "x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn substreams_are_independent_of_index() {
+        let mut a = DetRng::substream(1, "peer", 0);
+        let mut b = DetRng::substream(1, "peer", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_frequency() {
+        let mut r = DetRng::stream(3, "p");
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut r = DetRng::stream(4, "e");
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_cap() {
+        let mut r = DetRng::stream(5, "par");
+        for _ in 0..10_000 {
+            let v = r.pareto(2.0, 1.2, 100.0);
+            assert!((2.0..=100.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn pick_weighted_follows_weights() {
+        let mut r = DetRng::stream(6, "w");
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.pick_weighted(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pick_weighted_degenerate() {
+        let mut r = DetRng::stream(7, "w");
+        assert_eq!(r.pick_weighted(&[]), None);
+        assert_eq!(r.pick_weighted(&[0.0, 0.0]), None);
+        assert_eq!(r.pick_weighted(&[0.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::stream(8, "sh");
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = DetRng::stream(9, "rg");
+        for _ in 0..1000 {
+            let v: u32 = r.range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the DES primitives.
+
+use netaware_sim::{AccessSerializer, Histogram, MeanMax, RateMeter, Scheduler, SimTime, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The scheduler pops every event exactly once, in (time, insertion)
+    /// order — equivalent to a stable sort.
+    #[test]
+    fn scheduler_is_a_stable_sort(times in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.push(SimTime::from_us(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, idx)) = s.pop() {
+            popped.push((t.as_us(), idx));
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// run_until dispatches exactly the events at or before the horizon.
+    #[test]
+    fn run_until_partitions_by_horizon(
+        times in prop::collection::vec(0u64..10_000, 0..200),
+        horizon in 0u64..10_000,
+    ) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.push(SimTime::from_us(t), i);
+        }
+        let mut seen = Vec::new();
+        s.run_until(SimTime::from_us(horizon), |_, t, _| seen.push(t.as_us()));
+        prop_assert_eq!(seen.len(), times.iter().filter(|&&t| t <= horizon).count());
+        prop_assert_eq!(s.len(), times.iter().filter(|&&t| t > horizon).count());
+        prop_assert!(s.now() >= SimTime::from_us(horizon));
+    }
+
+    /// The serialiser is work-conserving and FIFO: departures are
+    /// strictly increasing, spaced at least one transmission time, and
+    /// total busy time equals the sum of transmission times.
+    #[test]
+    fn serializer_work_conservation(
+        rate in 100_000u64..200_000_000,
+        arrivals in prop::collection::vec((0u64..5_000_000, 40u32..1500), 1..200),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut l = AccessSerializer::new(rate);
+        let mut prev_dep = SimTime::ZERO;
+        let mut busy = 0u64;
+        for &(t, size) in &sorted {
+            let dep = l.enqueue(SimTime::from_us(t), size);
+            let tx = l.tx_time_us(size);
+            busy += tx;
+            prop_assert!(dep >= prev_dep + tx, "FIFO spacing violated");
+            prop_assert!(dep.as_us() >= t + tx, "departed before transmission finished");
+            prev_dep = dep;
+        }
+        prop_assert_eq!(l.busy_us(), busy);
+        prop_assert_eq!(l.total_packets(), sorted.len() as u64);
+        // Last departure is at most (first arrival + total work + idle gaps).
+        prop_assert!(prev_dep.as_us() <= sorted.last().unwrap().0 + busy + sorted[0].0);
+    }
+
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var));
+    }
+
+    /// Merging Welford accumulators over any split equals the whole.
+    #[test]
+    fn welford_merge_any_split(xs in prop::collection::vec(-1e6f64..1e6, 2..200), cut in 0usize..200) {
+        let cut = cut % xs.len();
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        xs[..cut].iter().for_each(|&x| a.push(x));
+        xs[cut..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    /// MeanMax max is the true max, mean within the value range.
+    #[test]
+    fn meanmax_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut m = MeanMax::new();
+        xs.iter().for_each(|&x| m.push(x));
+        let true_max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(m.max(), true_max);
+        let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(m.mean() >= lo - 1e-9 && m.mean() <= true_max + 1e-9);
+    }
+
+    /// Histogram quantiles agree with the sorted-vector definition.
+    #[test]
+    fn histogram_quantile_matches_sorted(vals in prop::collection::vec(0usize..100, 1..300), q in 0.0f64..=1.0) {
+        let mut h = Histogram::new(100);
+        vals.iter().for_each(|&v| h.push(v));
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        prop_assert_eq!(h.quantile(q), Some(sorted[rank - 1]));
+    }
+
+    /// RateMeter conserves bytes and mean ≤ max.
+    #[test]
+    fn rate_meter_conserves(
+        events in prop::collection::vec((0u64..60_000_000, 1u64..100_000), 1..200),
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut m = RateMeter::new(SimTime::from_secs(1));
+        for &(t, bytes) in &sorted {
+            m.record(SimTime::from_us(t), bytes);
+        }
+        m.finish(SimTime::from_secs(61));
+        prop_assert_eq!(m.total_bytes(), sorted.iter().map(|&(_, b)| b).sum::<u64>());
+        prop_assert!(m.mean_kbps() <= m.max_kbps() + 1e-9);
+        prop_assert!(m.mean_kbps() >= 0.0);
+    }
+}

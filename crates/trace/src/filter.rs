@@ -1,0 +1,194 @@
+//! Read-only views over a probe trace: direction, time window, payload
+//! size. These are the primitive selections out of which the analysis
+//! builds its per-remote aggregations.
+
+use crate::record::PacketRecord;
+use crate::set::ProbeTrace;
+use netaware_net::Ip;
+
+/// Traffic direction relative to the capturing probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Packets received by the probe (download; `e → p`).
+    Rx,
+    /// Packets sent by the probe (upload; `p → e`).
+    Tx,
+    /// Both directions.
+    Both,
+}
+
+impl Direction {
+    /// Whether `rec`, captured at `probe`, matches this direction.
+    pub fn matches(self, probe: Ip, rec: &PacketRecord) -> bool {
+        match self {
+            Direction::Rx => rec.dst == probe,
+            Direction::Tx => rec.src == probe,
+            Direction::Both => rec.src == probe || rec.dst == probe,
+        }
+    }
+}
+
+/// A composable, lazily-evaluated selection over one probe's records.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceView<'a> {
+    probe: Ip,
+    records: &'a [PacketRecord],
+    direction: Direction,
+    from_us: u64,
+    to_us: u64,
+    min_size: u16,
+    remote: Option<Ip>,
+}
+
+impl<'a> TraceView<'a> {
+    /// A view over the whole trace.
+    pub fn of(trace: &'a ProbeTrace) -> Self {
+        TraceView {
+            probe: trace.probe,
+            records: trace.records_unsorted(),
+            direction: Direction::Both,
+            from_us: 0,
+            to_us: u64::MAX,
+            min_size: 0,
+            remote: None,
+        }
+    }
+
+    /// Restricts to one direction.
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+
+    /// Restricts to `[from_us, to_us)`.
+    pub fn window(mut self, from_us: u64, to_us: u64) -> Self {
+        self.from_us = from_us;
+        self.to_us = to_us;
+        self
+    }
+
+    /// Keeps only packets of at least `min_size` bytes.
+    pub fn min_size(mut self, min_size: u16) -> Self {
+        self.min_size = min_size;
+        self
+    }
+
+    /// Keeps only packets exchanged with `remote`.
+    pub fn with_remote(mut self, remote: Ip) -> Self {
+        self.remote = Some(remote);
+        self
+    }
+
+    /// The capturing probe.
+    pub fn probe(&self) -> Ip {
+        self.probe
+    }
+
+    /// Iterates the selected records.
+    pub fn iter(&self) -> impl Iterator<Item = &'a PacketRecord> + '_ {
+        let probe = self.probe;
+        let dir = self.direction;
+        let (from, to) = (self.from_us, self.to_us);
+        let min_size = self.min_size;
+        let remote = self.remote;
+        self.records.iter().filter(move |r| {
+            r.ts_us >= from
+                && r.ts_us < to
+                && r.size >= min_size
+                && dir.matches(probe, r)
+                && remote.is_none_or(|rem| r.remote_of(probe) == Some(rem))
+        })
+    }
+
+    /// Number of selected packets.
+    pub fn count(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// Total selected bytes.
+    pub fn bytes(&self) -> u64 {
+        self.iter().map(|r| r.size as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PayloadKind;
+
+    fn build() -> ProbeTrace {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let b = Ip::from_octets(60, 0, 0, 1);
+        let mut t = ProbeTrace::new(p);
+        let mk = |ts, src, dst, size| PacketRecord {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            size,
+            ttl: 110,
+            kind: PayloadKind::Video,
+        };
+        t.push(mk(100, a, p, 1000)); // rx from a
+        t.push(mk(200, p, a, 60)); // tx to a
+        t.push(mk(300, b, p, 1200)); // rx from b
+        t.push(mk(400, p, b, 1200)); // tx to b
+        t.push(mk(500, a, p, 300)); // rx from a
+        t
+    }
+
+    #[test]
+    fn direction_filtering() {
+        let t = build();
+        let v = TraceView::of(&t);
+        assert_eq!(v.count(), 5);
+        assert_eq!(v.direction(Direction::Rx).count(), 3);
+        assert_eq!(v.direction(Direction::Tx).count(), 2);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let t = build();
+        let v = TraceView::of(&t).window(200, 400);
+        let ts: Vec<u64> = v.iter().map(|r| r.ts_us).collect();
+        assert_eq!(ts, vec![200, 300]);
+    }
+
+    #[test]
+    fn size_and_remote_filters_compose() {
+        let t = build();
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let v = TraceView::of(&t)
+            .with_remote(a)
+            .direction(Direction::Rx)
+            .min_size(400);
+        assert_eq!(v.count(), 1);
+        assert_eq!(v.bytes(), 1000);
+    }
+
+    #[test]
+    fn bytes_sums_sizes() {
+        let t = build();
+        assert_eq!(TraceView::of(&t).bytes(), 1000 + 60 + 1200 + 1200 + 300);
+    }
+
+    #[test]
+    fn direction_matches_helper() {
+        let p = Ip::from_octets(1, 1, 1, 1);
+        let r = PacketRecord {
+            ts_us: 0,
+            src: p,
+            dst: Ip::from_octets(2, 2, 2, 2),
+            sport: 0,
+            dport: 0,
+            size: 100,
+            ttl: 64,
+            kind: PayloadKind::Signaling,
+        };
+        assert!(Direction::Tx.matches(p, &r));
+        assert!(!Direction::Rx.matches(p, &r));
+        assert!(Direction::Both.matches(p, &r));
+    }
+}

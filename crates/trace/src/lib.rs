@@ -1,0 +1,36 @@
+//! # netaware-trace — packet traces captured at probe vantage points
+//!
+//! The NAPA-WINE study is strictly passive: everything it knows comes from
+//! packet-level traces collected at 44 probe hosts. This crate is that
+//! capture layer:
+//!
+//! * [`PacketRecord`] — one captured packet: timestamp, endpoints, ports,
+//!   size, received TTL and (ground-truth, for validation only) payload
+//!   kind;
+//! * [`ProbeTrace`] — the time-ordered capture at one vantage point;
+//! * [`TraceSet`] — all probes of one experiment plus metadata (which
+//!   application, how long, who the probes were — the set `W`);
+//! * [`format`](mod@format) — a compact binary on-disk format with round-trip
+//!   guarantees;
+//! * [`pcap`] — classic libpcap export/import (synthesising Ethernet,
+//!   IPv4 and UDP headers), so traces open in standard tooling;
+//! * [`filter`] — direction/time/size windowing used by the analysis.
+//!
+//! The analysis crate never looks at [`PayloadKind`] ground truth — it
+//! classifies video vs. signalling from packet sizes exactly like the
+//! paper; the ground-truth tag exists so tests can *score* that heuristic.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod filter;
+pub mod format;
+pub mod merge;
+pub mod pcap;
+pub mod record;
+pub mod set;
+
+pub use filter::{Direction, TraceView};
+pub use format::{read_trace, write_trace, TraceError};
+pub use record::{PacketRecord, PayloadKind};
+pub use set::{ProbeTrace, TraceSet};

@@ -1,0 +1,141 @@
+//! Combining trace corpora.
+//!
+//! The paper's tables aggregate "more than 120 hours of experiments" —
+//! several same-application runs merged into one corpus before analysis.
+//! [`TraceSet::absorb`] implements that: captures from the same probe
+//! are concatenated with a time offset so runs line up back-to-back,
+//! exactly as if the probe had kept capturing across sessions.
+
+use crate::record::PacketRecord;
+use crate::set::{ProbeTrace, TraceSet};
+use std::collections::HashMap;
+
+impl TraceSet {
+    /// Appends another run of the same application: every record of
+    /// `other` is shifted by this set's duration, per-probe captures are
+    /// concatenated (probes present in only one run are kept), and the
+    /// duration extends to cover both.
+    ///
+    /// Panics if the application names differ — merging experiments of
+    /// different systems is a logic error.
+    pub fn absorb(&mut self, other: TraceSet) {
+        assert_eq!(
+            self.app, other.app,
+            "refusing to merge {} into {}",
+            other.app, self.app
+        );
+        let offset = self.duration_us;
+        let mut by_probe: HashMap<netaware_net::Ip, usize> = self
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.probe, i))
+            .collect();
+        for t in other.traces {
+            let probe = t.probe;
+            let shifted: Vec<PacketRecord> = t
+                .into_records()
+                .into_iter()
+                .map(|mut r| {
+                    r.ts_us += offset;
+                    r
+                })
+                .collect();
+            match by_probe.get(&probe) {
+                Some(&i) => {
+                    for r in shifted {
+                        self.traces[i].push(r);
+                    }
+                }
+                None => {
+                    let idx = self.traces.len();
+                    self.traces.push(ProbeTrace::from_records(probe, shifted));
+                    by_probe.insert(probe, idx);
+                }
+            }
+        }
+        self.duration_us += other.duration_us;
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PayloadKind;
+    use netaware_net::Ip;
+
+    fn rec(ts: u64, src: Ip, dst: Ip) -> PacketRecord {
+        PacketRecord {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            size: 1000,
+            ttl: 110,
+            kind: PayloadKind::Video,
+        }
+    }
+
+    fn set_with(probe: Ip, ts: &[u64], duration: u64) -> TraceSet {
+        let remote = Ip::from_octets(58, 0, 0, 1);
+        let mut s = TraceSet::new("X", duration);
+        let mut t = ProbeTrace::new(probe);
+        for &x in ts {
+            t.push(rec(x, remote, probe));
+        }
+        s.add(t);
+        s
+    }
+
+    #[test]
+    fn absorb_shifts_and_concatenates() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let mut a = set_with(p, &[100, 200], 1_000);
+        let b = set_with(p, &[5, 10], 500);
+        a.absorb(b);
+        assert_eq!(a.duration_us, 1_500);
+        assert_eq!(a.total_packets(), 4);
+        let ts: Vec<u64> = a.traces[0]
+            .records_unsorted()
+            .iter()
+            .map(|r| r.ts_us)
+            .collect();
+        assert_eq!(ts, vec![100, 200, 1_005, 1_010]);
+    }
+
+    #[test]
+    fn absorb_keeps_disjoint_probes() {
+        let p1 = Ip::from_octets(10, 0, 0, 1);
+        let p2 = Ip::from_octets(10, 0, 0, 2);
+        let mut a = set_with(p1, &[1], 100);
+        let b = set_with(p2, &[2], 100);
+        a.absorb(b);
+        assert_eq!(a.probe_set().len(), 2);
+        assert_eq!(a.duration_us, 200);
+        // p2's record was shifted by a's original duration.
+        let t2 = a.traces.iter().find(|t| t.probe == p2).unwrap();
+        assert_eq!(t2.records_unsorted()[0].ts_us, 102);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to merge")]
+    fn absorb_rejects_different_apps() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let mut a = set_with(p, &[1], 100);
+        let mut b = set_with(p, &[1], 100);
+        b.app = "Y".into();
+        a.absorb(b);
+    }
+
+    #[test]
+    fn absorb_empty_run_extends_duration_only() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let mut a = set_with(p, &[1], 100);
+        let b = TraceSet::new("X", 300);
+        a.absorb(b);
+        assert_eq!(a.duration_us, 400);
+        assert_eq!(a.total_packets(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! A single captured packet.
+
+use netaware_net::Ip;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth payload class, written by the simulator.
+///
+/// **Not used by the analysis** (which classifies by size, as the paper
+/// does); kept in the record so the classification heuristic can be
+/// scored against truth in tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum PayloadKind {
+    /// Video chunk payload.
+    Video = 0,
+    /// Signalling: peer discovery, buffer maps, requests, keep-alives.
+    Signaling = 1,
+}
+
+impl PayloadKind {
+    /// Decodes from the wire byte.
+    pub const fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PayloadKind::Video),
+            1 => Some(PayloadKind::Signaling),
+            _ => None,
+        }
+    }
+}
+
+/// One packet as seen on the wire at a probe.
+///
+/// 24 bytes on disk; tens of millions of these make up an experiment, so
+/// the layout is deliberately lean.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Capture timestamp, microseconds since experiment start.
+    pub ts_us: u64,
+    /// Source address.
+    pub src: Ip,
+    /// Destination address.
+    pub dst: Ip,
+    /// Source UDP port.
+    pub sport: u16,
+    /// Destination UDP port.
+    pub dport: u16,
+    /// IP datagram size in bytes.
+    pub size: u16,
+    /// TTL observed at the capture point.
+    pub ttl: u8,
+    /// Ground-truth payload class (see [`PayloadKind`]).
+    pub kind: PayloadKind,
+}
+
+impl PacketRecord {
+    /// Size of the on-disk encoding.
+    pub const WIRE_SIZE: usize = 24;
+
+    /// `true` when this packet was received by `host`.
+    pub fn is_rx_at(&self, host: Ip) -> bool {
+        self.dst == host
+    }
+
+    /// `true` when this packet was sent by `host`.
+    pub fn is_tx_at(&self, host: Ip) -> bool {
+        self.src == host
+    }
+
+    /// The non-`host` endpoint, or `None` when the packet doesn't touch
+    /// `host` at all (shouldn't appear in that host's trace).
+    pub fn remote_of(&self, host: Ip) -> Option<Ip> {
+        if self.src == host {
+            Some(self.dst)
+        } else if self.dst == host {
+            Some(self.src)
+        } else {
+            None
+        }
+    }
+
+    /// Encodes into exactly [`Self::WIRE_SIZE`] bytes (little endian).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts_us.to_le_bytes());
+        out.extend_from_slice(&self.src.0.to_le_bytes());
+        out.extend_from_slice(&self.dst.0.to_le_bytes());
+        out.extend_from_slice(&self.sport.to_le_bytes());
+        out.extend_from_slice(&self.dport.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.push(self.ttl);
+        out.push(self.kind as u8);
+    }
+
+    /// Decodes from exactly [`Self::WIRE_SIZE`] bytes.
+    pub fn decode(b: &[u8; Self::WIRE_SIZE]) -> Option<Self> {
+        Some(PacketRecord {
+            ts_us: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            src: Ip(u32::from_le_bytes(b[8..12].try_into().unwrap())),
+            dst: Ip(u32::from_le_bytes(b[12..16].try_into().unwrap())),
+            sport: u16::from_le_bytes(b[16..18].try_into().unwrap()),
+            dport: u16::from_le_bytes(b[18..20].try_into().unwrap()),
+            size: u16::from_le_bytes(b[20..22].try_into().unwrap()),
+            ttl: b[22],
+            kind: PayloadKind::from_u8(b[23])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PacketRecord {
+        PacketRecord {
+            ts_us: 123_456_789,
+            src: Ip::from_octets(130, 192, 1, 5),
+            dst: Ip::from_octets(58, 3, 2, 1),
+            sport: 41000,
+            dport: 8021,
+            size: 1278,
+            ttl: 109,
+            kind: PayloadKind::Video,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), PacketRecord::WIRE_SIZE);
+        let back = PacketRecord::decode(buf[..].try_into().unwrap()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[23] = 9;
+        assert!(PacketRecord::decode(buf[..].try_into().unwrap()).is_none());
+    }
+
+    #[test]
+    fn direction_helpers() {
+        let r = sample();
+        let probe = Ip::from_octets(130, 192, 1, 5);
+        assert!(r.is_tx_at(probe));
+        assert!(!r.is_rx_at(probe));
+        assert_eq!(r.remote_of(probe), Some(Ip::from_octets(58, 3, 2, 1)));
+        assert_eq!(r.remote_of(Ip::from_octets(9, 9, 9, 9)), None);
+    }
+
+    #[test]
+    fn payload_kind_codes() {
+        assert_eq!(PayloadKind::from_u8(0), Some(PayloadKind::Video));
+        assert_eq!(PayloadKind::from_u8(1), Some(PayloadKind::Signaling));
+        assert_eq!(PayloadKind::from_u8(2), None);
+    }
+}

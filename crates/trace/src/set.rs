@@ -1,0 +1,224 @@
+//! Per-probe traces and experiment trace sets.
+
+use crate::record::PacketRecord;
+use netaware_net::Ip;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The time-ordered packet capture at one vantage point.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeTrace {
+    /// The capturing host.
+    pub probe: Ip,
+    records: Vec<PacketRecord>,
+    /// Whether `records` is known to be sorted by timestamp.
+    sorted: bool,
+}
+
+impl ProbeTrace {
+    /// An empty capture at `probe`.
+    pub fn new(probe: Ip) -> Self {
+        ProbeTrace {
+            probe,
+            records: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Appends a captured packet. The packet must touch the probe.
+    pub fn push(&mut self, rec: PacketRecord) {
+        debug_assert!(
+            rec.src == self.probe || rec.dst == self.probe,
+            "captured packet does not touch probe {}",
+            self.probe
+        );
+        if let Some(last) = self.records.last() {
+            if rec.ts_us < last.ts_us {
+                self.sorted = false;
+            }
+        }
+        self.records.push(rec);
+    }
+
+    /// The records, sorting first if any arrived out of order.
+    pub fn records(&mut self) -> &[PacketRecord] {
+        if !self.sorted {
+            self.records.sort_by_key(|r| r.ts_us);
+            self.sorted = true;
+        }
+        &self.records
+    }
+
+    /// The records without enforcing order (read-only contexts that do
+    /// their own per-flow ordering).
+    pub fn records_unsorted(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total captured bytes (both directions).
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size as u64).sum()
+    }
+
+    /// Sorts records by timestamp (idempotent).
+    pub fn finalize(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| r.ts_us);
+            self.sorted = true;
+        }
+    }
+
+    /// Consumes into the raw record vector (sorted).
+    pub fn into_records(mut self) -> Vec<PacketRecord> {
+        self.finalize();
+        self.records
+    }
+
+    /// Builds from pre-collected records (sorts them).
+    pub fn from_records(probe: Ip, mut records: Vec<PacketRecord>) -> Self {
+        records.sort_by_key(|r| r.ts_us);
+        ProbeTrace {
+            probe,
+            records,
+            sorted: true,
+        }
+    }
+}
+
+/// All captures of one experiment, plus the metadata the analysis needs:
+/// which application ran, for how long, and the probe set `W`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Human-readable application name ("PPLive", "SopCast", "TVAnts", …).
+    pub app: String,
+    /// Experiment duration in microseconds.
+    pub duration_us: u64,
+    /// One trace per probe.
+    pub traces: Vec<ProbeTrace>,
+}
+
+impl TraceSet {
+    /// An empty set for `app`.
+    pub fn new(app: impl Into<String>, duration_us: u64) -> Self {
+        TraceSet {
+            app: app.into(),
+            duration_us,
+            traces: Vec::new(),
+        }
+    }
+
+    /// Adds a probe's capture.
+    pub fn add(&mut self, trace: ProbeTrace) {
+        self.traces.push(trace);
+    }
+
+    /// The probe set `W` — every vantage point in the experiment
+    /// (including probes that captured nothing).
+    pub fn probe_set(&self) -> BTreeSet<Ip> {
+        self.traces.iter().map(|t| t.probe).collect()
+    }
+
+    /// Total packets across all probes.
+    pub fn total_packets(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// Total bytes across all probes.
+    pub fn total_bytes(&self) -> u64 {
+        self.traces.iter().map(|t| t.total_bytes()).sum()
+    }
+
+    /// Sorts every trace (idempotent; call once after capture).
+    pub fn finalize(&mut self) {
+        for t in &mut self.traces {
+            t.finalize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PayloadKind;
+
+    fn rec(ts: u64, src: Ip, dst: Ip, size: u16) -> PacketRecord {
+        PacketRecord {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            size,
+            ttl: 120,
+            kind: PayloadKind::Video,
+        }
+    }
+
+    #[test]
+    fn push_and_read_in_order() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let r = Ip::from_octets(10, 0, 0, 2);
+        let mut t = ProbeTrace::new(p);
+        t.push(rec(10, p, r, 100));
+        t.push(rec(20, r, p, 200));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_bytes(), 300);
+        assert_eq!(t.records()[0].ts_us, 10);
+    }
+
+    #[test]
+    fn out_of_order_pushes_get_sorted() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let r = Ip::from_octets(10, 0, 0, 2);
+        let mut t = ProbeTrace::new(p);
+        t.push(rec(20, p, r, 100));
+        t.push(rec(10, r, p, 100));
+        let ts: Vec<u64> = t.records().iter().map(|x| x.ts_us).collect();
+        assert_eq!(ts, vec![10, 20]);
+    }
+
+    #[test]
+    fn from_records_sorts() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let r = Ip::from_octets(10, 0, 0, 2);
+        let t = ProbeTrace::from_records(p, vec![rec(30, p, r, 1), rec(5, r, p, 1)]);
+        assert_eq!(t.records_unsorted()[0].ts_us, 5);
+    }
+
+    #[test]
+    fn trace_set_aggregates() {
+        let p1 = Ip::from_octets(10, 0, 0, 1);
+        let p2 = Ip::from_octets(10, 0, 1, 1);
+        let ext = Ip::from_octets(58, 0, 0, 1);
+        let mut s = TraceSet::new("SopCast", 60_000_000);
+        let mut t1 = ProbeTrace::new(p1);
+        t1.push(rec(1, p1, ext, 500));
+        let mut t2 = ProbeTrace::new(p2);
+        t2.push(rec(2, ext, p2, 700));
+        t2.push(rec(3, p2, ext, 100));
+        s.add(t1);
+        s.add(t2);
+        assert_eq!(s.total_packets(), 3);
+        assert_eq!(s.total_bytes(), 1300);
+        assert_eq!(s.probe_set().len(), 2);
+        assert!(s.probe_set().contains(&p1));
+    }
+
+    #[test]
+    fn empty_probe_still_in_probe_set() {
+        let mut s = TraceSet::new("TVAnts", 1);
+        s.add(ProbeTrace::new(Ip::from_octets(1, 1, 1, 1)));
+        assert_eq!(s.probe_set().len(), 1);
+        assert_eq!(s.total_packets(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Channel-popularity comparison: PPLive on the popular CCTV-1 channel
+//! vs a less-popular one (the two PPLive panels of the paper's Fig. 2).
+//!
+//! ```text
+//! cargo run --release --example channels [-- --scale 0.1 --secs 240 --seed 42]
+//! ```
+//!
+//! The selection machinery is identical across the two runs — only the
+//! audience shrinks — so differences in peer counts, upload
+//! amplification, and the AS matrix are attributable to channel
+//! popularity, matching the paper's observation that the popular
+//! channel's intra-AS exchange was dominated by LAN-local traffic.
+
+use netaware::testbed::{run_experiment, ExperimentOptions};
+use netaware::AppProfile;
+use rayon::prelude::*;
+
+fn main() {
+    let mut scale = 0.1;
+    let mut secs = 240;
+    let mut seed = 42;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let v = it.next().expect("flag value");
+        match a.as_str() {
+            "--scale" => scale = v.parse().expect("scale"),
+            "--secs" => secs = v.parse().expect("secs"),
+            "--seed" => seed = v.parse().expect("seed"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let opts = ExperimentOptions {
+        seed,
+        scale,
+        duration_us: secs * 1_000_000,
+        ..Default::default()
+    };
+
+    eprintln!("running PPLive popular + unpopular…");
+    let outs: Vec<_> = vec![AppProfile::pplive(), AppProfile::pplive_unpopular()]
+        .into_par_iter()
+        .map(|p| run_experiment(p, &opts))
+        .collect();
+
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "channel", "peers", "cRX", "TX kb/s", "AS B_D%", "NET B_D%", "Fig2 R"
+    );
+    for o in &outs {
+        let a = &o.analysis;
+        println!(
+            "{:<14} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>9.1} {:>8.2}",
+            o.app,
+            a.summary.peers.mean,
+            a.summary.contrib_rx.mean,
+            a.summary.tx_kbps.mean,
+            a.preference("AS").unwrap().download_all.bytes_pct,
+            a.preference("NET").unwrap().download_all.bytes_pct,
+            a.asmatrix.r_ratio,
+        );
+    }
+
+    let pop = &outs[0].analysis;
+    let unpop = &outs[1].analysis;
+    println!(
+        "\nthe thin channel contacts {:.0}x fewer peers and uploads {:.1}x less, with \
+         the same selection policy — popularity, not protocol, drives the scale gap.",
+        pop.summary.peers.mean / unpop.summary.peers.mean.max(1.0),
+        pop.summary.tx_kbps.mean / unpop.summary.tx_kbps.mean.max(1.0),
+    );
+}

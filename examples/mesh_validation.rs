@@ -1,0 +1,76 @@
+//! Validates the statistical external-peer model against a ground-up
+//! full-mesh simulation.
+//!
+//! ```text
+//! cargo run --release --example mesh_validation [-- --peers 800 --secs 240 --seed 42]
+//! ```
+//!
+//! The swarm simulation assumes external peers hold every chunk older
+//! than a fixed playout lag drawn uniformly from 0.5–5 s (1–10 chunk
+//! intervals). Here a complete chunk-level mesh — every peer genuinely
+//! pulling from neighbors under capacity constraints — is run from
+//! first principles, and the *emergent* acquisition-lag distribution is
+//! compared against that assumption.
+
+use netaware::proto::mesh::{run_mesh, MeshConfig};
+use netaware::proto::StreamParams;
+
+fn main() {
+    let mut peers = 800usize;
+    let mut secs = 240u64;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let v = it.next().expect("flag value");
+        match a.as_str() {
+            "--peers" => peers = v.parse().expect("peers"),
+            "--secs" => secs = v.parse().expect("secs"),
+            "--seed" => seed = v.parse().expect("seed"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cfg = MeshConfig::cctv1(peers, seed, secs * 1_000_000);
+    eprintln!(
+        "running a full {peers}-peer chunk-level mesh for {secs}s (every peer simulated)…"
+    );
+    let t0 = std::time::Instant::now();
+    let r = run_mesh(&cfg);
+    eprintln!("done in {:.1?}", t0.elapsed());
+
+    let interval_ms = StreamParams::cctv1().chunk_interval_us() / 1000;
+    println!(
+        "\n{} chunk acquisitions, continuity {:.4}",
+        r.delivered,
+        r.continuity()
+    );
+    println!(
+        "acquisition lag: mean {:.1} chunks ({:.1} s), median {} chunks, p95 {} chunks",
+        r.mean_lag_chunks,
+        r.mean_lag_chunks * interval_ms as f64 / 1000.0,
+        r.median_lag_chunks,
+        r.p95_lag_chunks
+    );
+    println!(
+        "high-bandwidth peers acquire at {:.2} chunks mean lag, low-bandwidth at {:.2}",
+        r.mean_lag_high, r.mean_lag_low
+    );
+
+    // Histogram.
+    let total: u64 = r.lag_counts.iter().sum();
+    println!("\nlag distribution (chunk intervals):");
+    for (i, &c) in r.lag_counts.iter().take(16).enumerate() {
+        let pct = 100.0 * c as f64 / total.max(1) as f64;
+        let bar = "#".repeat((pct / 2.0).round() as usize);
+        println!("  {i:>2} | {pct:>5.1}% {bar}");
+    }
+
+    let mass = r.lag_mass_in(1, 10);
+    println!(
+        "\nassumption check: the swarm's external model draws lags uniformly from\n\
+         1–10 chunk intervals (0.5–5 s); the emergent mesh puts {:.0}% of its\n\
+         non-seed acquisitions in that band — the substitution is {}.",
+        100.0 * mass,
+        if mass > 0.6 { "supported" } else { "NOT supported" }
+    );
+}

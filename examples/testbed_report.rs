@@ -1,0 +1,76 @@
+//! Prints the reconstructed testbed: Table I, the AS/prefix plan, and a
+//! census of the synthetic external population.
+//!
+//! ```text
+//! cargo run --release --example testbed_report [-- --scale 0.1]
+//! ```
+
+use netaware::net::CountryCode;
+use netaware::testbed::{hosts, BuiltScenario, ScenarioConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--scale")
+        .map(|w| w[1].parse().expect("scale"))
+        .unwrap_or(0.1);
+
+    println!("{}", hosts::render_table1());
+
+    let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale, ..Default::default() }, 20_000);
+
+    println!("registered ASes ({}):", scenario.registry.ases().len());
+    for info in scenario.registry.ases() {
+        let prefixes: Vec<String> = scenario
+            .registry
+            .prefixes()
+            .iter()
+            .filter(|(_, a)| *a == info.id)
+            .map(|(p, _)| p.to_string())
+            .collect();
+        println!(
+            "  {:<6} {:<10} {:<3} {:?}  {}",
+            info.id.to_string(),
+            info.name,
+            info.country.label(),
+            info.kind,
+            prefixes.join(", ")
+        );
+    }
+
+    println!(
+        "\nexternal population at scale {scale}: {} peers",
+        scenario.externals.len()
+    );
+    let mut by_cc: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+    for e in &scenario.externals {
+        let cc = scenario
+            .registry
+            .country_of(e.ip)
+            .unwrap_or(CountryCode::Other);
+        let entry = by_cc.entry(cc.label()).or_default();
+        entry.0 += 1;
+        if e.access.class.is_high_bw() {
+            entry.1 += 1;
+        }
+    }
+    println!("  {:<4} {:>8} {:>10} {:>10}", "CC", "peers", "high-bw", "share");
+    for (cc, (n, high)) in &by_cc {
+        println!(
+            "  {:<4} {:>8} {:>10} {:>9.1}%",
+            cc,
+            n,
+            high,
+            100.0 * *n as f64 / scenario.externals.len() as f64
+        );
+    }
+
+    println!(
+        "\nprobes: {} total, {} high-bandwidth (institution LANs), {} home DSL/CATV",
+        scenario.probes.len(),
+        scenario.highbw_probe_ips.len(),
+        scenario.probes.len() - scenario.highbw_probe_ips.len()
+    );
+}

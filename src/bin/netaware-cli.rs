@@ -1,0 +1,400 @@
+//! `netaware-cli` — run and analyse P2P-TV network-awareness experiments.
+//!
+//! ```text
+//! netaware-cli suite     [--scale F] [--secs N] [--seed N] [--json FILE]
+//! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
+//! netaware-cli run APP [--uniform] [--scale F] [--secs N] [--seed N] [--json FILE]
+//! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
+//! netaware-cli testbed
+//! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
+//! netaware-cli analyze --probe IP FILE.pcap [--probe IP FILE.pcap …]
+//! ```
+//!
+//! `APP` is one of `pplive`, `sopcast`, `tvants`, `nextgen`.
+//! `analyze` ingests classic pcap captures (e.g. produced by `export`
+//! or by tcpdump against the same address plan) and runs the passive
+//! framework over them using the reconstructed testbed registry.
+
+use netaware::analysis::tables;
+use netaware::analysis::{analyze, AnalysisConfig};
+use netaware::net::Ip;
+use netaware::testbed::{
+    self, run_experiment, run_paper_suite, BuiltScenario, ExperimentOptions, ScenarioConfig,
+};
+use netaware::trace::pcap::import_pcap;
+use netaware::trace::TraceSet;
+use netaware::AppProfile;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: netaware-cli <suite|run|nextgen|testbed|export|analyze> [options]\n\
+         see the crate docs (cargo doc --open) for details"
+    );
+    ExitCode::from(2)
+}
+
+struct Common {
+    scale: f64,
+    secs: u64,
+    seed: u64,
+    runs: u64,
+    json: Option<String>,
+    csv: Option<String>,
+    markdown: Option<String>,
+    uniform: bool,
+    persite: bool,
+    dir: Option<String>,
+    app: Option<String>,
+    pcaps: Vec<(Ip, String)>,
+}
+
+fn parse_common(args: &[String]) -> Result<Common, String> {
+    let mut c = Common {
+        scale: 0.05,
+        secs: 240,
+        seed: 42,
+        runs: 3,
+        json: None,
+        csv: None,
+        markdown: None,
+        uniform: false,
+        persite: false,
+        dir: None,
+        app: None,
+        pcaps: Vec::new(),
+    };
+    let mut i = 0;
+    let mut pending_probe: Option<Ip> = None;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--scale" => c.scale = take(&mut i)?.parse().map_err(|e| format!("scale: {e}"))?,
+            "--secs" => c.secs = take(&mut i)?.parse().map_err(|e| format!("secs: {e}"))?,
+            "--seed" => c.seed = take(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--json" => c.json = Some(take(&mut i)?),
+            "--csv" => c.csv = Some(take(&mut i)?),
+            "--markdown" => c.markdown = Some(take(&mut i)?),
+            "--dir" => c.dir = Some(take(&mut i)?),
+            "--app" => c.app = Some(take(&mut i)?),
+            "--uniform" => c.uniform = true,
+            "--persite" => c.persite = true,
+            "--runs" => c.runs = take(&mut i)?.parse().map_err(|e| format!("runs: {e}"))?,
+            "--probe" => {
+                let ip: Ip = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--probe: {e}"))?;
+                pending_probe = Some(ip);
+            }
+            other if !other.starts_with("--") => {
+                if let Some(probe) = pending_probe.take() {
+                    c.pcaps.push((probe, other.to_string()));
+                } else if c.app.is_none() {
+                    c.app = Some(other.to_string());
+                } else {
+                    return Err(format!("unexpected argument {other}"));
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(c)
+}
+
+fn profile_by_name(name: &str) -> Option<AppProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "pplive" => Some(AppProfile::pplive()),
+        "sopcast" => Some(AppProfile::sopcast()),
+        "tvants" => Some(AppProfile::tvants()),
+        "nextgen" | "napa-ng" => Some(AppProfile::nextgen()),
+        _ => None,
+    }
+}
+
+fn opts_of(c: &Common) -> ExperimentOptions {
+    ExperimentOptions {
+        seed: c.seed,
+        scale: c.scale,
+        duration_us: c.secs * 1_000_000,
+        ..Default::default()
+    }
+}
+
+fn print_all_tables(outs: &[testbed::ExperimentOutput]) {
+    let summaries: Vec<_> = outs.iter().map(|o| o.analysis.summary.clone()).collect();
+    println!("{}", tables::render_table2(&summaries));
+    let fig1: Vec<_> = outs
+        .iter()
+        .map(|o| (o.app.clone(), o.analysis.geo.clone()))
+        .collect();
+    println!("{}", tables::render_fig1(&fig1));
+    let t3: Vec<_> = outs
+        .iter()
+        .map(|o| (o.app.clone(), o.analysis.selfbias))
+        .collect();
+    println!("{}", tables::render_table3(&t3));
+    let blocks: Vec<_> = outs
+        .iter()
+        .map(|o| (o.app.clone(), o.analysis.preferences.clone()))
+        .collect();
+    println!("{}", tables::render_table4(&blocks));
+    let fig2: Vec<_> = outs
+        .iter()
+        .map(|o| (o.app.clone(), o.analysis.asmatrix.clone()))
+        .collect();
+    println!("{}", tables::render_fig2(&fig2));
+}
+
+fn write_json(path: &str, outs: &[testbed::ExperimentOutput]) {
+    let all: Vec<_> = outs.iter().map(|o| &o.analysis).collect();
+    std::fs::write(path, serde_json::to_string_pretty(&all).expect("serialise"))
+        .expect("write json");
+    eprintln!("analysis written to {path}");
+}
+
+fn cmd_suite(c: &Common) -> ExitCode {
+    println!("{}", testbed::hosts::render_table1());
+    let outs = run_paper_suite(&opts_of(c));
+    print_all_tables(&outs);
+    if let Some(p) = &c.json {
+        write_json(p, &outs);
+    }
+    if let Some(dir) = &c.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let refs: Vec<&netaware::ExperimentAnalysis> =
+            outs.iter().map(|o| &o.analysis).collect();
+        use netaware::analysis::csv;
+        std::fs::write(format!("{dir}/table4.csv"), csv::table4_csv(&refs)).unwrap();
+        std::fs::write(format!("{dir}/fig1.csv"), csv::fig1_csv(&refs)).unwrap();
+        std::fs::write(format!("{dir}/fig2.csv"), csv::fig2_csv(&refs)).unwrap();
+        std::fs::write(format!("{dir}/hopdist.csv"), csv::hopdist_csv(&refs)).unwrap();
+        eprintln!("CSV artifacts written to {dir}/");
+    }
+    if let Some(path) = &c.markdown {
+        let refs: Vec<&netaware::ExperimentAnalysis> =
+            outs.iter().map(|o| &o.analysis).collect();
+        let md = netaware::analysis::markdown::render_report(
+            &refs,
+            "netaware reproduction suite",
+        );
+        std::fs::write(path, md).expect("write markdown");
+        eprintln!("markdown report written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(c: &Common) -> ExitCode {
+    let Some(name) = &c.app else {
+        eprintln!("run: which app? (pplive|sopcast|tvants|nextgen)");
+        return ExitCode::from(2);
+    };
+    let Some(mut profile) = profile_by_name(name) else {
+        eprintln!("unknown app {name}");
+        return ExitCode::from(2);
+    };
+    if c.uniform {
+        profile = profile.uniform_selection();
+    }
+    let mut opts = opts_of(c);
+    opts.keep_traces = c.persite;
+    let out = run_experiment(profile, &opts);
+    if c.persite {
+        let traces = out.traces.as_ref().expect("keep_traces set");
+        let scenario = BuiltScenario::build(
+            &ScenarioConfig { seed: c.seed, scale: c.scale, ..Default::default() },
+            1, // registry only; population size irrelevant here
+        );
+        let pfs = netaware::analysis::flows::aggregate(traces, &AnalysisConfig::default());
+        let rows = netaware::analysis::persite::per_probe(
+            &pfs,
+            &scenario.registry,
+            &AnalysisConfig::default(),
+            out.analysis.hop_threshold,
+        );
+        println!("{}", netaware::analysis::persite::render(&rows));
+    }
+    let outs = vec![out];
+    print_all_tables(&outs);
+    let o = &outs[0];
+    let f = &o.analysis.friendliness;
+    println!(
+        "friendliness: subnet {:.1}%  intra-AS {:.1}%  intra-CC {:.1}%  transit {:.1}%  {:.1} hops/byte",
+        f.subnet_pct, f.intra_as_pct, f.intra_cc_pct, f.transit_pct, f.mean_hops_per_byte
+    );
+    println!(
+        "ground truth: continuity {:.3}, {} events, {} chunks delivered",
+        o.report.continuity(),
+        o.report.events_dispatched,
+        o.report.chunks_delivered
+    );
+    if let Some(p) = &c.json {
+        write_json(p, &outs);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_replicate(c: &Common) -> ExitCode {
+    let Some(name) = &c.app else {
+        eprintln!("replicate: which app? (pplive|sopcast|tvants|nextgen)");
+        return ExitCode::from(2);
+    };
+    let Some(profile) = profile_by_name(name) else {
+        eprintln!("unknown app {name}");
+        return ExitCode::from(2);
+    };
+    let seeds: Vec<u64> = (0..c.runs).map(|i| c.seed + i * 37).collect();
+    let (summary, _) = netaware::testbed::run_replicated(&profile, &opts_of(c), &seeds);
+    println!("{}", summary.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_nextgen(c: &Common) -> ExitCode {
+    let opts = opts_of(c);
+    let mut profiles = AppProfile::paper_apps();
+    profiles.push(AppProfile::nextgen());
+    println!(
+        "{:<10} {:>10} {:>10} {:>11} {:>11}",
+        "app", "intraAS%", "transit%", "hops/byte", "continuity"
+    );
+    for p in profiles {
+        let out = run_experiment(p, &opts);
+        let f = &out.analysis.friendliness;
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>11.1} {:>11.3}",
+            out.app,
+            f.intra_as_pct,
+            f.transit_pct,
+            f.mean_hops_per_byte,
+            out.report.continuity()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_testbed() -> ExitCode {
+    println!("{}", testbed::hosts::render_table1());
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(c: &Common) -> ExitCode {
+    let Some(dir) = &c.dir else {
+        eprintln!("export: --dir is required");
+        return ExitCode::from(2);
+    };
+    std::fs::create_dir_all(dir).expect("create dir");
+    let profile = c
+        .app
+        .as_deref()
+        .map(|n| profile_by_name(n).expect("known app"))
+        .unwrap_or_else(AppProfile::sopcast);
+    let mut opts = opts_of(c);
+    opts.keep_traces = true;
+    let out = run_experiment(profile, &opts);
+    let traces = out.traces.expect("keep_traces set");
+    // Corpus format: manifest.json + per-probe .nawt files…
+    let manifest = traces
+        .write_dir(std::path::Path::new(dir))
+        .expect("write corpus");
+    // …plus classic pcap next to each capture for standard tooling.
+    for t in &traces.traces {
+        let path = format!("{dir}/{}.pcap", t.probe);
+        let mut p = std::io::BufWriter::new(std::fs::File::create(path).unwrap());
+        netaware::trace::pcap::export_pcap(t, &mut p).expect("write pcap");
+    }
+    eprintln!(
+        "{} probe traces ({} packets) exported to {dir}/ (manifest.json + .nawt + .pcap)",
+        manifest.probes.len(),
+        manifest.total_packets
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(c: &Common) -> ExitCode {
+    // A saved corpus directory (from `export`) analyses in one step.
+    if let Some(dir) = &c.dir {
+        let set = TraceSet::read_dir(std::path::Path::new(dir)).expect("read corpus");
+        let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale: 0.01, ..Default::default() }, 100);
+        let a = analyze(
+            &set,
+            &scenario.registry,
+            &AnalysisConfig::default(),
+            &scenario.highbw_probe_ips,
+        );
+        println!("{}", tables::render_table4(&[(a.app.clone(), a.preferences.clone())]));
+        println!(
+            "{} packets, {} peers observed, hop threshold {}",
+            a.total_packets, a.geo.total_peers, a.hop_threshold
+        );
+        if let Some(p) = &c.json {
+            std::fs::write(p, a.to_json()).expect("write json");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if c.pcaps.is_empty() {
+        eprintln!("analyze: `--dir CORPUS` or at least one `--probe IP FILE.pcap` pair is required");
+        return ExitCode::from(2);
+    }
+    let mut set = TraceSet::new("pcap-import", 0);
+    let mut max_ts = 0u64;
+    for (probe, path) in &c.pcaps {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path).expect("open pcap"));
+        let (trace, skipped) = import_pcap(*probe, &mut f).expect("parse pcap");
+        if skipped > 0 {
+            eprintln!("{path}: skipped {skipped} non-UDP/IPv4 frames");
+        }
+        max_ts = max_ts.max(trace.records_unsorted().iter().map(|r| r.ts_us).max().unwrap_or(0));
+        set.add(trace);
+    }
+    set.duration_us = max_ts + 1;
+    set.finalize();
+
+    // Resolve against the reconstructed testbed registry.
+    let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale: 0.01, ..Default::default() }, 100);
+    let a = analyze(
+        &set,
+        &scenario.registry,
+        &AnalysisConfig::default(),
+        &scenario.highbw_probe_ips,
+    );
+    let outs_like = [(a.app.clone(), a.preferences.clone())];
+    println!("{}", tables::render_table4(&outs_like));
+    println!(
+        "{} packets, {} peers observed, hop threshold {}",
+        a.total_packets, a.geo.total_peers, a.hop_threshold
+    );
+    if let Some(p) = &c.json {
+        std::fs::write(p, a.to_json()).expect("write json");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let common = match parse_common(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_str() {
+        "suite" => cmd_suite(&common),
+        "run" => cmd_run(&common),
+        "replicate" => cmd_replicate(&common),
+        "nextgen" => cmd_nextgen(&common),
+        "testbed" => cmd_testbed(),
+        "export" => cmd_export(&common),
+        "analyze" => cmd_analyze(&common),
+        _ => usage(),
+    }
+}

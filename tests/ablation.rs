@@ -1,0 +1,105 @@
+//! Ablation A: the measured biases are caused by the selection policies,
+//! not by the testbed composition — under uniform-random selection, on
+//! the identical scenario, every preference collapses toward its
+//! population baseline.
+
+use netaware::testbed::{run_experiment, ExperimentOptions};
+use netaware::AppProfile;
+
+fn opts() -> ExperimentOptions {
+    ExperimentOptions {
+        seed: 21,
+        scale: 0.04,
+        duration_us: 90_000_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn uniform_selection_collapses_bw_bias() {
+    for profile in AppProfile::paper_apps() {
+        let app = profile.name.clone();
+        let native = run_experiment(profile.clone(), &opts());
+        let uniform = run_experiment(profile.uniform_selection(), &opts());
+        let nb = native
+            .analysis
+            .preference("BW")
+            .unwrap()
+            .download_nonw
+            .bytes_pct;
+        let ub = uniform
+            .analysis
+            .preference("BW")
+            .unwrap()
+            .download_nonw
+            .bytes_pct;
+        assert!(
+            nb > ub + 15.0,
+            "{app}: native B'_D {nb:.1}% vs uniform {ub:.1}%"
+        );
+        // Under uniform selection the byte share should approach the
+        // population's high-bandwidth share (~35–55%), not 95+%.
+        assert!(ub < 80.0, "{app}: uniform B'_D {ub:.1}% still biased");
+    }
+}
+
+#[test]
+fn uniform_selection_collapses_tvants_as_bias() {
+    let native = run_experiment(AppProfile::tvants(), &opts());
+    let uniform = run_experiment(AppProfile::tvants().uniform_selection(), &opts());
+    let na = native
+        .analysis
+        .preference("AS")
+        .unwrap()
+        .download_all
+        .bytes_pct;
+    let ua = uniform
+        .analysis
+        .preference("AS")
+        .unwrap()
+        .download_all
+        .bytes_pct;
+    assert!(na > 2.0 * ua + 2.0, "native {na:.1}% vs uniform {ua:.1}%");
+}
+
+#[test]
+fn hop_stays_unbiased_in_both_arms() {
+    // HOP shows no preference natively; it must not *gain* one under
+    // uniform selection either (guards against artifacts in the hop
+    // model itself).
+    let native = run_experiment(AppProfile::sopcast(), &opts());
+    let uniform = run_experiment(AppProfile::sopcast().uniform_selection(), &opts());
+    for (label, out) in [("native", &native), ("uniform", &uniform)] {
+        let h = out.analysis.preference("HOP").unwrap().download_nonw;
+        assert!(
+            (25.0..70.0).contains(&h.bytes_pct),
+            "{label}: HOP B'_D = {:.1}%",
+            h.bytes_pct
+        );
+    }
+}
+
+#[test]
+fn uniform_arm_still_delivers_the_stream() {
+    // The control arm must be a fair control: same stream, same health.
+    let uniform = run_experiment(AppProfile::sopcast().uniform_selection(), &opts());
+    assert!(
+        uniform.report.continuity() > 0.85,
+        "uniform arm starving: {:.3}",
+        uniform.report.continuity()
+    );
+    let rx = uniform.analysis.summary.rx_kbps.mean;
+    assert!((350.0..700.0).contains(&rx), "RX {rx:.0} kb/s");
+}
+
+#[test]
+fn ablation_runner_pairs_up() {
+    let mut o = opts();
+    o.scale = 0.02;
+    o.duration_us = 30_000_000;
+    let pairs = netaware::testbed::run_ablation(&o);
+    assert_eq!(pairs.len(), 3);
+    for (native, uniform) in &pairs {
+        assert_eq!(format!("{}-random", native.app), uniform.app);
+    }
+}

@@ -1,0 +1,97 @@
+//! Smoke tests of the `netaware-cli` binary (built by cargo and located
+//! via `CARGO_BIN_EXE_netaware-cli`).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_netaware-cli"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = cli().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn testbed_prints_table1() {
+    let out = cli().arg("testbed").output().expect("spawn");
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("TABLE I"));
+    assert!(s.contains("PoliTO"));
+    assert!(s.contains("DSL 22/1.8"));
+}
+
+#[test]
+fn run_produces_tables_and_json() {
+    let json = std::env::temp_dir().join("netaware_cli_test.json");
+    let out = cli()
+        .args([
+            "run",
+            "tvants",
+            "--scale",
+            "0.02",
+            "--secs",
+            "30",
+            "--seed",
+            "9",
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("TABLE IV"));
+    assert!(s.contains("friendliness:"));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(parsed[0]["app"], "TVAnts");
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn run_rejects_unknown_app() {
+    let out = cli().args(["run", "napster"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}
+
+#[test]
+fn export_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("netaware_cli_export");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = cli()
+        .args(["export", "--scale", "0.02", "--secs", "20", "--dir"])
+        .arg(&dir)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Pick one exported pcap and re-analyze it.
+    let pcap = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "pcap"))
+        .expect("an exported pcap");
+    let probe = pcap.file_stem().unwrap().to_string_lossy().to_string();
+    let out = cli()
+        .args(["analyze", "--probe", &probe])
+        .arg(&pcap)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("TABLE IV"));
+    assert!(s.contains("packets"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,30 @@
+//! Shared fixtures for the integration tests: one paper-suite run,
+//! computed once per test binary.
+
+use netaware::testbed::{run_paper_suite, ExperimentOptions, ExperimentOutput};
+use std::sync::OnceLock;
+
+/// Options every shape test agrees on: large enough for the biases to be
+/// statistically visible, small enough for CI.
+pub fn suite_options() -> ExperimentOptions {
+    ExperimentOptions {
+        seed: 42,
+        scale: 0.04,
+        duration_us: 150_000_000,
+        ..Default::default()
+    }
+}
+
+/// The three paper applications, run once and shared.
+pub fn suite() -> &'static [ExperimentOutput] {
+    static SUITE: OnceLock<Vec<ExperimentOutput>> = OnceLock::new();
+    SUITE.get_or_init(|| run_paper_suite(&suite_options()))
+}
+
+/// Convenience accessor by app name.
+pub fn output(app: &str) -> &'static ExperimentOutput {
+    suite()
+        .iter()
+        .find(|o| o.app == app)
+        .unwrap_or_else(|| panic!("no output for {app}"))
+}
