@@ -92,7 +92,7 @@ pub fn direction_overlap(pfs: &[ProbeFlows], cfg: &AnalysisConfig) -> f64 {
 pub fn heuristic_video_coverage(
     pf: &ProbeFlows,
     cfg: &AnalysisConfig,
-    truth_video_bytes_by_remote: &std::collections::HashMap<Ip, u64>,
+    truth_video_bytes_by_remote: &std::collections::BTreeMap<Ip, u64>,
 ) -> f64 {
     let total: u64 = truth_video_bytes_by_remote.values().sum();
     if total == 0 {
@@ -172,7 +172,7 @@ mod tests {
         let b = Ip::from_octets(2, 2, 2, 2);
         pf.flows.insert(a, flow(30_000, 24, 0, 0));
         pf.flows.insert(b, flow(100, 1, 0, 0));
-        let mut truth = std::collections::HashMap::new();
+        let mut truth = std::collections::BTreeMap::new();
         truth.insert(a, 30_000u64);
         truth.insert(b, 10_000u64); // heuristic misses this one
         let cov = heuristic_video_coverage(&pf, &cfg, &truth);
@@ -196,7 +196,7 @@ mod tests {
         let cfg = AnalysisConfig::default();
         let pf = ProbeFlows::default();
         assert_eq!(
-            heuristic_video_coverage(&pf, &cfg, &std::collections::HashMap::new()),
+            heuristic_video_coverage(&pf, &cfg, &std::collections::BTreeMap::new()),
             1.0
         );
     }

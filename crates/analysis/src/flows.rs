@@ -11,7 +11,7 @@ use netaware_net::Ip;
 use netaware_trace::{ProbeTrace, TraceSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregated statistics of one probe↔remote flow.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -55,7 +55,7 @@ pub struct ProbeFlows {
     /// The capturing probe.
     pub probe: Ip,
     /// Flows keyed by remote.
-    pub flows: HashMap<Ip, FlowStats>,
+    pub flows: BTreeMap<Ip, FlowStats>,
 }
 
 impl ProbeFlows {
@@ -69,8 +69,8 @@ impl ProbeFlows {
 /// [`ProbeTrace::finalize`] first, or let [`TraceSet::finalize`] do it).
 pub fn aggregate_probe(trace: &ProbeTrace, cfg: &AnalysisConfig) -> ProbeFlows {
     let probe = trace.probe;
-    let mut flows: HashMap<Ip, FlowStats> = HashMap::new();
-    let mut last_video_rx: HashMap<Ip, u64> = HashMap::new();
+    let mut flows: BTreeMap<Ip, FlowStats> = BTreeMap::new();
+    let mut last_video_rx: BTreeMap<Ip, u64> = BTreeMap::new();
 
     for rec in trace.records_unsorted() {
         let Some(remote) = rec.remote_of(probe) else {

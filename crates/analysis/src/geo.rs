@@ -8,7 +8,7 @@
 use crate::flows::ProbeFlows;
 use netaware_net::{CountryCode, GeoRegistry, Ip};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-country shares.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -54,7 +54,7 @@ pub fn geo_breakdown(pfs: &[ProbeFlows], reg: &GeoRegistry) -> GeoBreakdown {
     let mut peers_by: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut rx_by: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut tx_by: BTreeMap<&'static str, u64> = BTreeMap::new();
-    let mut distinct: HashSet<Ip> = HashSet::new();
+    let mut distinct: BTreeSet<Ip> = BTreeSet::new();
     let mut rx_total = 0u64;
     let mut tx_total = 0u64;
 

@@ -22,20 +22,25 @@ use std::collections::BTreeSet;
 /// (De)serialises `f64::NAN` as JSON `null` so unmeasurable cells
 /// survive a round trip.
 pub mod nan_as_null {
-    use serde::{Deserialize, Deserializer, Serializer};
+    use serde::{Error, Value};
 
     /// Serialises NaN as `null`.
-    pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+    pub fn serialize(v: &f64) -> Value {
         if v.is_nan() {
-            s.serialize_none()
+            Value::Null
         } else {
-            s.serialize_some(v)
+            Value::F64(*v)
         }
     }
 
     /// Deserialises `null` back to NaN.
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        Ok(Option::<f64>::deserialize(d)?.unwrap_or(f64::NAN))
+    pub fn deserialize(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::Null => Ok(f64::NAN),
+            other => other
+                .as_f64()
+                .ok_or_else(|| Error::expected("number or null", "nan_as_null")),
+        }
     }
 }
 

@@ -93,6 +93,7 @@ impl ExperimentAnalysis {
 
     /// Serialises to pretty JSON (for EXPERIMENTS.md artifacts).
     pub fn to_json(&self) -> String {
+        // netaware-lint: allow(PA01) value-tree serialisation of an in-memory struct cannot fail
         serde_json::to_string_pretty(self).expect("analysis serialises")
     }
 }

@@ -9,7 +9,7 @@
 
 use netaware_trace::{ProbeTrace, TraceSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One probe's (or an aggregate's) windowed series.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -72,7 +72,7 @@ pub fn probe_series(trace: &ProbeTrace, duration_us: u64, window_us: u64) -> Rat
     let n = (duration_us.div_ceil(window_us)).max(1) as usize;
     let mut rx = vec![0u64; n];
     let mut tx = vec![0u64; n];
-    let mut peers: Vec<HashSet<netaware_net::Ip>> = vec![HashSet::new(); n];
+    let mut peers: Vec<BTreeSet<netaware_net::Ip>> = vec![BTreeSet::new(); n];
     for r in trace.records_unsorted() {
         let w = ((r.ts_us / window_us) as usize).min(n - 1);
         if r.dst == trace.probe {

@@ -14,18 +14,18 @@ use crate::heuristics::AnalysisConfig;
 use crate::ipg::{bw_class, BwClass};
 use netaware_net::Ip;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// What the simulator knows that the analysis must not see: which
 /// addresses truly have >10 Mb/s upstream.
 #[derive(Clone, Debug, Default)]
 pub struct GroundTruth {
     /// Peers whose access uplink exceeds the high-bandwidth threshold.
-    pub high_bw: HashSet<Ip>,
+    pub high_bw: BTreeSet<Ip>,
     /// Probe addresses whose *downlink* is below the threshold — paths
     /// into them are genuinely bottlenecked below 10 Mb/s, so "low" is
     /// the correct verdict there regardless of the sender.
-    pub narrow_probes: HashSet<Ip>,
+    pub narrow_probes: BTreeSet<Ip>,
 }
 
 /// Confusion-matrix style score of the BW classifier.

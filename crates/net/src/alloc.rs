@@ -98,7 +98,7 @@ impl AddressAllocator {
             return Ok(self
                 .prefix
                 .host(idx)
-                .expect("idx < size by construction"));
+                .expect("idx < size by construction")); // netaware-lint: allow(PA01) idx is reduced mod size above
         }
     }
 

@@ -12,7 +12,7 @@ use crate::country::CountryCode;
 use crate::error::NetError;
 use crate::ip::{Ip, Prefix};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Immutable prefix→AS registry with AS metadata. Built once via
 /// [`GeoRegistryBuilder`], then shared read-only across threads.
@@ -24,7 +24,7 @@ pub struct GeoRegistry {
     infos: Vec<AsInfo>,
     /// AS number → index into `infos`.
     #[serde(skip)]
-    index: HashMap<AsId, usize>,
+    index: BTreeMap<AsId, usize>,
 }
 
 impl GeoRegistry {
@@ -89,7 +89,7 @@ impl GeoRegistry {
 pub struct GeoRegistryBuilder {
     entries: Vec<(Prefix, AsId)>,
     infos: Vec<AsInfo>,
-    index: HashMap<AsId, usize>,
+    index: BTreeMap<AsId, usize>,
 }
 
 impl GeoRegistryBuilder {

@@ -1,10 +1,13 @@
-//! Property tests for the network substrate.
+//! Randomized property tests for the network substrate, driven by a
+//! seeded [`DetRng`] so every run explores the same cases.
 
 use netaware_net::{
     hash, hops_from_ttl, ttl_at_receiver, AddressAllocator, AsId, AsInfo, AsKind, CountryCode,
     GeoRegistry, GeoRegistryBuilder, Ip, LatencyModel, PathModel, Prefix,
 };
-use proptest::prelude::*;
+use netaware_sim::DetRng;
+
+const CASES: usize = 256;
 
 fn registry() -> GeoRegistry {
     let mut b = GeoRegistryBuilder::new();
@@ -17,124 +20,165 @@ fn registry() -> GeoRegistry {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// A prefix contains exactly the addresses sharing its masked bits.
-    #[test]
-    fn prefix_membership(base in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+/// A prefix contains exactly the addresses sharing its masked bits.
+#[test]
+fn prefix_membership() {
+    let mut rng = DetRng::stream(0xBADC0DE, "net/prefix_membership");
+    for _ in 0..CASES {
+        let base = rng.next_u64() as u32;
+        let len: u8 = rng.range(0..=32u8);
+        let probe = rng.next_u64() as u32;
         let p = Prefix::new_truncating(base, len);
         let member = (probe & Prefix::mask(len)) == p.first().0;
-        prop_assert_eq!(p.contains(Ip(probe)), member);
-        // First/last are always members; size matches the mask width.
-        prop_assert!(p.contains(p.first()));
-        prop_assert!(p.contains(p.last()));
+        assert_eq!(p.contains(Ip(probe)), member);
+        // First/last are always members.
+        assert!(p.contains(p.first()));
+        assert!(p.contains(p.last()));
     }
+}
 
-    /// `covers` is a partial order consistent with `contains`.
-    #[test]
-    fn covers_consistent(a_base in any::<u32>(), a_len in 0u8..=32,
-                         b_base in any::<u32>(), b_len in 0u8..=32) {
-        let a = Prefix::new_truncating(a_base, a_len);
-        let b = Prefix::new_truncating(b_base, b_len);
+/// `covers` is a partial order consistent with `contains`.
+#[test]
+fn covers_consistent() {
+    let mut rng = DetRng::stream(0xBADC0DE, "net/covers_consistent");
+    for _ in 0..CASES {
+        let a = Prefix::new_truncating(rng.next_u64() as u32, rng.range(0..=32u8));
+        let b = Prefix::new_truncating(rng.next_u64() as u32, rng.range(0..=32u8));
         if a.covers(b) {
-            prop_assert!(a.contains(b.first()));
-            prop_assert!(a.contains(b.last()));
-            prop_assert!(a.len() <= b.len());
+            assert!(a.contains(b.first()));
+            assert!(a.contains(b.last()));
+            assert!(a.len() <= b.len());
         }
     }
+}
 
-    /// Dense and scattered allocators both yield unique in-prefix hosts
-    /// and agree on capacity.
-    #[test]
-    fn allocators_unique(seed in any::<u64>(), len in 20u8..=28) {
+/// Dense and scattered allocators both yield unique in-prefix hosts and
+/// agree on capacity.
+#[test]
+fn allocators_unique() {
+    let mut rng = DetRng::stream(0xBADC0DE, "net/allocators_unique");
+    for _ in 0..16 {
+        let seed = rng.next_u64();
+        let len: u8 = rng.range(20..=28u8);
         let p = Prefix::of(Ip::from_octets(10, 7, 0, 0), len);
         for mut alloc in [AddressAllocator::dense(p), AddressAllocator::scattered(p, seed)] {
             let cap = alloc.capacity();
             let mut seen = std::collections::HashSet::new();
             for _ in 0..cap {
                 let ip = alloc.next_ip().unwrap();
-                prop_assert!(p.contains(ip));
-                prop_assert!(seen.insert(ip));
+                assert!(p.contains(ip));
+                assert!(seen.insert(ip));
                 // Network/broadcast never handed out on classic subnets.
-                prop_assert_ne!(ip, p.first());
-                prop_assert_ne!(ip, p.last());
+                assert_ne!(ip, p.first());
+                assert_ne!(ip, p.last());
             }
-            prop_assert!(alloc.next_ip().is_err());
+            assert!(alloc.next_ip().is_err());
         }
     }
+}
 
-    /// TTL encoding round-trips for every plausible hop count.
-    #[test]
-    fn ttl_roundtrip(hops in 0u8..=127) {
-        prop_assert_eq!(hops_from_ttl(ttl_at_receiver(hops)), Some(hops));
+/// TTL encoding round-trips for every plausible hop count.
+#[test]
+fn ttl_roundtrip() {
+    for hops in 0u8..=127 {
+        assert_eq!(hops_from_ttl(ttl_at_receiver(hops)), Some(hops));
     }
+}
 
-    /// Hop counts are deterministic, bounded, and zero exactly on the
-    /// same subnet.
-    #[test]
-    fn hops_bounded_and_deterministic(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
-        let reg = registry();
-        let m = PathModel::new(seed);
-        let (a, b) = (Ip(a), Ip(b));
+/// Hop counts are deterministic, bounded, and zero exactly on the same
+/// subnet.
+#[test]
+fn hops_bounded_and_deterministic() {
+    let reg = registry();
+    let mut rng = DetRng::stream(0xBADC0DE, "net/hops_bounded");
+    for _ in 0..CASES {
+        let m = PathModel::new(rng.next_u64());
+        let a = Ip(rng.next_u64() as u32);
+        let b = Ip(rng.next_u64() as u32);
         let h1 = m.hops(&reg, a, b);
         let h2 = m.hops(&reg, a, b);
-        prop_assert_eq!(h1, h2);
-        prop_assert!(h1 <= 64);
+        assert_eq!(h1, h2);
+        assert!(h1 <= 64);
         if a.same_subnet(b) {
-            prop_assert_eq!(h1, 0);
+            assert_eq!(h1, 0);
         } else {
-            prop_assert!(h1 >= 1);
+            assert!(h1 >= 1);
         }
     }
+}
 
-    /// Forward and reverse hop counts stay within the modelled asymmetry
-    /// bound.
-    #[test]
-    fn hop_asymmetry_bounded(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
-        let reg = registry();
-        let m = PathModel::new(seed);
-        let f = m.hops(&reg, Ip(a), Ip(b)) as i32;
-        let r = m.hops(&reg, Ip(b), Ip(a)) as i32;
-        prop_assert!((f - r).abs() <= 6, "f={f} r={r}");
+/// Forward and reverse hop counts stay within the modelled asymmetry
+/// bound.
+#[test]
+fn hop_asymmetry_bounded() {
+    let reg = registry();
+    let mut rng = DetRng::stream(0xBADC0DE, "net/hop_asymmetry");
+    for _ in 0..CASES {
+        let m = PathModel::new(rng.next_u64());
+        let a = Ip(rng.next_u64() as u32);
+        let b = Ip(rng.next_u64() as u32);
+        let f = m.hops(&reg, a, b) as i32;
+        let r = m.hops(&reg, b, a) as i32;
+        assert!((f - r).abs() <= 6, "f={f} r={r}");
     }
+}
 
-    /// Latency is deterministic, positive, and nearly symmetric.
-    #[test]
-    fn latency_sane(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>()) {
-        prop_assume!(a != b);
-        let reg = registry();
-        let m = LatencyModel::new(seed);
+/// Latency is deterministic, positive, and nearly symmetric.
+#[test]
+fn latency_sane() {
+    let reg = registry();
+    let mut rng = DetRng::stream(0xBADC0DE, "net/latency_sane");
+    for _ in 0..CASES {
+        let m = LatencyModel::new(rng.next_u64());
+        let a = rng.next_u64() as u32;
+        let b = rng.next_u64() as u32;
+        if a == b {
+            continue;
+        }
         let f = m.one_way_us(&reg, Ip(a), Ip(b));
-        prop_assert_eq!(f, m.one_way_us(&reg, Ip(a), Ip(b)));
-        prop_assert!(f >= 100);
-        prop_assert!(f < 1_000_000, "one-way {f}µs");
+        assert_eq!(f, m.one_way_us(&reg, Ip(a), Ip(b)));
+        assert!(f >= 100);
+        assert!(f < 1_000_000, "one-way {f}µs");
         let r = m.one_way_us(&reg, Ip(b), Ip(a));
         let ratio = f as f64 / r as f64;
-        prop_assert!((0.85..1.18).contains(&ratio), "ratio {ratio}");
+        assert!((0.85..1.18).contains(&ratio), "ratio {ratio}");
     }
+}
 
-    /// The mixing primitives stay in range.
-    #[test]
-    fn hash_ranges(x in any::<u64>(), lo in 0u32..1000, span in 0u32..1000) {
+/// The mixing primitives stay in range.
+#[test]
+fn hash_ranges() {
+    let mut rng = DetRng::stream(0xBADC0DE, "net/hash_ranges");
+    for _ in 0..CASES {
+        let x = rng.next_u64();
+        let lo: u32 = rng.range(0..1000u32);
+        let span: u32 = rng.range(0..1000u32);
         let hi = lo + span;
         let v = hash::ranged(x, lo, hi);
-        prop_assert!((lo..=hi).contains(&v));
+        assert!((lo..=hi).contains(&v));
         let u = hash::unit(x);
-        prop_assert!((0.0..1.0).contains(&u));
+        assert!((0.0..1.0).contains(&u));
     }
+}
 
-    /// Registry lookups agree with the announcing prefix.
-    #[test]
-    fn registry_lookup_sound(ip in any::<u32>()) {
-        let reg = registry();
+/// Registry lookups agree with the announcing prefix.
+#[test]
+fn registry_lookup_sound() {
+    let reg = registry();
+    let mut rng = DetRng::stream(0xBADC0DE, "net/registry_lookup");
+    for _ in 0..CASES {
+        let ip = rng.next_u64() as u32;
         match reg.as_of(Ip(ip)) {
-            Some(AsId(1)) => prop_assert!(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip))),
-            Some(AsId(2)) => prop_assert!(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip))),
-            Some(other) => prop_assert!(false, "unexpected {other}"),
+            Some(AsId(1)) => {
+                assert!(Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip)))
+            }
+            Some(AsId(2)) => {
+                assert!(Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip)))
+            }
+            Some(other) => panic!("unexpected {other}"),
             None => {
-                prop_assert!(!Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip)));
-                prop_assert!(!Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip)));
+                assert!(!Prefix::of(Ip::from_octets(130, 192, 0, 0), 16).contains(Ip(ip)));
+                assert!(!Prefix::of(Ip::from_octets(58, 0, 0, 0), 8).contains(Ip(ip)));
             }
         }
     }

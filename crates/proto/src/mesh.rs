@@ -21,7 +21,7 @@
 use crate::chunk::{BufferMap, ChunkId, StreamParams};
 use netaware_sim::{DetRng, Histogram};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Configuration of a full-mesh run.
 #[derive(Clone, Debug)]
@@ -174,7 +174,7 @@ pub fn run_mesh(cfg: &MeshConfig) -> MeshReport {
     let mut now = 0u64;
     let mut last_head: Option<ChunkId> = None;
     let mut transfers: Vec<(u64, usize, ChunkId)> = Vec::new();
-    let mut in_flight: HashSet<(u32, u32)> = HashSet::new();
+    let mut in_flight: BTreeSet<(u32, u32)> = BTreeSet::new();
     while now <= cfg.duration_us {
         // Source injection: each newly generated chunk seeds a few peers.
         let head = cfg.stream.head_at(now);

@@ -34,7 +34,7 @@ use crate::profiles::AppProfile;
 use netaware_sim::{DetRng, Scheduler, SimTime};
 use netaware_trace::{ProbeTrace, TraceSet};
 use state::{Event, ExtDynamic, PeerMeta, ProbeState};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Experiment-level configuration of one swarm run.
 #[derive(Clone, Debug)]
@@ -60,7 +60,7 @@ pub struct Swarm<'a> {
     pub(crate) meta: Vec<PeerMeta>,
     pub(crate) n_probes: usize,
     pub(crate) probe_states: Vec<ProbeState>,
-    pub(crate) ext_dyn: HashMap<PeerId, ExtDynamic>,
+    pub(crate) ext_dyn: BTreeMap<PeerId, ExtDynamic>,
     pub(crate) traces: Vec<ProbeTrace>,
     pub(crate) rng: DetRng,
     pub(crate) report: SwarmReport,
@@ -108,11 +108,12 @@ impl<'a> Swarm<'a> {
             }
         }
 
-        while let Some(t) = sched.peek_time() {
-            if t > horizon {
-                break;
+        loop {
+            match sched.peek_time() {
+                Some(t) if t <= horizon => {}
+                _ => break,
             }
-            let (now, ev) = sched.pop().expect("peeked event vanished");
+            let Some((now, ev)) = sched.pop() else { break };
             self.handle(&mut sched, now, ev);
         }
         self.report.events_dispatched = sched.dispatched();

@@ -8,7 +8,7 @@ use netaware_net::{
 };
 use netaware_sim::{AccessSerializer, DetRng};
 use netaware_trace::ProbeTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The network substrate a swarm runs over.
 #[derive(Clone, Copy)]
@@ -53,12 +53,19 @@ pub struct PeerSetup {
 /// Pre-resolved geolocation and capacity of a peer (lookups are hot).
 #[derive(Clone, Debug)]
 pub struct PeerMeta {
+    /// Overlay address.
     pub ip: Ip,
+    /// Origin AS, when the address is announced.
     pub asn: Option<AsId>,
+    /// Country of the origin AS.
     pub cc: Option<CountryCode>,
+    /// Uplink capacity, bits per second.
     pub up_bps: u64,
+    /// Downlink capacity, bits per second.
     pub down_bps: u64,
+    /// Behind a NAT (inbound contacts fail).
     pub nat: bool,
+    /// Behind a blocking firewall.
     pub fw: bool,
     /// Playout lag of an external peer, µs (how far behind the source its
     /// buffer runs); 0 for the source.
@@ -70,15 +77,20 @@ pub struct PeerMeta {
 /// A neighbor-table entry at a probe.
 #[derive(Clone, Copy, Debug)]
 pub struct Neighbor {
+    /// The neighbor peer.
     pub id: PeerId,
+    /// Entry eviction time, µs since experiment start.
     pub expires_us: u64,
 }
 
 /// An in-flight chunk request.
 #[derive(Clone, Copy, Debug)]
 pub struct Pending {
+    /// The chunk requested.
     pub chunk: ChunkId,
+    /// Who was asked.
     pub provider: PeerId,
+    /// Retry/abandon deadline, µs since experiment start.
     pub deadline_us: u64,
 }
 
@@ -88,27 +100,35 @@ pub struct Pending {
 /// behind 2008-era DSL lines still saw sub-millisecond gaps.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ModemState {
+    /// Interleave window the last packet drained into.
     pub bucket: u64,
+    /// Packets coalesced into the current window.
     pub count: u32,
 }
 
 /// Full protocol state of one probe.
 pub struct ProbeState {
+    /// Chunks held in the playout buffer.
     pub bufmap: BufferMap,
+    /// Upload access-link queue.
     pub uplink: AccessSerializer,
+    /// Download access-link queue.
     pub downlink: AccessSerializer,
     /// Present on probes behind interleaving modems (down < 15 Mb/s).
     pub modem: Option<ModemState>,
     /// Last downlink delivery per providing flow (per-flow pacing).
-    pub last_rx_from: HashMap<PeerId, netaware_sim::SimTime>,
+    pub last_rx_from: BTreeMap<PeerId, netaware_sim::SimTime>,
     /// How far behind the stream head this probe fetches, in chunks.
     /// Peers joining a live channel sit at different playout positions;
     /// the spread is what lets earlier peers serve later ones.
     pub fetch_lag_chunks: u32,
+    /// Current neighbor table.
     pub neighbors: Vec<Neighbor>,
     /// Upstream estimate per remote, learned from chunk deliveries.
-    pub est_bps: HashMap<PeerId, u64>,
+    pub est_bps: BTreeMap<PeerId, u64>,
+    /// Most recent successful provider (download stickiness).
     pub last_provider: Option<PeerId>,
+    /// In-flight chunk requests.
     pub pending: Vec<Pending>,
     /// Requesters recently served (upload stickiness pool).
     pub active_requesters: Vec<PeerId>,
@@ -116,6 +136,7 @@ pub struct ProbeState {
     pub demand_rate_hz: f64,
     /// Per-probe halo contact rate, Hz.
     pub halo_rate_hz: f64,
+    /// This probe's private decision stream.
     pub rng: DetRng,
     /// Chunks lost to playout deadline.
     pub lost: u64,
@@ -128,9 +149,10 @@ pub struct DiscoveryTables {
     /// External indices (into `peers`) with cumulative bandwidth-biased
     /// weights, for O(log n) weighted sampling.
     pub ext_ids: Vec<PeerId>,
+    /// Running sum of sampling weights, aligned with `ext_ids`.
     pub cum_weights: Vec<f64>,
     /// Externals grouped by AS (for AS-biased discovery shortlists).
-    pub by_as: HashMap<AsId, Vec<PeerId>>,
+    pub by_as: BTreeMap<AsId, Vec<PeerId>>,
 }
 
 impl DiscoveryTables {
@@ -199,6 +221,7 @@ pub enum Event {
 /// Upload-side dynamic state of an external peer, created lazily the
 /// first time it serves a probe.
 pub struct ExtDynamic {
+    /// Upload access-link queue.
     pub uplink: AccessSerializer,
 }
 
@@ -266,7 +289,7 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
     // Discovery tables over externals only.
     let mut ext_ids = Vec::with_capacity(setup.externals.len());
     let mut cum_weights = Vec::with_capacity(setup.externals.len());
-    let mut by_as: HashMap<AsId, Vec<PeerId>> = HashMap::new();
+    let mut by_as: BTreeMap<AsId, Vec<PeerId>> = BTreeMap::new();
     let mut acc = 0.0f64;
     let bw_exp = cfg.profile.discovery_bw_exponent;
     for i in 0..setup.externals.len() {
@@ -349,10 +372,10 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
             uplink: AccessSerializer::new(m.up_bps.max(1)),
             downlink: AccessSerializer::new(m.down_bps.max(1)),
             modem: (m.down_bps < 15_000_000).then(ModemState::default),
-            last_rx_from: HashMap::new(),
+            last_rx_from: BTreeMap::new(),
             fetch_lag_chunks: stagger,
             neighbors,
-            est_bps: HashMap::new(),
+            est_bps: BTreeMap::new(),
             last_provider: None,
             pending: Vec::new(),
             active_requesters: Vec::new(),
@@ -373,7 +396,7 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
         meta,
         n_probes,
         probe_states,
-        ext_dyn: HashMap::new(),
+        ext_dyn: BTreeMap::new(),
         traces,
         rng,
         report: SwarmReport::default(),

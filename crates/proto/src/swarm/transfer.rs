@@ -147,7 +147,7 @@ impl Swarm<'_> {
         let lat = self.delay_us(provider, to);
         let prov_idx = self
             .probe_index(provider)
-            .expect("probe_serve_chunk needs a probe provider");
+            .expect("probe_serve_chunk needs a probe provider"); // netaware-lint: allow(PA01) dispatch routes probe providers here only
         let ttl = self.ttl_to(provider, to);
         let to_probe_idx = self.probe_index(to);
 
@@ -201,7 +201,7 @@ impl Swarm<'_> {
         let ttl = self.ttl_to(provider, to);
         let to_idx = self
             .probe_index(to)
-            .expect("external_serve_chunk requester must be a probe");
+            .expect("external_serve_chunk requester must be a probe"); // netaware-lint: allow(PA01) only probes issue chunk requests
 
         // Real clients bound their upload queue: an external whose
         // uplink is already seconds behind refuses further requests (the
@@ -276,7 +276,7 @@ impl Swarm<'_> {
         provider: PeerId,
         to: PeerId,
     ) -> bool {
-        let prov_idx = self.probe_index(provider).expect("provider must be probe");
+        let prov_idx = self.probe_index(provider).expect("provider must be probe"); // netaware-lint: allow(PA01) halo path picks probe providers only
         // Refuse when the uplink backlog is past the cap — the real
         // clients stop accepting requests when saturated.
         if self.probe_states[prov_idx].uplink.backlog_us(now)

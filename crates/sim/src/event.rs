@@ -142,11 +142,12 @@ impl<E> Scheduler<E> {
         mut handler: F,
     ) -> u64 {
         let start = self.popped;
-        while let Some(t) = self.peek_time() {
-            if t > horizon {
-                break;
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= horizon => {}
+                _ => break,
             }
-            let (at, ev) = self.pop().expect("peeked entry vanished");
+            let Some((at, ev)) = self.pop() else { break };
             handler(self, at, ev);
         }
         // The experiment formally ends at the horizon even if the queue

@@ -78,7 +78,7 @@ impl Sub<SimTime> for SimTime {
     fn sub(self, rhs: SimTime) -> u64 {
         self.0
             .checked_sub(rhs.0)
-            .expect("SimTime subtraction underflow")
+            .expect("SimTime subtraction underflow") // netaware-lint: allow(PA01) panic is this operator's documented contract
     }
 }
 

@@ -1,15 +1,24 @@
-//! Property tests for the DES primitives.
+//! Randomized property tests for the DES primitives, driven by a seeded
+//! [`DetRng`] so every run explores the same cases.
 
-use netaware_sim::{AccessSerializer, Histogram, MeanMax, RateMeter, Scheduler, SimTime, Welford};
-use proptest::prelude::*;
+use netaware_sim::{
+    AccessSerializer, DetRng, Histogram, MeanMax, RateMeter, Scheduler, SimTime, Welford,
+};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    /// The scheduler pops every event exactly once, in (time, insertion)
-    /// order — equivalent to a stable sort.
-    #[test]
-    fn scheduler_is_a_stable_sort(times in prop::collection::vec(0u64..10_000, 0..200)) {
+fn vec_of<T>(rng: &mut DetRng, max_len: usize, mut f: impl FnMut(&mut DetRng) -> T) -> Vec<T> {
+    let n = rng.range(0..max_len);
+    (0..n).map(|_| f(rng)).collect()
+}
+
+/// The scheduler pops every event exactly once, in (time, insertion)
+/// order — equivalent to a stable sort.
+#[test]
+fn scheduler_is_a_stable_sort() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/scheduler_stable_sort");
+    for _ in 0..CASES {
+        let times = vec_of(&mut rng, 200, |r| r.range(0..10_000u64));
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             s.push(SimTime::from_us(t), i);
@@ -21,34 +30,42 @@ proptest! {
         let mut expected: Vec<(u64, usize)> =
             times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         expected.sort_by_key(|&(t, i)| (t, i));
-        prop_assert_eq!(popped, expected);
+        assert_eq!(popped, expected);
     }
+}
 
-    /// run_until dispatches exactly the events at or before the horizon.
-    #[test]
-    fn run_until_partitions_by_horizon(
-        times in prop::collection::vec(0u64..10_000, 0..200),
-        horizon in 0u64..10_000,
-    ) {
+/// run_until dispatches exactly the events at or before the horizon.
+#[test]
+fn run_until_partitions_by_horizon() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/run_until_partitions");
+    for _ in 0..CASES {
+        let times = vec_of(&mut rng, 200, |r| r.range(0..10_000u64));
+        let horizon: u64 = rng.range(0..10_000u64);
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             s.push(SimTime::from_us(t), i);
         }
         let mut seen = Vec::new();
         s.run_until(SimTime::from_us(horizon), |_, t, _| seen.push(t.as_us()));
-        prop_assert_eq!(seen.len(), times.iter().filter(|&&t| t <= horizon).count());
-        prop_assert_eq!(s.len(), times.iter().filter(|&&t| t > horizon).count());
-        prop_assert!(s.now() >= SimTime::from_us(horizon));
+        assert_eq!(seen.len(), times.iter().filter(|&&t| t <= horizon).count());
+        assert_eq!(s.len(), times.iter().filter(|&&t| t > horizon).count());
+        assert!(s.now() >= SimTime::from_us(horizon));
     }
+}
 
-    /// The serialiser is work-conserving and FIFO: departures are
-    /// strictly increasing, spaced at least one transmission time, and
-    /// total busy time equals the sum of transmission times.
-    #[test]
-    fn serializer_work_conservation(
-        rate in 100_000u64..200_000_000,
-        arrivals in prop::collection::vec((0u64..5_000_000, 40u32..1500), 1..200),
-    ) {
+/// The serialiser is work-conserving and FIFO: departures are strictly
+/// increasing, spaced at least one transmission time, and total busy time
+/// equals the sum of transmission times.
+#[test]
+fn serializer_work_conservation() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/serializer_work_conservation");
+    for _ in 0..CASES {
+        let rate: u64 = rng.range(100_000..200_000_000u64);
+        let mut arrivals =
+            vec_of(&mut rng, 200, |r| (r.range(0..5_000_000u64), r.range(40..1500u32)));
+        if arrivals.is_empty() {
+            arrivals.push((rng.range(0..5_000_000u64), rng.range(40..1500u32)));
+        }
         let mut sorted = arrivals.clone();
         sorted.sort_by_key(|&(t, _)| t);
         let mut l = AccessSerializer::new(rate);
@@ -58,31 +75,49 @@ proptest! {
             let dep = l.enqueue(SimTime::from_us(t), size);
             let tx = l.tx_time_us(size);
             busy += tx;
-            prop_assert!(dep >= prev_dep + tx, "FIFO spacing violated");
-            prop_assert!(dep.as_us() >= t + tx, "departed before transmission finished");
+            assert!(dep >= prev_dep + tx, "FIFO spacing violated");
+            assert!(dep.as_us() >= t + tx, "departed before transmission finished");
             prev_dep = dep;
         }
-        prop_assert_eq!(l.busy_us(), busy);
-        prop_assert_eq!(l.total_packets(), sorted.len() as u64);
+        assert_eq!(l.busy_us(), busy);
+        assert_eq!(l.total_packets(), sorted.len() as u64);
         // Last departure is at most (first arrival + total work + idle gaps).
-        prop_assert!(prev_dep.as_us() <= sorted.last().unwrap().0 + busy + sorted[0].0);
+        assert!(prev_dep.as_us() <= sorted.last().unwrap().0 + busy + sorted[0].0);
     }
+}
 
-    /// Welford matches the naive two-pass computation.
-    #[test]
-    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+fn signed_1e6(rng: &mut DetRng) -> f64 {
+    rng.range(-1e6..1e6)
+}
+
+/// Welford matches the naive two-pass computation.
+#[test]
+fn welford_matches_naive() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/welford_naive");
+    for _ in 0..CASES {
+        let mut xs = vec_of(&mut rng, 200, signed_1e6);
+        if xs.is_empty() {
+            xs.push(signed_1e6(&mut rng));
+        }
         let mut w = Welford::new();
         xs.iter().for_each(|&x| w.push(x));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var));
+        assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((w.variance() - var).abs() < 1e-4 * (1.0 + var));
     }
+}
 
-    /// Merging Welford accumulators over any split equals the whole.
-    #[test]
-    fn welford_merge_any_split(xs in prop::collection::vec(-1e6f64..1e6, 2..200), cut in 0usize..200) {
-        let cut = cut % xs.len();
+/// Merging Welford accumulators over any split equals the whole.
+#[test]
+fn welford_merge_any_split() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/welford_merge");
+    for _ in 0..CASES {
+        let mut xs = vec_of(&mut rng, 200, signed_1e6);
+        while xs.len() < 2 {
+            xs.push(signed_1e6(&mut rng));
+        }
+        let cut = rng.range(0..xs.len());
         let mut whole = Welford::new();
         xs.iter().for_each(|&x| whole.push(x));
         let mut a = Welford::new();
@@ -90,37 +125,58 @@ proptest! {
         xs[..cut].iter().for_each(|&x| a.push(x));
         xs[cut..].iter().for_each(|&x| b.push(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
     }
+}
 
-    /// MeanMax max is the true max, mean within the value range.
-    #[test]
-    fn meanmax_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+/// MeanMax max is the true max, mean within the value range.
+#[test]
+fn meanmax_invariants() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/meanmax");
+    for _ in 0..CASES {
+        let mut xs = vec_of(&mut rng, 100, signed_1e6);
+        if xs.is_empty() {
+            xs.push(signed_1e6(&mut rng));
+        }
         let mut m = MeanMax::new();
         xs.iter().for_each(|&x| m.push(x));
         let true_max = xs.iter().cloned().fold(f64::MIN, f64::max);
-        prop_assert_eq!(m.max(), true_max);
+        assert_eq!(m.max(), true_max);
         let lo = xs.iter().cloned().fold(f64::MAX, f64::min);
-        prop_assert!(m.mean() >= lo - 1e-9 && m.mean() <= true_max + 1e-9);
+        assert!(m.mean() >= lo - 1e-9 && m.mean() <= true_max + 1e-9);
     }
+}
 
-    /// Histogram quantiles agree with the sorted-vector definition.
-    #[test]
-    fn histogram_quantile_matches_sorted(vals in prop::collection::vec(0usize..100, 1..300), q in 0.0f64..=1.0) {
+/// Histogram quantiles agree with the sorted-vector definition.
+#[test]
+fn histogram_quantile_matches_sorted() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/histogram_quantile");
+    for _ in 0..CASES {
+        let mut vals = vec_of(&mut rng, 300, |r| r.range(0..100usize));
+        if vals.is_empty() {
+            vals.push(rng.range(0..100usize));
+        }
+        let q: f64 = rng.range(0.0..1.0);
         let mut h = Histogram::new(100);
         vals.iter().for_each(|&v| h.push(v));
         let mut sorted = vals.clone();
         sorted.sort_unstable();
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        prop_assert_eq!(h.quantile(q), Some(sorted[rank - 1]));
+        assert_eq!(h.quantile(q), Some(sorted[rank - 1]));
     }
+}
 
-    /// RateMeter conserves bytes and mean ≤ max.
-    #[test]
-    fn rate_meter_conserves(
-        events in prop::collection::vec((0u64..60_000_000, 1u64..100_000), 1..200),
-    ) {
+/// RateMeter conserves bytes and mean ≤ max.
+#[test]
+fn rate_meter_conserves() {
+    let mut rng = DetRng::stream(0xD15EA5E, "sim/rate_meter");
+    for _ in 0..CASES {
+        let mut events =
+            vec_of(&mut rng, 200, |r| (r.range(0..60_000_000u64), r.range(1..100_000u64)));
+        if events.is_empty() {
+            events.push((rng.range(0..60_000_000u64), rng.range(1..100_000u64)));
+        }
         let mut sorted = events.clone();
         sorted.sort_by_key(|&(t, _)| t);
         let mut m = RateMeter::new(SimTime::from_secs(1));
@@ -128,8 +184,8 @@ proptest! {
             m.record(SimTime::from_us(t), bytes);
         }
         m.finish(SimTime::from_secs(61));
-        prop_assert_eq!(m.total_bytes(), sorted.iter().map(|&(_, b)| b).sum::<u64>());
-        prop_assert!(m.mean_kbps() <= m.max_kbps() + 1e-9);
-        prop_assert!(m.mean_kbps() >= 0.0);
+        assert_eq!(m.total_bytes(), sorted.iter().map(|&(_, b)| b).sum::<u64>());
+        assert!(m.mean_kbps() <= m.max_kbps() + 1e-9);
+        assert!(m.mean_kbps() >= 0.0);
     }
 }

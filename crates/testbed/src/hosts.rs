@@ -9,10 +9,10 @@
 //! external DSL population.
 
 use netaware_net::{AccessClass, CountryCode};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One of the seven probe sites.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct Site {
     /// Site short name as in Table I.
     pub name: &'static str,
@@ -34,7 +34,7 @@ pub const SITES: [Site; 7] = [
 ];
 
 /// One probe host row.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct HostDef {
     /// Site the host belongs to (home PCs are associated with the site
     /// of the partner operating them, but sit in their own ISP's AS).
@@ -96,7 +96,7 @@ impl HostDef {
             .iter()
             .copied()
             .find(|s| s.name == self.site)
-            .expect("host references a known site")
+            .expect("host references a known site") // netaware-lint: allow(PA01) table1_hosts only uses SITES names
     }
 }
 

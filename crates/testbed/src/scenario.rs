@@ -127,25 +127,27 @@ impl BuiltScenario {
     pub fn build(cfg: &ScenarioConfig, overlay_size: usize) -> Self {
         let mut b = GeoRegistryBuilder::new();
 
+        // The AS tables are compile-time constants with disjoint prefixes,
+        // so registration cannot fail at runtime.
         for (id, name, cc, p) in AS_ACADEMIC {
             b.register_as(AsInfo::new(id, cc, AsKind::Academic, name));
             b.announce(Prefix::of(Ip::from_octets(p[0], p[1], 0, 0), 16), AsId(id))
-                .expect("academic prefix");
+                .expect("academic prefix"); // netaware-lint: allow(PA01) const table, disjoint by construction
         }
         for (id, name, cc, p) in AS_RESIDENTIAL {
             b.register_as(AsInfo::new(id, cc, AsKind::ResidentialIsp, name));
             b.announce(Prefix::of(Ip::from_octets(p[0], p[1], 0, 0), 16), AsId(id))
-                .expect("residential prefix");
+                .expect("residential prefix"); // netaware-lint: allow(PA01) const table, disjoint by construction
         }
         for (id, name, p, _) in AS_CN {
             b.register_as(AsInfo::new(id, CountryCode::CN, AsKind::Carrier, name));
             b.announce(Prefix::of(Ip::from_octets(p[0], p[1], 0, 0), 10), AsId(id))
-                .expect("CN prefix");
+                .expect("CN prefix"); // netaware-lint: allow(PA01) const table, disjoint by construction
         }
         for (id, name, cc, p) in AS_WORLD {
             b.register_as(AsInfo::new(id, cc, AsKind::Carrier, name));
             b.announce(Prefix::of(Ip::from_octets(p[0], p[1], 0, 0), 12), AsId(id))
-                .expect("world prefix");
+                .expect("world prefix"); // netaware-lint: allow(PA01) const table, disjoint by construction
         }
         let registry = b.build();
 
@@ -154,8 +156,8 @@ impl BuiltScenario {
         let hosts = table1_hosts();
         let mut probes = Vec::with_capacity(hosts.len());
         let mut highbw = BTreeSet::new();
-        let mut home_allocs: std::collections::HashMap<u32, AddressAllocator> =
-            std::collections::HashMap::new();
+        let mut home_allocs: std::collections::BTreeMap<u32, AddressAllocator> =
+            std::collections::BTreeMap::new();
         for h in &hosts {
             let site = h.site_def();
             let ip = if h.home {
@@ -163,20 +165,22 @@ impl BuiltScenario {
                 let (_, _, _, p) = AS_RESIDENTIAL
                     .iter()
                     .find(|(id, ..)| *id == asn)
-                    .expect("home AS registered");
+                    .expect("home AS registered"); // netaware-lint: allow(PA01) home_as_for only returns table ids
                 let alloc = home_allocs.entry(asn).or_insert_with(|| {
                     AddressAllocator::dense(Prefix::of(
                         Ip::from_octets(p[0], p[1], 77, 0),
                         24,
                     ))
                 });
+                // netaware-lint: allow(PA01) a /24 holds every Table-1 home host
                 alloc.next_ip().expect("home subnet has room")
             } else {
                 let (_, _, _, p) = AS_ACADEMIC
                     .iter()
                     .find(|(_, name, ..)| name.starts_with(site.as_label))
-                    .expect("site AS registered");
+                    .expect("site AS registered"); // netaware-lint: allow(PA01) every SITES label appears in AS_ACADEMIC
                 // Site subnet: one /24 per site, numbered by site index.
+                // netaware-lint: allow(PA01) host site names come from SITES itself
                 let site_idx = SITES.iter().position(|s| s.name == h.site).unwrap() as u8;
                 Ip::from_octets(p[0], p[1], 10 + site_idx, h.host)
             };
@@ -256,7 +260,7 @@ impl BuiltScenario {
 
         // The scattered allocators roam whole ISP prefixes, which include
         // the home-probe subnets: drop the rare collisions.
-        let taken: std::collections::HashSet<Ip> = probes
+        let taken: std::collections::BTreeSet<Ip> = probes
             .iter()
             .map(|p| p.ip)
             .chain([source.ip])
@@ -403,7 +407,7 @@ mod tests {
     #[test]
     fn some_externals_share_probe_ases() {
         let s = build_small();
-        let probe_as: std::collections::HashSet<_> = s
+        let probe_as: std::collections::BTreeSet<_> = s
             .probes
             .iter()
             .filter_map(|p| s.registry.as_of(p.ip))
@@ -435,7 +439,7 @@ mod tests {
     #[test]
     fn no_external_collides_with_probes() {
         let s = build_small();
-        let probe_ips: std::collections::HashSet<Ip> = s.probes.iter().map(|p| p.ip).collect();
+        let probe_ips: std::collections::BTreeSet<Ip> = s.probes.iter().map(|p| p.ip).collect();
         for e in &s.externals {
             assert!(!probe_ips.contains(&e.ip));
         }

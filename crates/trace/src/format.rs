@@ -114,16 +114,17 @@ pub fn write_trace<W: Write>(trace: &ProbeTrace, out: &mut W) -> Result<(), Trac
 pub fn read_trace<R: Read>(input: &mut R) -> Result<ProbeTrace, TraceError> {
     let mut head = [0u8; 18];
     input.read_exact(&mut head)?;
-    let magic: [u8; 4] = head[0..4].try_into().unwrap();
+    let [m0, m1, m2, m3, v0, v1, p0, p1, p2, p3, c0, c1, c2, c3, c4, c5, c6, c7] = head;
+    let magic = [m0, m1, m2, m3];
     if magic != MAGIC {
         return Err(TraceError::BadMagic(magic));
     }
-    let version = u16::from_le_bytes(head[4..6].try_into().unwrap());
+    let version = u16::from_le_bytes([v0, v1]);
     if version != VERSION {
         return Err(TraceError::BadVersion(version));
     }
-    let probe = Ip(u32::from_le_bytes(head[6..10].try_into().unwrap()));
-    let count = u64::from_le_bytes(head[10..18].try_into().unwrap());
+    let probe = Ip(u32::from_le_bytes([p0, p1, p2, p3]));
+    let count = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
 
     let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut rec_buf = [0u8; PacketRecord::WIRE_SIZE];

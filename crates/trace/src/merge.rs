@@ -8,7 +8,7 @@
 
 use crate::record::PacketRecord;
 use crate::set::{ProbeTrace, TraceSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 impl TraceSet {
     /// Appends another run of the same application: every record of
@@ -25,7 +25,7 @@ impl TraceSet {
             other.app, self.app
         );
         let offset = self.duration_us;
-        let mut by_probe: HashMap<netaware_net::Ip, usize> = self
+        let mut by_probe: BTreeMap<netaware_net::Ip, usize> = self
             .traces
             .iter()
             .enumerate()

@@ -109,11 +109,12 @@ fn ipv4_checksum(hdr: &[u8]) -> u16 {
 pub fn import_pcap<R: Read>(probe: Ip, input: &mut R) -> Result<(ProbeTrace, u64), TraceError> {
     let mut head = [0u8; 24];
     input.read_exact(&mut head)?;
-    let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+    let magic_bytes = [head[0], head[1], head[2], head[3]];
+    let magic = u32::from_le_bytes(magic_bytes);
     if magic != PCAP_MAGIC {
-        return Err(TraceError::BadMagic(head[0..4].try_into().unwrap()));
+        return Err(TraceError::BadMagic(magic_bytes));
     }
-    let linktype = u32::from_le_bytes(head[20..24].try_into().unwrap());
+    let linktype = u32::from_le_bytes([head[20], head[21], head[22], head[23]]);
     if linktype != LINKTYPE_EN10MB {
         return Err(TraceError::BadVersion(linktype as u16));
     }
@@ -127,9 +128,10 @@ pub fn import_pcap<R: Read>(probe: Ip, input: &mut R) -> Result<(ProbeTrace, u64
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
-        let ts_sec = u32::from_le_bytes(pkt_head[0..4].try_into().unwrap()) as u64;
-        let ts_usec = u32::from_le_bytes(pkt_head[4..8].try_into().unwrap()) as u64;
-        let incl = u32::from_le_bytes(pkt_head[8..12].try_into().unwrap()) as usize;
+        let [s0, s1, s2, s3, u0, u1, u2, u3, i0, i1, i2, i3, ..] = pkt_head;
+        let ts_sec = u32::from_le_bytes([s0, s1, s2, s3]) as u64;
+        let ts_usec = u32::from_le_bytes([u0, u1, u2, u3]) as u64;
+        let incl = u32::from_le_bytes([i0, i1, i2, i3]) as usize;
         let mut frame = vec![0u8; incl];
         input.read_exact(&mut frame)?;
 
@@ -159,8 +161,8 @@ fn parse_frame(ts_us: u64, frame: &[u8]) -> Option<PacketRecord> {
     }
     let total_len = u16::from_be_bytes([ip[2], ip[3]]);
     let ttl = ip[8];
-    let src = Ip(u32::from_be_bytes(ip[12..16].try_into().unwrap()));
-    let dst = Ip(u32::from_be_bytes(ip[16..20].try_into().unwrap()));
+    let src = Ip(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+    let dst = Ip(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
     let udp = &ip[ihl..];
     let sport = u16::from_be_bytes([udp[0], udp[1]]);
     let dport = u16::from_be_bytes([udp[2], udp[3]]);

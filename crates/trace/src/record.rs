@@ -92,15 +92,17 @@ impl PacketRecord {
 
     /// Decodes from exactly [`Self::WIRE_SIZE`] bytes.
     pub fn decode(b: &[u8; Self::WIRE_SIZE]) -> Option<Self> {
+        let [t0, t1, t2, t3, t4, t5, t6, t7, s0, s1, s2, s3, d0, d1, d2, d3, sp0, sp1, dp0, dp1, z0, z1, ttl, kind] =
+            *b;
         Some(PacketRecord {
-            ts_us: u64::from_le_bytes(b[0..8].try_into().unwrap()),
-            src: Ip(u32::from_le_bytes(b[8..12].try_into().unwrap())),
-            dst: Ip(u32::from_le_bytes(b[12..16].try_into().unwrap())),
-            sport: u16::from_le_bytes(b[16..18].try_into().unwrap()),
-            dport: u16::from_le_bytes(b[18..20].try_into().unwrap()),
-            size: u16::from_le_bytes(b[20..22].try_into().unwrap()),
-            ttl: b[22],
-            kind: PayloadKind::from_u8(b[23])?,
+            ts_us: u64::from_le_bytes([t0, t1, t2, t3, t4, t5, t6, t7]),
+            src: Ip(u32::from_le_bytes([s0, s1, s2, s3])),
+            dst: Ip(u32::from_le_bytes([d0, d1, d2, d3])),
+            sport: u16::from_le_bytes([sp0, sp1]),
+            dport: u16::from_le_bytes([dp0, dp1]),
+            size: u16::from_le_bytes([z0, z1]),
+            ttl,
+            kind: PayloadKind::from_u8(kind)?,
         })
     }
 }

@@ -1,0 +1,385 @@
+//! A flat Rust tokenizer with line/column spans.
+//!
+//! The lint rules are lexical: they need identifiers, punctuation, and
+//! comments with accurate positions, but no syntax tree (`syn` is
+//! unavailable offline). String and char literals are tokenized as opaque
+//! units so their *content* can never trigger a rule; comments are kept
+//! as tokens because `// netaware-lint: allow(...)` directives and doc
+//! comments (for DOC01) live there.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal.
+    Number,
+    /// String literal (including raw strings), content opaque.
+    Str,
+    /// Char literal, content opaque.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// `// ...` comment that is not a doc comment.
+    LineComment,
+    /// `/* ... */` comment that is not a doc comment.
+    BlockComment,
+    /// `///`, `//!`, `/** */`, `/*! */`.
+    DocComment,
+}
+
+/// One token with its source span.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for comments: the full comment).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+}
+
+impl Tok {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Unterminated constructs consume to end of input
+/// rather than erroring: the linter must degrade gracefully on files it
+/// cannot fully understand.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = s.peek() {
+        let (line, col, start) = (s.line, s.col, s.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek2() == Some(b'/') => {
+                while let Some(c) = s.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                let text = &src[start..s.pos];
+                let kind = if text.starts_with("///") || text.starts_with("//!") {
+                    TokKind::DocComment
+                } else {
+                    TokKind::LineComment
+                };
+                toks.push(tok(kind, text, line, col));
+            }
+            b'/' if s.peek2() == Some(b'*') => {
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (s.peek(), s.peek2()) {
+                        (Some(b'/'), Some(b'*')) => {
+                            s.bump();
+                            s.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            s.bump();
+                            s.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = &src[start..s.pos];
+                let kind = if text.starts_with("/**") || text.starts_with("/*!") {
+                    TokKind::DocComment
+                } else {
+                    TokKind::BlockComment
+                };
+                toks.push(tok(kind, text, line, col));
+            }
+            b'"' => {
+                lex_string(&mut s);
+                toks.push(tok(TokKind::Str, "\"…\"", line, col));
+            }
+            b'r' if matches!(s.peek2(), Some(b'"') | Some(b'#')) && is_raw_string(&s) => {
+                lex_raw_string(&mut s);
+                toks.push(tok(TokKind::Str, "r\"…\"", line, col));
+            }
+            b'b' if s.peek2() == Some(b'"') => {
+                s.bump();
+                lex_string(&mut s);
+                toks.push(tok(TokKind::Str, "b\"…\"", line, col));
+            }
+            b'b' if s.peek2() == Some(b'\'') => {
+                s.bump();
+                lex_char(&mut s);
+                toks.push(tok(TokKind::Char, "b'…'", line, col));
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if is_lifetime(&s) {
+                    s.bump();
+                    while let Some(c) = s.peek() {
+                        if is_ident_continue(c) {
+                            s.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push(tok(TokKind::Lifetime, &src[start..s.pos], line, col));
+                } else {
+                    lex_char(&mut s);
+                    toks.push(tok(TokKind::Char, "'…'", line, col));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while let Some(c) = s.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                        // Stop at `..` (range) and at a field access after
+                        // the literal; only consume a dot followed by a
+                        // digit (fraction).
+                        if c == b'.' && !matches!(s.peek2(), Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(tok(TokKind::Number, &src[start..s.pos], line, col));
+            }
+            c if is_ident_start(c) => {
+                while let Some(c) = s.peek() {
+                    if is_ident_continue(c) {
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(tok(TokKind::Ident, &src[start..s.pos], line, col));
+            }
+            _ => {
+                s.bump();
+                toks.push(tok(TokKind::Punct, &src[start..s.pos], line, col));
+            }
+        }
+    }
+    toks
+}
+
+fn tok(kind: TokKind, text: &str, line: usize, col: usize) -> Tok {
+    Tok {
+        kind,
+        text: text.to_string(),
+        line,
+        col,
+    }
+}
+
+/// At an `r`: is this `r"`, `r#"`, `r##"`, … (and not an identifier)?
+fn is_raw_string(s: &Scanner<'_>) -> bool {
+    let mut i = s.pos + 1;
+    while s.src.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    s.src.get(i) == Some(&b'"')
+}
+
+/// At a `'`: lifetime (`'a`, `'static`) rather than a char literal?
+fn is_lifetime(s: &Scanner<'_>) -> bool {
+    match (s.src.get(s.pos + 1), s.src.get(s.pos + 2)) {
+        // 'x' is a char, 'x… (no closing quote) is a lifetime.
+        (Some(&c), Some(&b'\'')) if is_ident_start(c) => false,
+        (Some(&c), _) => is_ident_start(c),
+        _ => false,
+    }
+}
+
+fn lex_string(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    while let Some(c) = s.peek() {
+        match c {
+            b'\\' => {
+                s.bump();
+                s.bump();
+            }
+            b'"' => {
+                s.bump();
+                return;
+            }
+            _ => {
+                s.bump();
+            }
+        }
+    }
+}
+
+fn lex_raw_string(s: &mut Scanner<'_>) {
+    s.bump(); // r
+    let mut hashes = 0usize;
+    while s.peek() == Some(b'#') {
+        s.bump();
+        hashes += 1;
+    }
+    s.bump(); // opening quote
+    loop {
+        match s.peek() {
+            Some(b'"') => {
+                s.bump();
+                let mut n = 0usize;
+                while n < hashes && s.peek() == Some(b'#') {
+                    s.bump();
+                    n += 1;
+                }
+                if n == hashes {
+                    return;
+                }
+            }
+            Some(_) => {
+                s.bump();
+            }
+            None => return,
+        }
+    }
+}
+
+fn lex_char(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    match s.peek() {
+        Some(b'\\') => {
+            s.bump();
+            s.bump();
+        }
+        Some(_) => {
+            s.bump();
+        }
+        None => return,
+    }
+    // Unicode escapes (`'\u{1F600}'`) span several chars; consume to the
+    // closing quote.
+    while let Some(c) = s.peek() {
+        s.bump();
+        if c == b'\'' {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_have_spans() {
+        let toks = lex("fn main() {\n    x.unwrap();\n}");
+        let unwrap = toks
+            .iter()
+            .find(|t| t.is_ident("unwrap"))
+            .expect("unwrap token present");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = lex(r#"let s = "HashMap::unwrap() SystemTime";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn comments_are_classified() {
+        let toks = lex("/// doc\n// plain\n//! inner\n/* block */\n/** blockdoc */");
+        let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::DocComment,
+                TokKind::LineComment,
+                TokKind::DocComment,
+                TokKind::BlockComment,
+                TokKind::DocComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let toks = lex(r##"let s = r#"thread_rng "quoted""#; let y = 1;"##);
+        assert!(!toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("0..xs.len()");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+}

@@ -1,0 +1,340 @@
+//! Workspace static-analysis pass for the netaware workspace.
+//!
+//! `cargo run -p netaware-xtask -- lint` walks every library source file
+//! and enforces the determinism & reproducibility lints catalogued in
+//! [`rules::RuleId`]. The walker is lexical — a token stream with spans,
+//! not a syntax tree — because `syn` is unavailable offline; the rules
+//! are designed to be robust at that level (string/char contents are
+//! opaque, comments and `#[cfg(test)]` modules are excluded).
+//!
+//! A firing can be suppressed with an escape hatch comment:
+//!
+//! ```text
+//! let t = peers.pop().unwrap(); // netaware-lint: allow(PA01) non-empty by the check above
+//! ```
+//!
+//! The directive suppresses matches on its own line, or — when the
+//! comment stands alone on a line — on the next line.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::RuleId;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One lint violation with its location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule code (`"ND01"`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders in the conventional `file:line:col: [RULE] message` shape.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        serde_json::Value::Map(vec![
+            (
+                serde_json::Value::Str("rule".into()),
+                serde_json::Value::Str(self.rule.into()),
+            ),
+            (
+                serde_json::Value::Str("file".into()),
+                serde_json::Value::Str(self.file.clone()),
+            ),
+            (
+                serde_json::Value::Str("line".into()),
+                serde_json::Value::U64(self.line as u64),
+            ),
+            (
+                serde_json::Value::Str("col".into()),
+                serde_json::Value::U64(self.col as u64),
+            ),
+            (
+                serde_json::Value::Str("message".into()),
+                serde_json::Value::Str(self.message.clone()),
+            ),
+        ])
+    }
+}
+
+/// An `// netaware-lint: allow(ID[, ID…])` directive found in a file.
+struct AllowDirective {
+    rules: Vec<RuleId>,
+    /// The line the directive suppresses findings on.
+    effective_line: usize,
+}
+
+/// Parses allow directives out of the token stream. A directive whose
+/// comment shares a line with code suppresses that line; a directive
+/// alone on its line suppresses the next line.
+fn collect_allows(toks: &[lexer::Tok]) -> Vec<AllowDirective> {
+    use lexer::TokKind;
+    let mut code_lines: BTreeSet<usize> = BTreeSet::new();
+    for t in toks {
+        if !matches!(
+            t.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        ) {
+            code_lines.insert(t.line);
+        }
+    }
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some(rules) = parse_allow_comment(&t.text) else {
+            continue;
+        };
+        let effective_line = if code_lines.contains(&t.line) {
+            t.line
+        } else {
+            t.line + 1
+        };
+        out.push(AllowDirective {
+            rules,
+            effective_line,
+        });
+    }
+    out
+}
+
+/// Extracts rule IDs from a comment carrying a `netaware-lint: allow(…)`
+/// directive; `None` when the comment is not a directive.
+fn parse_allow_comment(comment: &str) -> Option<Vec<RuleId>> {
+    let idx = comment.find("netaware-lint:")?;
+    let rest = comment[idx + "netaware-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let ids: Vec<RuleId> = rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter_map(RuleId::parse)
+        .collect();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids)
+    }
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// used both for scope classification and in diagnostics.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let Some(scope) = rules::FileScope::classify(rel) else {
+        return Vec::new();
+    };
+    let toks = lexer::lex(src);
+    let allows = collect_allows(&toks);
+    let mut out: Vec<Diagnostic> = rules::check(&toks, &scope)
+        .into_iter()
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|a| a.effective_line == f.line && a.rules.contains(&f.rule))
+        })
+        .map(|f| Diagnostic {
+            rule: f.rule.code(),
+            file: rel.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+        })
+        .collect();
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_files_under(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Returns diagnostics sorted
+/// by (file, line, col).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    if !root.is_dir() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("workspace root {} is not a directory", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    rust_files_under(&root.join("crates"), &mut files)?;
+    rust_files_under(&root.join("src"), &mut files)?;
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    Ok(out)
+}
+
+/// Renders the full run as a JSON report.
+pub fn json_report(diags: &[Diagnostic]) -> String {
+    let report = serde_json::Value::Map(vec![
+        (
+            serde_json::Value::Str("violations".into()),
+            serde_json::Value::U64(diags.len() as u64),
+        ),
+        (
+            serde_json::Value::Str("clean".into()),
+            serde_json::Value::Bool(diags.is_empty()),
+        ),
+        (
+            serde_json::Value::Str("diagnostics".into()),
+            serde_json::Value::Seq(diags.iter().map(|d| d.to_json()).collect()),
+        ),
+    ]);
+    // The report tree contains no floats, so printing cannot fail.
+    serde_json::to_string_pretty(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"))
+}
+
+/// Renders the lint catalogue as an aligned text table.
+pub fn catalogue() -> String {
+    let mut out = String::from("RULE   SUMMARY\n");
+    for rule in RuleId::all() {
+        out.push_str(&format!("{:<6} {}\n", rule.code(), rule.summary()));
+    }
+    out.push_str(
+        "\nSuppress a finding with `// netaware-lint: allow(<RULE>) <justification>` on the \
+         offending line,\nor alone on the line directly above it.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directive_parses_multiple_ids() {
+        let ids = parse_allow_comment("// netaware-lint: allow(PA01, ND02) because reasons")
+            .expect("directive parses");
+        assert_eq!(ids, vec![RuleId::Pa01, RuleId::Nd02]);
+    }
+
+    #[test]
+    fn unknown_ids_do_not_make_a_directive() {
+        assert!(parse_allow_comment("// netaware-lint: allow(WAT99)").is_none());
+        assert!(parse_allow_comment("// an ordinary comment").is_none());
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // netaware-lint: allow(PA01) checked by caller\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.iter().all(|d| d.rule != "PA01"), "{diags:?}");
+    }
+
+    #[test]
+    fn next_line_allow_suppresses() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // netaware-lint: allow(PA01) checked by caller\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.iter().all(|d| d.rule != "PA01"), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_of_other_rule_does_not_suppress() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // netaware-lint: allow(ND01)\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "PA01"), "{diags:?}");
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let src = "pub fn f() { std::collections::HashMap::<u8, u8>::new(); }";
+        assert!(lint_source("crates/net/tests/it.rs", src).is_empty());
+        assert!(lint_source("vendor/serde/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/net/benches/b.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "//! Docs.\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_carry_spans() {
+        let src = "//! Docs.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        let pa = diags
+            .iter()
+            .find(|d| d.rule == "PA01")
+            .expect("PA01 fires");
+        assert_eq!((pa.line, pa.col), (3, 7));
+        assert!(pa.render().starts_with("crates/net/src/demo.rs:3:7: [PA01]"));
+    }
+
+    #[test]
+    fn doc01_accepts_documented_items() {
+        let src = "//! Mod docs.\n\n/// Documented.\npub fn f() {}\n\n/// Documented.\n#[derive(Debug)]\npub struct S {\n    /// Documented field.\n    pub x: u32,\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn doc01_flags_undocumented_pub() {
+        let src = "//! Mod docs.\npub fn naked() {}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(
+            diags.iter().any(|d| d.rule == "DOC01" && d.message.contains("naked")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn catalogue_lists_every_rule() {
+        let table = catalogue();
+        for rule in RuleId::all() {
+            assert!(table.contains(rule.code()), "{table}");
+        }
+    }
+}

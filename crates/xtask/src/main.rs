@@ -1,0 +1,85 @@
+//! CLI entry point: `cargo run -p netaware-xtask -- lint [--json]`.
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes to stdout, tolerating a closed pipe (e.g. `lint | head`).
+fn out(s: std::fmt::Arguments<'_>) {
+    let _ = writeln!(std::io::stdout(), "{s}");
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: netaware-xtask <command>\n\n\
+         commands:\n  \
+         lint [--json] [--root <dir>]   run the workspace lint pass\n  \
+         rules                          print the lint catalogue"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            let _ = write!(std::io::stdout(), "{}", netaware_xtask::catalogue());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let diags = match netaware_xtask::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("netaware-xtask: cannot walk workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        out(format_args!("{}", netaware_xtask::json_report(&diags)));
+    } else {
+        for d in &diags {
+            out(format_args!("{}", d.render()));
+        }
+        if diags.is_empty() {
+            out(format_args!("netaware-xtask lint: clean"));
+        } else {
+            out(format_args!("netaware-xtask lint: {} violation(s)", diags.len()));
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, two up.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,510 @@
+//! The lint catalogue: rule IDs, scopes, and per-rule token checks.
+//!
+//! Every rule has an ID (used in diagnostics and in
+//! `// netaware-lint: allow(<ID>)` escape hatches), a scope (which crates
+//! it patrols), and a rationale tied to the determinism & reproducibility
+//! contract in DESIGN.md.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A lint rule identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No wall-clock time or ambient entropy in deterministic crates.
+    Nd01,
+    /// No order-dependent hash collections in simulation/report paths.
+    Nd02,
+    /// No unordered parallel float reductions in analysis.
+    Nd03,
+    /// No `unwrap`/`expect`/`panic!` in non-test library code.
+    Pa01,
+    /// Public items must be documented.
+    Doc01,
+}
+
+impl RuleId {
+    /// The stable textual ID, as written in allow directives.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::Nd01 => "ND01",
+            RuleId::Nd02 => "ND02",
+            RuleId::Nd03 => "ND03",
+            RuleId::Pa01 => "PA01",
+            RuleId::Doc01 => "DOC01",
+        }
+    }
+
+    /// Parses a textual ID (`"ND01"` → `Nd01`).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "ND01" => Some(RuleId::Nd01),
+            "ND02" => Some(RuleId::Nd02),
+            "ND03" => Some(RuleId::Nd03),
+            "PA01" => Some(RuleId::Pa01),
+            "DOC01" => Some(RuleId::Doc01),
+            _ => None,
+        }
+    }
+
+    /// All rules, in catalogue order.
+    pub fn all() -> [RuleId; 5] {
+        [
+            RuleId::Nd01,
+            RuleId::Nd02,
+            RuleId::Nd03,
+            RuleId::Pa01,
+            RuleId::Doc01,
+        ]
+    }
+
+    /// One-line summary for the catalogue table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Nd01 => {
+                "no wall-clock or ambient entropy (SystemTime, Instant, thread_rng, std::env) \
+                 in sim/proto/net/testbed"
+            }
+            RuleId::Nd02 => {
+                "no order-dependent HashMap/HashSet in simulation or report-emitting paths \
+                 (use BTreeMap/BTreeSet or a sorted collect)"
+            }
+            RuleId::Nd03 => {
+                "no unordered parallel float reductions (par_iter…sum/reduce/fold) in analysis"
+            }
+            RuleId::Pa01 => "no unwrap()/expect()/panic! in non-test library code",
+            RuleId::Doc01 => "public items must carry doc comments",
+        }
+    }
+}
+
+/// Which rules patrol a file, derived from its workspace-relative path.
+pub struct FileScope {
+    /// ND01 applies (deterministic simulation substrate crates).
+    pub nd01: bool,
+    /// ND02 applies (simulation or report-emitting path).
+    pub nd02: bool,
+    /// ND03 applies (analysis reductions).
+    pub nd03: bool,
+    /// PA01/DOC01 apply (library source).
+    pub library: bool,
+}
+
+impl FileScope {
+    /// Classifies a workspace-relative path (`crates/sim/src/rng.rs`).
+    /// Returns `None` for files the linter does not patrol at all
+    /// (tests, benches, examples, vendored shims, the CLI binary).
+    pub fn classify(rel: &str) -> Option<FileScope> {
+        let rel = rel.replace('\\', "/");
+        if !rel.ends_with(".rs") {
+            return None;
+        }
+        // Test code may unwrap and iterate however it likes.
+        if rel.contains("/tests/")
+            || rel.contains("/benches/")
+            || rel.contains("/examples/")
+            || rel.starts_with("examples/")
+            || rel.starts_with("tests/")
+            || rel.ends_with("/tests.rs")
+            || rel.starts_with("vendor/")
+        {
+            return None;
+        }
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next());
+        let in_src = match crate_name {
+            Some(name) => rel.starts_with(&format!("crates/{name}/src/")),
+            None => rel.starts_with("src/"),
+        };
+        if !in_src {
+            return None;
+        }
+        // The CLI binary owns process concerns (args, exit codes).
+        if rel.starts_with("src/bin/") {
+            return None;
+        }
+        // The linter itself is library code too, but its rules modules
+        // necessarily *name* the patterns they hunt; it is patrolled only
+        // by PA01/DOC01.
+        let is_xtask = crate_name == Some("xtask");
+        let nd01 = matches!(crate_name, Some("sim" | "proto" | "net" | "testbed"));
+        let nd02 = !is_xtask
+            && (nd01 || matches!(crate_name, Some("trace" | "analysis")) || crate_name.is_none());
+        let nd03 = matches!(crate_name, Some("analysis"));
+        Some(FileScope {
+            nd01,
+            nd02,
+            nd03,
+            library: true,
+        })
+    }
+}
+
+/// A rule match before allow-directive filtering.
+pub struct RawFinding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn finding(rule: RuleId, t: &Tok, message: String) -> RawFinding {
+    RawFinding {
+        rule,
+        line: t.line,
+        col: t.col,
+        message,
+    }
+}
+
+/// A code token paired with its index in the full (comment-bearing)
+/// token stream, so DOC01 can look back across doc comments.
+struct CodeTok<'a> {
+    tok: &'a Tok,
+    full_idx: usize,
+}
+
+fn code_tokens(toks: &[Tok]) -> Vec<CodeTok<'_>> {
+    toks.iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !matches!(
+                t.kind,
+                TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+            )
+        })
+        .map(|(full_idx, tok)| CodeTok { tok, full_idx })
+        .collect()
+}
+
+/// Marks which code tokens sit inside `#[cfg(test)] mod … { … }` blocks.
+fn test_block_mask(code: &[CodeTok<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let at = |i: usize| code.get(i).map(|c| c.tok);
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].tok.is_punct('#')
+            && at(i + 1).is_some_and(|t| t.is_punct('['))
+            && at(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && at(i + 3).is_some_and(|t| t.is_punct('('))
+            && at(i + 4).is_some_and(|t| t.is_ident("test"))
+        {
+            // Find the `mod` that follows this attribute (skipping any
+            // further attributes) and mask to its closing brace.
+            let mut j = i + 5;
+            while j < code.len() && !code[j].tok.is_ident("mod") {
+                // Stop if this cfg(test) gates something other than an
+                // inline module (e.g. a `use` or an out-of-line `mod x;`).
+                if code[j].tok.is_punct(';') || code[j].tok.is_punct('{') {
+                    break;
+                }
+                j += 1;
+            }
+            if j < code.len() && code[j].tok.is_ident("mod") {
+                // Scan to the opening brace (an out-of-line `mod x;` ends
+                // at `;` first and masks nothing).
+                let mut k = j;
+                while k < code.len() && !code[k].tok.is_punct('{') && !code[k].tok.is_punct(';') {
+                    k += 1;
+                }
+                if k < code.len() && code[k].tok.is_punct('{') {
+                    let mut depth = 0usize;
+                    let mask_from = i;
+                    while k < code.len() {
+                        if code[k].tok.is_punct('{') {
+                            depth += 1;
+                        } else if code[k].tok.is_punct('}') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    let mask_to = k.min(code.len() - 1);
+                    for slot in &mut mask[mask_from..=mask_to] {
+                        *slot = true;
+                    }
+                    i = mask_to + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Runs every in-scope rule over the token stream.
+pub fn check(toks: &[Tok], scope: &FileScope) -> Vec<RawFinding> {
+    let code = code_tokens(toks);
+    let in_test = test_block_mask(&code);
+    let mut out = Vec::new();
+
+    for (i, c) in code.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let t = c.tok;
+        if scope.nd01 {
+            nd01_at(&code, i, &mut out);
+        }
+        if scope.nd02 && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(finding(
+                RuleId::Nd02,
+                t,
+                format!(
+                    "`{}` iteration order is nondeterministic; use BTreeMap/BTreeSet or a sorted \
+                     collect in simulation/report paths",
+                    t.text
+                ),
+            ));
+        }
+        if scope.nd03 {
+            nd03_at(&code, i, &mut out);
+        }
+        if scope.library {
+            pa01_at(&code, i, &mut out);
+            doc01_at(toks, &code, i, &mut out);
+        }
+    }
+    out
+}
+
+fn tok_at<'a>(code: &'a [CodeTok<'_>], i: usize) -> Option<&'a Tok> {
+    code.get(i).map(|c| c.tok)
+}
+
+fn nd01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    match t.text.as_str() {
+        "SystemTime" | "UNIX_EPOCH" => out.push(finding(
+            RuleId::Nd01,
+            t,
+            "wall-clock time is nondeterministic; derive timestamps from SimTime".into(),
+        )),
+        "Instant" => out.push(finding(
+            RuleId::Nd01,
+            t,
+            "monotonic-clock reads are nondeterministic; use SimTime for simulated time".into(),
+        )),
+        "thread_rng" | "OsRng" if looks_like_call_or_path(code, i) => out.push(finding(
+            RuleId::Nd01,
+            t,
+            "ambient entropy breaks (seed, config) reproducibility; use DetRng streams".into(),
+        )),
+        "env" => {
+            // `std::env` / `core::env` path use (env::var, env::args, …).
+            let prefixed = i >= 3
+                && code[i - 1].tok.is_punct(':')
+                && code[i - 2].tok.is_punct(':')
+                && matches!(code[i - 3].tok.text.as_str(), "std" | "core");
+            let bare_env_call = tok_at(code, i + 1).is_some_and(|t| t.is_punct(':'))
+                && tok_at(code, i + 2).is_some_and(|t| t.is_punct(':'))
+                && tok_at(code, i + 3).is_some_and(|t| {
+                    matches!(
+                        t.text.as_str(),
+                        "var" | "vars" | "var_os" | "args" | "args_os" | "temp_dir"
+                    )
+                });
+            if prefixed || bare_env_call {
+                out.push(finding(
+                    RuleId::Nd01,
+                    t,
+                    "process environment is ambient configuration; thread it through explicit \
+                     config structs"
+                        .into(),
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn looks_like_call_or_path(code: &[CodeTok<'_>], i: usize) -> bool {
+    tok_at(code, i + 1).is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+}
+
+/// Flags `par_iter`/`into_par_iter` pipelines that end in an unordered
+/// reduction (`sum`, `reduce`, `fold`, `product`) before the statement
+/// ends.
+fn nd03_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if !(t.is_ident("par_iter") || t.is_ident("into_par_iter") || t.is_ident("par_iter_mut")) {
+        return;
+    }
+    let mut depth = 0i32;
+    for j in (i + 1)..code.len() {
+        let c = code[j].tok;
+        if c.is_punct('(') || c.is_punct('{') || c.is_punct('[') {
+            depth += 1;
+        } else if c.is_punct(')') || c.is_punct('}') || c.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return; // pipeline ended inside an enclosing call
+            }
+        } else if c.is_punct(';') && depth == 0 {
+            return;
+        } else if depth == 0
+            && c.kind == TokKind::Ident
+            && matches!(c.text.as_str(), "sum" | "reduce" | "fold" | "product")
+            && code[j - 1].tok.is_punct('.')
+        {
+            out.push(finding(
+                RuleId::Nd03,
+                c,
+                format!(
+                    "unordered parallel `{}` makes float results depend on thread scheduling; \
+                     collect in input order and reduce sequentially",
+                    c.text
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+fn pa01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if t.kind != TokKind::Ident {
+        return;
+    }
+    match t.text.as_str() {
+        "unwrap" | "expect"
+            if i >= 1
+                && code[i - 1].tok.is_punct('.')
+                && tok_at(code, i + 1).is_some_and(|t| t.is_punct('(')) =>
+        {
+            out.push(finding(
+                RuleId::Pa01,
+                t,
+                format!(
+                    "`.{}()` panics on the error path; return a Result, handle the None, or \
+                     justify with `// netaware-lint: allow(PA01)`",
+                    t.text
+                ),
+            ));
+        }
+        "panic" if tok_at(code, i + 1).is_some_and(|t| t.is_punct('!')) => {
+            out.push(finding(
+                RuleId::Pa01,
+                t,
+                "`panic!` in library code aborts callers; return an error or justify with \
+                 `// netaware-lint: allow(PA01)`"
+                    .into(),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Items after `pub` that require a doc comment.
+const DOC_ITEM_KEYWORDS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+];
+
+fn doc01_at(toks: &[Tok], code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if !t.is_ident("pub") {
+        return;
+    }
+    // `pub(crate)` and friends are not public API.
+    if tok_at(code, i + 1).is_some_and(|t| t.is_punct('(')) {
+        return;
+    }
+    let mut j = i + 1;
+    while tok_at(code, j).is_some_and(|t| matches!(t.text.as_str(), "unsafe" | "async" | "extern"))
+    {
+        j += 1;
+    }
+    let Some(kw) = tok_at(code, j) else { return };
+    let is_item = kw.kind == TokKind::Ident && DOC_ITEM_KEYWORDS.contains(&kw.text.as_str());
+    // `pub name: Type` — a public struct field (but not `pub name::…`).
+    let is_field = kw.kind == TokKind::Ident
+        && !is_item
+        && kw.text != "use"
+        && kw.text != "impl"
+        && tok_at(code, j + 1).is_some_and(|t| t.is_punct(':'))
+        && !tok_at(code, j + 2).is_some_and(|t| t.is_punct(':'));
+    if !is_item && !is_field {
+        return;
+    }
+    // An out-of-line `pub mod name;` is documented by the `//!` header of
+    // its own file; requiring an outer comment here would double it.
+    if kw.is_ident("mod") && tok_at(code, j + 2).is_some_and(|t| t.is_punct(';')) {
+        return;
+    }
+    if has_preceding_doc(toks, code[i].full_idx) {
+        return;
+    }
+    let (what, name) = if is_field {
+        ("field".to_string(), kw.text.clone())
+    } else {
+        (
+            kw.text.clone(),
+            tok_at(code, j + 1)
+                .map(|t| t.text.clone())
+                .unwrap_or_default(),
+        )
+    };
+    out.push(finding(
+        RuleId::Doc01,
+        t,
+        format!("public {what} `{name}` has no doc comment"),
+    ));
+}
+
+/// Looks backwards in the full token stream from the `pub` at `full_idx`,
+/// skipping outer attributes `#[…]` and non-doc comments, for an attached
+/// doc comment.
+fn has_preceding_doc(toks: &[Tok], full_idx: usize) -> bool {
+    let mut j = full_idx;
+    loop {
+        if j == 0 {
+            return false;
+        }
+        let prev = &toks[j - 1];
+        match prev.kind {
+            // Only *outer* doc comments attach to the following item;
+            // `//!`/`/*!` document the enclosing module.
+            TokKind::DocComment => {
+                return prev.text.starts_with("///") || prev.text.starts_with("/**");
+            }
+            TokKind::LineComment | TokKind::BlockComment => j -= 1,
+            TokKind::Punct if prev.text == "]" => {
+                // Skip backwards over a (possibly nested) `#[…]` attribute.
+                let mut depth = 0usize;
+                let mut k = j - 1;
+                loop {
+                    match toks[k].kind {
+                        TokKind::Punct if toks[k].text == "]" => depth += 1,
+                        TokKind::Punct if toks[k].text == "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        return false;
+                    }
+                    k -= 1;
+                }
+                if k >= 1 && toks[k - 1].is_punct('#') {
+                    j = k - 1;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}

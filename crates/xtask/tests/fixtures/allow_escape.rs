@@ -1,0 +1,22 @@
+//! Escape-hatch fixture: every violation below carries a justified
+//! `netaware-lint: allow(...)` directive, so the file lints clean.
+
+use std::collections::HashMap; // netaware-lint: allow(ND02) fixture exercises the escape hatch
+
+/// Reads an operator override from the environment.
+pub fn operator_seed() -> Option<String> {
+    // netaware-lint: allow(ND01) operator override, not simulation state
+    std::env::var("NETAWARE_SEED").ok()
+}
+
+/// Parses input the caller has already validated.
+pub fn must_parse(s: &str) -> u32 {
+    s.parse().unwrap() // netaware-lint: allow(PA01) caller validates input
+}
+
+/// Builds a scratch map that never reaches a report.
+// netaware-lint: allow(ND02) scratch map, drained before reporting
+pub fn scratch() -> HashMap<u32, u32> {
+    // netaware-lint: allow(ND02) scratch map, drained before reporting
+    HashMap::new()
+}

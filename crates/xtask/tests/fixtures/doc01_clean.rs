@@ -1,0 +1,10 @@
+//! DOC01 fixture (clean): every public item carries a doc comment.
+
+/// Does nothing, but says so.
+pub fn documented() {}
+
+/// A documented container.
+pub struct Covered {
+    /// A documented field.
+    pub field: u32,
+}

@@ -1,0 +1,7 @@
+//! DOC01 fixture: public API with missing documentation.
+
+pub fn naked() {}
+
+pub struct Bare {
+    pub field: u32,
+}

@@ -1,0 +1,12 @@
+//! ND01 fixture (clean): all time flows from the simulation clock and
+//! all randomness from seeded streams.
+
+/// Advances a simulated clock deterministically.
+pub fn advance(now_us: u64, dt_us: u64) -> u64 {
+    now_us.saturating_add(dt_us)
+}
+
+/// Mixes a seed and a label into a stream id.
+pub fn stream_id(seed: u64, label: u64) -> u64 {
+    seed.rotate_left(17) ^ label
+}

@@ -1,0 +1,12 @@
+//! ND01 fixture: wall-clock time and ambient entropy in simulation code.
+
+/// Measures elapsed wall-clock time — forbidden in simulation paths.
+pub fn elapsed_wall() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+/// Reads configuration from the process environment.
+pub fn ambient_seed() -> Option<String> {
+    std::env::var("SEED").ok()
+}

@@ -1,0 +1,13 @@
+//! ND02 fixture (clean): ordered collections keep every iteration, and
+//! therefore every report, deterministic.
+
+use std::collections::BTreeMap;
+
+/// Counts key occurrences with a stable iteration order.
+pub fn count(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for k in keys {
+        *m.entry(*k).or_default() += 1;
+    }
+    m
+}

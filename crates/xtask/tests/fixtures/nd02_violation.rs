@@ -1,0 +1,12 @@
+//! ND02 fixture: hash-ordered collections on a simulation/report path.
+
+use std::collections::HashMap;
+
+/// Counts key occurrences — iteration order of the result is unstable.
+pub fn count(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(*k).or_default() += 1;
+    }
+    m
+}

@@ -1,0 +1,10 @@
+//! ND03 fixture (clean): parallel map, sequential (ordered) reduce.
+
+use rayon::prelude::*;
+
+/// Squares deviations in parallel, then sums in slice order so the
+/// result is bit-stable across thread schedules.
+pub fn sum_sq(xs: &[f64], mean: f64) -> f64 {
+    let sq: Vec<f64> = xs.par_iter().map(|x| (x - mean) * (x - mean)).collect();
+    sq.iter().sum()
+}

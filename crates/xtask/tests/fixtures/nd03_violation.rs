@@ -1,0 +1,9 @@
+//! ND03 fixture: unordered parallel float reduction in analysis code.
+
+use rayon::prelude::*;
+
+/// Sums squared deviations in parallel; float addition is not
+/// associative, so the reduction order changes the result.
+pub fn sum_sq(xs: &[f64], mean: f64) -> f64 {
+    xs.par_iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+}

@@ -1,0 +1,11 @@
+//! PA01 fixture (clean): fallible paths surface as `Option`/`Result`.
+
+/// Parses a port, reporting malformed input to the caller.
+pub fn port(s: &str) -> Option<u16> {
+    s.parse().ok()
+}
+
+/// Looks up a name, reporting absence to the caller.
+pub fn get<'a>(names: &[&'a str], i: usize) -> Option<&'a str> {
+    names.get(i).copied()
+}

@@ -1,0 +1,12 @@
+//! PA01 fixture: panicking escape hatches in library code.
+
+/// Parses a port, panicking on malformed input.
+pub fn port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+/// Looks up a name, panicking when absent.
+pub fn must_get(names: &[&str], i: usize) -> &'static str {
+    names.get(i).copied().expect("index in range");
+    "ok"
+}

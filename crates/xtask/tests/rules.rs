@@ -1,0 +1,149 @@
+//! Fixture-driven integration tests: one violating + one clean file per
+//! rule, linted under a path that puts the rule in scope, plus the
+//! allow-directive escape hatch.
+
+use netaware_xtask::{lint_source, Diagnostic};
+
+fn fixture(name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lints a fixture as if it lived at `rel` inside the workspace.
+fn lint_as(rel: &str, name: &str) -> Vec<Diagnostic> {
+    lint_source(rel, &fixture(name))
+}
+
+fn assert_all_rule(diags: &[Diagnostic], rule: &str) {
+    assert!(!diags.is_empty(), "expected {rule} findings, got none");
+    for d in diags {
+        assert_eq!(d.rule, rule, "unexpected finding: {}", d.render());
+    }
+}
+
+fn assert_clean(diags: &[Diagnostic]) {
+    assert!(
+        diags.is_empty(),
+        "expected clean, got:\n{}",
+        diags
+            .iter()
+            .map(Diagnostic::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// ---- ND01: wall-clock / ambient entropy --------------------------------
+
+#[test]
+fn nd01_fixture_flags_wall_clock_and_env() {
+    let diags = lint_as("crates/sim/src/fixture.rs", "nd01_violation.rs");
+    assert_all_rule(&diags, "ND01");
+    assert!(diags.len() >= 2, "Instant and env::var should both fire");
+}
+
+#[test]
+fn nd01_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/sim/src/fixture.rs", "nd01_clean.rs"));
+}
+
+#[test]
+fn nd01_out_of_scope_in_analysis() {
+    // The wall-clock rule only guards simulation-facing crates.
+    let diags = lint_as("crates/analysis/src/fixture.rs", "nd01_violation.rs");
+    assert!(diags.iter().all(|d| d.rule != "ND01"), "ND01 fired out of scope");
+}
+
+// ---- ND02: hash-ordered collections ------------------------------------
+
+#[test]
+fn nd02_fixture_flags_hashmap() {
+    let diags = lint_as("crates/proto/src/fixture.rs", "nd02_violation.rs");
+    assert_all_rule(&diags, "ND02");
+}
+
+#[test]
+fn nd02_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/proto/src/fixture.rs", "nd02_clean.rs"));
+}
+
+// ---- ND03: unordered parallel float reduction --------------------------
+
+#[test]
+fn nd03_fixture_flags_par_sum() {
+    let diags = lint_as("crates/analysis/src/fixture.rs", "nd03_violation.rs");
+    assert_all_rule(&diags, "ND03");
+}
+
+#[test]
+fn nd03_fixture_clean_passes() {
+    // Parallel map + ordered sequential reduce is the sanctioned shape.
+    assert_clean(&lint_as("crates/analysis/src/fixture.rs", "nd03_clean.rs"));
+}
+
+// ---- PA01: panicking escape hatches ------------------------------------
+
+#[test]
+fn pa01_fixture_flags_unwrap_and_expect() {
+    let diags = lint_as("crates/net/src/fixture.rs", "pa01_violation.rs");
+    assert_all_rule(&diags, "PA01");
+    assert_eq!(diags.len(), 2, "one unwrap + one expect");
+}
+
+#[test]
+fn pa01_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/net/src/fixture.rs", "pa01_clean.rs"));
+}
+
+// ---- DOC01: missing public docs ----------------------------------------
+
+#[test]
+fn doc01_fixture_flags_undocumented_items() {
+    let diags = lint_as("crates/trace/src/fixture.rs", "doc01_violation.rs");
+    assert_all_rule(&diags, "DOC01");
+    assert_eq!(diags.len(), 3, "fn + struct + field");
+}
+
+#[test]
+fn doc01_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/trace/src/fixture.rs", "doc01_clean.rs"));
+}
+
+// ---- Escape hatch -------------------------------------------------------
+
+#[test]
+fn allow_directives_suppress_every_rule() {
+    assert_clean(&lint_as("crates/sim/src/fixture.rs", "allow_escape.rs"));
+}
+
+#[test]
+fn fixtures_in_tests_dirs_are_never_linted() {
+    // Real location of the fixtures: under tests/, which is out of scope,
+    // so the violating corpus cannot dirty the workspace lint.
+    let diags = lint_as(
+        "crates/xtask/tests/fixtures/pa01_violation.rs",
+        "pa01_violation.rs",
+    );
+    assert_clean(&diags);
+}
+
+// ---- Span accuracy across a fixture ------------------------------------
+
+#[test]
+fn pa01_fixture_spans_point_at_the_call() {
+    let src = fixture("pa01_violation.rs");
+    let diags = lint_source("crates/net/src/fixture.rs", &src);
+    for d in &diags {
+        let line = src.lines().nth(d.line - 1).unwrap_or("");
+        let at = &line[d.col - 1..];
+        assert!(
+            at.starts_with("unwrap") || at.starts_with("expect"),
+            "span {}:{} lands on {at:?}",
+            d.line,
+            d.col
+        );
+    }
+}

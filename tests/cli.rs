@@ -54,7 +54,9 @@ fn run_produces_tables_and_json() {
     assert!(s.contains("friendliness:"));
     let parsed: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
-    assert_eq!(parsed[0]["app"], "TVAnts");
+    let first = &parsed.as_seq().expect("top-level array")[0];
+    let app = serde_json::value::field(first.as_map().expect("object"), "app");
+    assert_eq!(app.as_str(), Some("TVAnts"));
     let _ = std::fs::remove_file(&json);
 }
 

@@ -1,0 +1,22 @@
+//! The workspace must satisfy its own determinism lints.
+//!
+//! This is the enforcement end of the lint catalogue (see DESIGN.md):
+//! every rule either holds everywhere in first-party code or is
+//! suppressed by an in-source justified `netaware-lint: allow(...)`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = netaware_xtask::lint_workspace(root).expect("workspace readable");
+    assert!(
+        diags.is_empty(),
+        "lint violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`: same macro/API surface, simple
+//! wall-clock timing. Each benchmark runs a short warm-up plus
+//! `sample_size` timed batches and reports the per-iteration median to
+//! stderr. Good enough to keep `cargo bench` meaningful offline; swap the
+//! real crate back in for publication-grade statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: Vec::new(),
+        };
+        f(&mut b);
+        b.print(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark batch count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares the work per iteration (reported, not analysed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: Vec::new(),
+        };
+        f(&mut b);
+        b.print(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: Vec::new(),
+        };
+        f(&mut b, input);
+        b.print(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Declared per-iteration workload.
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    report: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration nanoseconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for ~5 ms per batch.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let per_batch = ((5_000_000 / once).max(1) as usize).min(1_000_000);
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            self.report
+                .push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    fn print(&mut self, name: &str) {
+        if self.report.is_empty() {
+            eprintln!("bench {name:<40} (no samples)");
+            return;
+        }
+        self.report.sort_by(f64::total_cmp);
+        let median = self.report[self.report.len() / 2];
+        let (lo, hi) = (self.report[0], self.report[self.report.len() - 1]);
+        eprintln!("bench {name:<40} median {median:>12.1} ns/iter (min {lo:.1}, max {hi:.1})");
+    }
+}
+
+/// Re-export for bench files that import it from criterion.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, with or without a `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `rayon`, vendored so the workspace builds with no
+//! registry access.
+//!
+//! Provides the `par_iter()` / `into_par_iter()` → `map` → `collect`
+//! pipeline this workspace uses, executed on `std::thread::scope` with
+//! index-ordered chunking. Results are always reassembled in input order,
+//! so a parallel map is bit-identical to its sequential counterpart —
+//! which is exactly the determinism contract the `netaware-xtask` linter
+//! enforces (rule ND03 forbids *unordered* parallel reductions; this shim
+//! simply has none).
+
+use std::thread;
+
+/// Commonly-used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// How many worker threads a parallel map may use for `n` items.
+fn workers_for(n: usize) -> usize {
+    if n < 2 {
+        return 1;
+    }
+    thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Runs `f` over `items` on scoped threads, returning results in input
+/// order regardless of which worker computed them.
+fn ordered_parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers_for(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(
+                h.join()
+                    .expect("parallel map worker panicked; propagating"),
+            );
+        }
+    });
+    out
+}
+
+/// A to-be-mapped parallel pipeline over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel pipeline with a pending map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item (executed at `collect` time).
+    pub fn map<R, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Keeps items for which `pred` holds, preserving order.
+    pub fn filter<P: Fn(&T) -> bool + Sync>(self, pred: P) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().filter(|x| pred(x)).collect(),
+        }
+    }
+
+    /// Gathers the items into any `FromIterator` collection, in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Gathers mapped results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        ordered_parallel_map(self.items, self.f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Ordered (left-to-right) sum of the mapped results.
+    ///
+    /// Unlike real rayon's tree reduction this is sequential over the
+    /// mapped values, so float sums are reproducible run-to-run.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        ordered_parallel_map(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// `into_par_iter()` for owned collections.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel pipeline.
+    type Item: Send;
+    /// Starts a parallel pipeline that consumes `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` for borrowed slices/vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type of the parallel pipeline.
+    type Item: Send + 'a;
+    /// Starts a parallel pipeline over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let xs: Vec<String> = (0..257).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = xs.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, xs.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_sum_is_reproducible() {
+        let xs: Vec<f64> = (1..=1000).map(|i| 1.0 / i as f64).collect();
+        let a: f64 = xs.par_iter().map(|&x| x).sum();
+        let b: f64 = xs.iter().sum();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,169 @@
+//! The owned value tree all (de)serialization flows through.
+
+use std::cmp::Ordering;
+
+/// A JSON-shaped value tree.
+///
+/// Integer variants are kept separate from floats so `u64`/`i64` fields
+/// round-trip exactly; `U128` exists solely for wide bitmap fields (e.g.
+/// the 128-chunk buffer map).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Wide unsigned integer (for 128-bit bitmaps).
+    U128(u128),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence of values.
+    Seq(Vec<Value>),
+    /// Key→value pairs, in insertion (or sorted, for hash maps) order.
+    Map(Vec<(Value, Value)>),
+}
+
+/// A static `null` to hand out when a struct field is absent.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Signed view of any integer variant that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::U128(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view of any non-negative integer variant.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::U128(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Wide unsigned view of any non-negative integer variant.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::U128(n) => Some(*n),
+            Value::U64(n) => Some(*n as u128),
+            Value::I64(n) => u128::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: any integer or float variant, as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::U128(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Sequence view.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Map view.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Total order over values, used to sort hash-map entries so emitted
+    /// artifacts are byte-stable. Cross-variant order is by variant rank;
+    /// floats use IEEE total order.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::I64(_) | Value::U64(_) | Value::U128(_) | Value::F64(_) => 2,
+                Value::Str(_) => 3,
+                Value::Seq(_) => 4,
+                Value::Map(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Seq(a), Value::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.total_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Map(a), Value::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let c = ka.total_cmp(kb).then_with(|| va.total_cmp(vb));
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) if rank(a) == 2 && rank(b) == 2 => match (a.as_u128(), b.as_u128()) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                _ => a
+                    .as_f64()
+                    .unwrap_or(f64::NAN)
+                    .total_cmp(&b.as_f64().unwrap_or(f64::NAN)),
+            },
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+/// Looks up `name` among a struct's serialized fields; absent fields read
+/// as `null`, which lets `Option` fields tolerate older artifacts.
+pub fn field<'v>(fields: &'v [(Value, Value)], name: &str) -> &'v Value {
+    fields
+        .iter()
+        .find(|(k, _)| k.as_str() == Some(name))
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::Error> {
+        Ok(v.clone())
+    }
+}

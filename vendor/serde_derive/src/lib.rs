@@ -1,0 +1,414 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the item shapes this
+//! workspace uses: non-generic named-field structs, tuple structs, and
+//! enums with unit or tuple variants, plus the `#[serde(skip)]` and
+//! `#[serde(with = "module")]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("derive generated invalid Rust; this is a bug in serde_derive"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! always parses"),
+    }
+}
+
+// ---------------------------------------------------------------- model
+
+enum FieldAttr {
+    Plain,
+    Skip,
+    With(String),
+}
+
+struct Field {
+    name: String,
+    attr: FieldAttr,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// --------------------------------------------------------------- parser
+
+fn parse_item(ts: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+
+    while is_attr(&toks, i) {
+        i += 2;
+    }
+    skip_vis(&toks, &mut i);
+
+    let kw = expect_ident(&toks, i)?;
+    i += 1;
+    let name = expect_ident(&toks, i)?;
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde_derive shim: generic type {name} not supported"));
+    }
+
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::Named(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                shape: Shape::Tuple(count_top_level_fields(g.stream())),
+            }),
+            _ => Ok(Item {
+                name,
+                shape: Shape::Unit,
+            }),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Item {
+                    name,
+                    shape: Shape::Enum(variants),
+                })
+            }
+            _ => Err(format!("serde_derive shim: malformed enum {name}")),
+        },
+        other => Err(format!("serde_derive shim: cannot derive for `{other}` items")),
+    }
+}
+
+fn is_attr(toks: &[TokenTree], i: usize) -> bool {
+    matches!(
+        (toks.get(i), toks.get(i + 1)),
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) if p.as_char() == '#'
+    )
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: usize) -> Result<String, String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde_derive shim: expected identifier, got {other:?}")),
+    }
+}
+
+/// Parses a `#[...]` attribute group at `toks[i]`, returning a field
+/// attribute if it is a `serde` helper; `None` for doc comments etc.
+fn parse_field_attr(toks: &[TokenTree], i: usize) -> Result<Option<FieldAttr>, String> {
+    let TokenTree::Group(g) = &toks[i + 1] else {
+        return Ok(None);
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return Err("serde_derive shim: bare #[serde] attribute".into());
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "skip" => Ok(Some(FieldAttr::Skip)),
+        Some(TokenTree::Ident(id)) if id.to_string() == "with" => {
+            let Some(TokenTree::Literal(lit)) = args.get(2) else {
+                return Err("serde_derive shim: expected #[serde(with = \"path\")]".into());
+            };
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            Ok(Some(FieldAttr::With(path)))
+        }
+        other => Err(format!(
+            "serde_derive shim: unsupported serde attribute {other:?}"
+        )),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut attr = FieldAttr::Plain;
+        while is_attr(&toks, i) {
+            if let Some(a) = parse_field_attr(&toks, i)? {
+                attr = a;
+            }
+            i += 2;
+        }
+        skip_vis(&toks, &mut i);
+        let name = expect_ident(&toks, i)?;
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive shim: expected `:` after field {name}, got {other:?}")),
+        }
+        skip_type_until_comma(&toks, &mut i);
+        fields.push(Field { name, attr });
+    }
+    Ok(fields)
+}
+
+/// Advances past a type (and an optional trailing comma), treating commas
+/// inside angle brackets as part of the type.
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_top_level_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (idx, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            // A trailing comma does not start another field.
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < toks.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while is_attr(&toks, i) {
+            i += 2;
+        }
+        let name = expect_ident(&toks, i)?;
+        i += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                arity = count_top_level_fields(g.stream());
+                i += 1;
+            } else {
+                return Err(format!(
+                    "serde_derive shim: struct variant {name} not supported"
+                ));
+            }
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => "::serde::value::Value::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = &f.name;
+                match &f.attr {
+                    FieldAttr::Skip => {}
+                    FieldAttr::Plain => pushes.push_str(&format!(
+                        "m.push((::serde::value::Value::Str(::std::string::String::from({fname:?})), ::serde::Serialize::to_value(&self.{fname})));\n"
+                    )),
+                    FieldAttr::With(path) => pushes.push_str(&format!(
+                        "m.push((::serde::value::Value::Str(::std::string::String::from({fname:?})), {path}::serialize(&self.{fname})));\n"
+                    )),
+                }
+            }
+            format!("let mut m = ::std::vec::Vec::new();\n{pushes}::serde::value::Value::Map(m)")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::value::Value::Str(::std::string::String::from({vname:?})),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..v.arity).map(|i| format!("f{i}")).collect();
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    arms.push_str(&format!(
+                        "{name}::{vname}({}) => ::serde::value::Value::Map(vec![(::serde::value::Value::Str(::std::string::String::from({vname:?})), ::serde::value::Value::Seq(vec![{}]))]),\n",
+                        binds.join(", "),
+                        elems.join(", ")
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                .collect();
+            format!(
+                "let xs = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", {name:?}))?;\n\
+                 if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element sequence\", {name:?})); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let fname = &f.name;
+                match &f.attr {
+                    FieldAttr::Skip => inits.push_str(&format!(
+                        "{fname}: ::std::default::Default::default(),\n"
+                    )),
+                    FieldAttr::Plain => inits.push_str(&format!(
+                        "{fname}: ::serde::Deserialize::from_value(::serde::value::field(m, {fname:?}))?,\n"
+                    )),
+                    FieldAttr::With(path) => inits.push_str(&format!(
+                        "{fname}: {path}::deserialize(::serde::value::field(m, {fname:?}))?,\n"
+                    )),
+                }
+            }
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else {
+                    let n = v.arity;
+                    let elems: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                        .collect();
+                    data_arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                           let xs = _payload.as_seq().ok_or_else(|| ::serde::Error::expected(\"payload sequence\", {name:?}))?;\n\
+                           if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-element payload\", {name:?})); }}\n\
+                           ::std::result::Result::Ok({name}::{vname}({}))\n\
+                         }}\n",
+                        elems.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "match v {{\n\
+                   ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                   }},\n\
+                   ::serde::value::Value::Map(m) if m.len() == 1 => {{\n\
+                     let (k, _payload) = &m[0];\n\
+                     match k.as_str().unwrap_or(\"\") {{\n\
+                       {data_arms}\
+                       other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   _ => ::std::result::Result::Err(::serde::Error::expected(\"variant\", {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
