@@ -7,6 +7,7 @@
 //! `par_iter` over probes.
 
 use crate::heuristics::AnalysisConfig;
+use crate::pass::{run_pass, FlowPass};
 use netaware_net::Ip;
 use netaware_trace::{ProbeTrace, TraceSet};
 use rayon::prelude::*;
@@ -65,48 +66,13 @@ impl ProbeFlows {
     }
 }
 
-/// Aggregates one probe trace. The trace must be time-sorted (call
-/// [`ProbeTrace::finalize`] first, or let [`TraceSet::finalize`] do it).
+/// Aggregates one probe trace — a [`crate::pass::FlowPass`] driven over
+/// the records in one sweep. The trace must be time-sorted (call
+/// [`ProbeTrace::finalize`] first, or let [`TraceSet::finalize`] do it):
+/// the min-IPG and last-received-TTL accumulators depend on arrival
+/// order.
 pub fn aggregate_probe(trace: &ProbeTrace, cfg: &AnalysisConfig) -> ProbeFlows {
-    let probe = trace.probe;
-    let mut flows: BTreeMap<Ip, FlowStats> = BTreeMap::new();
-    let mut last_video_rx: BTreeMap<Ip, u64> = BTreeMap::new();
-
-    for rec in trace.records_unsorted() {
-        let Some(remote) = rec.remote_of(probe) else {
-            continue; // foreign packet; defensive
-        };
-        let f = flows.entry(remote).or_insert_with(|| FlowStats {
-            probe,
-            remote,
-            first_ts_us: rec.ts_us,
-            ..Default::default()
-        });
-        f.last_ts_us = f.last_ts_us.max(rec.ts_us);
-        f.first_ts_us = f.first_ts_us.min(rec.ts_us);
-        let is_video = rec.size >= cfg.video_size_threshold;
-        if rec.dst == probe {
-            f.pkts_rx += 1;
-            f.bytes_rx += rec.size as u64;
-            f.rx_ttl = Some(rec.ttl);
-            if is_video {
-                f.video_pkts_rx += 1;
-                f.video_bytes_rx += rec.size as u64;
-                if let Some(prev) = last_video_rx.insert(remote, rec.ts_us) {
-                    let gap = rec.ts_us.saturating_sub(prev);
-                    f.min_ipg_us = Some(f.min_ipg_us.map_or(gap, |g| g.min(gap)));
-                }
-            }
-        } else {
-            f.pkts_tx += 1;
-            f.bytes_tx += rec.size as u64;
-            if is_video {
-                f.video_pkts_tx += 1;
-                f.video_bytes_tx += rec.size as u64;
-            }
-        }
-    }
-    ProbeFlows { probe, flows }
+    run_pass(trace.records(), FlowPass::new(trace.probe, cfg))
 }
 
 /// Aggregates every probe of an experiment in parallel.

@@ -8,7 +8,11 @@
 //! Pipeline (all strictly passive — no simulator ground truth crosses
 //! this boundary):
 //!
-//! 1. [`flows`] — aggregate each probe's trace into per-remote flow
+//! 1. [`pass`] — the streaming engine: [`pass::AnalysisPass`]
+//!    accumulators observe each record of a probe exactly once (flow
+//!    aggregation, windowed rates, timeseries buckets), composing in
+//!    tuples so one sweep feeds every registered pass;
+//! 2. [`flows`] — aggregate each probe's trace into per-remote flow
 //!    statistics: bytes/packets per direction, video bytes by the size
 //!    heuristic, minimum inter-packet gap of received video trains, and
 //!    received TTLs;
@@ -50,6 +54,7 @@ pub mod ipg;
 pub mod markdown;
 pub mod netfriend;
 pub mod partition;
+pub mod pass;
 pub mod persite;
 pub mod preference;
 pub mod report;
@@ -61,4 +66,5 @@ pub mod timeseries;
 pub mod validation;
 
 pub use heuristics::AnalysisConfig;
-pub use report::{analyze, ExperimentAnalysis};
+pub use pass::{run_pass, AnalysisPass};
+pub use report::{analyze, analyze_corpus, ExperimentAnalysis};

@@ -1,0 +1,357 @@
+//! The streaming analysis engine: single-pass record accumulators.
+//!
+//! The paper's framework digested >140M packets per campaign; holding a
+//! campaign in memory and letting every analysis module re-walk the
+//! record slices independently cannot scale there. An [`AnalysisPass`]
+//! is the alternative contract: an accumulator that observes each
+//! [`PacketRecord`] of one probe **once**, in timestamp order, and
+//! yields its result at the end. Passes compose as tuples, so a driver
+//! feeds one record stream through every registered pass in a single
+//! sweep — from an in-memory trace or straight off disk
+//! ([`crate::report::analyze_corpus`]) with peak memory bounded by the
+//! accumulator state, not the capture size.
+//!
+//! Probes are independent, so drivers parallelise across probes with
+//! rayon and reduce the collected per-probe outputs sequentially in
+//! slice order (ND03-clean: no unordered parallel float reductions).
+
+use crate::flows::{FlowStats, ProbeFlows};
+use crate::heuristics::AnalysisConfig;
+use crate::timeseries::RateSeries;
+use netaware_net::Ip;
+use netaware_sim::{RateMeter, SimTime};
+use netaware_trace::PacketRecord;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// An incremental analysis over one probe's record stream.
+///
+/// Records arrive in timestamp order, exactly once each. Implementations
+/// hold only their accumulator state, never the records themselves.
+pub trait AnalysisPass {
+    /// What the pass produces once the stream ends.
+    type Output;
+
+    /// Observes the next record of the stream.
+    fn on_record(&mut self, rec: &PacketRecord);
+
+    /// Consumes the accumulator into its result.
+    fn finish(self) -> Self::Output;
+}
+
+/// Two passes over one stream, still one sweep.
+impl<A: AnalysisPass, B: AnalysisPass> AnalysisPass for (A, B) {
+    type Output = (A::Output, B::Output);
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.0.on_record(rec);
+        self.1.on_record(rec);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish())
+    }
+}
+
+/// Three passes over one stream, still one sweep.
+impl<A: AnalysisPass, B: AnalysisPass, C: AnalysisPass> AnalysisPass for (A, B, C) {
+    type Output = (A::Output, B::Output, C::Output);
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.0.on_record(rec);
+        self.1.on_record(rec);
+        self.2.on_record(rec);
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.0.finish(), self.1.finish(), self.2.finish())
+    }
+}
+
+/// Streams `records` once through `pass` and returns its output.
+pub fn run_pass<'a, P: AnalysisPass>(
+    records: impl IntoIterator<Item = &'a PacketRecord>,
+    mut pass: P,
+) -> P::Output {
+    for rec in records {
+        pass.on_record(rec);
+    }
+    pass.finish()
+}
+
+/// Incremental per-remote flow aggregation — the streaming form of
+/// [`crate::flows::aggregate_probe`], producing the same [`ProbeFlows`]
+/// (direction/size splits, min video inter-packet gap, last received
+/// TTL, first/last timestamps).
+pub struct FlowPass {
+    probe: Ip,
+    video_size_threshold: u16,
+    flows: BTreeMap<Ip, FlowStats>,
+    last_video_rx: BTreeMap<Ip, u64>,
+}
+
+impl FlowPass {
+    /// An empty aggregation for `probe`.
+    pub fn new(probe: Ip, cfg: &AnalysisConfig) -> Self {
+        FlowPass {
+            probe,
+            video_size_threshold: cfg.video_size_threshold,
+            flows: BTreeMap::new(),
+            last_video_rx: BTreeMap::new(),
+        }
+    }
+}
+
+impl AnalysisPass for FlowPass {
+    type Output = ProbeFlows;
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        let probe = self.probe;
+        let Some(remote) = rec.remote_of(probe) else {
+            return; // foreign packet; defensive
+        };
+        let f = self.flows.entry(remote).or_insert_with(|| FlowStats {
+            probe,
+            remote,
+            first_ts_us: rec.ts_us,
+            ..Default::default()
+        });
+        f.last_ts_us = f.last_ts_us.max(rec.ts_us);
+        f.first_ts_us = f.first_ts_us.min(rec.ts_us);
+        let is_video = rec.size >= self.video_size_threshold;
+        if rec.dst == probe {
+            f.pkts_rx += 1;
+            f.bytes_rx += rec.size as u64;
+            f.rx_ttl = Some(rec.ttl);
+            if is_video {
+                f.video_pkts_rx += 1;
+                f.video_bytes_rx += rec.size as u64;
+                if let Some(prev) = self.last_video_rx.insert(remote, rec.ts_us) {
+                    let gap = rec.ts_us.saturating_sub(prev);
+                    f.min_ipg_us = Some(f.min_ipg_us.map_or(gap, |g| g.min(gap)));
+                }
+            }
+        } else {
+            f.pkts_tx += 1;
+            f.bytes_tx += rec.size as u64;
+            if is_video {
+                f.video_pkts_tx += 1;
+                f.video_bytes_tx += rec.size as u64;
+            }
+        }
+    }
+
+    fn finish(self) -> ProbeFlows {
+        ProbeFlows {
+            probe: self.probe,
+            flows: self.flows,
+        }
+    }
+}
+
+/// One probe's windowed stream rates, as Table II consumes them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeRates {
+    /// Mean windowed download rate, kb/s.
+    pub rx_mean_kbps: f64,
+    /// Maximum windowed download rate, kb/s.
+    pub rx_max_kbps: f64,
+    /// Mean windowed upload rate, kb/s.
+    pub tx_mean_kbps: f64,
+    /// Maximum windowed upload rate, kb/s.
+    pub tx_max_kbps: f64,
+}
+
+/// Incremental windowed rate measurement for one probe — the per-record
+/// half of [`crate::summary::summarize`]. Timestamps are clamped into
+/// the experiment horizon exactly as the legacy path does.
+pub struct RatePass {
+    probe: Ip,
+    duration_us: u64,
+    rx: RateMeter,
+    tx: RateMeter,
+}
+
+impl RatePass {
+    /// Rate meters for `probe` over a `duration_us`-long experiment,
+    /// windowed at `cfg.rate_window_us`.
+    pub fn new(probe: Ip, duration_us: u64, cfg: &AnalysisConfig) -> Self {
+        RatePass {
+            probe,
+            duration_us,
+            rx: RateMeter::new(SimTime::from_us(cfg.rate_window_us)),
+            tx: RateMeter::new(SimTime::from_us(cfg.rate_window_us)),
+        }
+    }
+}
+
+impl AnalysisPass for RatePass {
+    type Output = ProbeRates;
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        let ts = SimTime::from_us(rec.ts_us.min(self.duration_us.saturating_sub(1)));
+        if rec.dst == self.probe {
+            self.rx.record(ts, rec.size as u64);
+        } else {
+            self.tx.record(ts, rec.size as u64);
+        }
+    }
+
+    fn finish(mut self) -> ProbeRates {
+        let horizon = SimTime::from_us(self.duration_us);
+        self.rx.finish(horizon);
+        self.tx.finish(horizon);
+        ProbeRates {
+            rx_mean_kbps: self.rx.mean_kbps(),
+            rx_max_kbps: self.rx.max_kbps(),
+            tx_mean_kbps: self.tx.mean_kbps(),
+            tx_max_kbps: self.tx.max_kbps(),
+        }
+    }
+}
+
+/// Incremental timeseries bucketing — the streaming form of
+/// [`crate::timeseries::probe_series`].
+pub struct SeriesPass {
+    probe: Ip,
+    window_us: u64,
+    rx: Vec<u64>,
+    tx: Vec<u64>,
+    peers: Vec<BTreeSet<Ip>>,
+}
+
+impl SeriesPass {
+    /// Buckets for `probe` over `duration_us` at `window_us` granularity.
+    ///
+    /// # Panics
+    /// If `window_us` is zero.
+    pub fn new(probe: Ip, duration_us: u64, window_us: u64) -> Self {
+        assert!(window_us > 0);
+        let n = (duration_us.div_ceil(window_us)).max(1) as usize;
+        SeriesPass {
+            probe,
+            window_us,
+            rx: vec![0; n],
+            tx: vec![0; n],
+            peers: vec![BTreeSet::new(); n],
+        }
+    }
+}
+
+impl AnalysisPass for SeriesPass {
+    type Output = RateSeries;
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        let w = ((rec.ts_us / self.window_us) as usize).min(self.rx.len() - 1);
+        if rec.dst == self.probe {
+            self.rx[w] += rec.size as u64;
+        } else {
+            self.tx[w] += rec.size as u64;
+        }
+        if let Some(remote) = rec.remote_of(self.probe) {
+            self.peers[w].insert(remote);
+        }
+    }
+
+    fn finish(self) -> RateSeries {
+        let window_us = self.window_us;
+        let to_kbps = |bytes: u64| bytes as f64 * 8.0 / window_us as f64 * 1_000.0;
+        RateSeries {
+            window_us,
+            rx_kbps: self.rx.into_iter().map(to_kbps).collect(),
+            tx_kbps: self.tx.into_iter().map(to_kbps).collect(),
+            active_peers: self.peers.into_iter().map(|s| s.len() as u32).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netaware_trace::{PayloadKind, ProbeTrace};
+
+    fn rec(ts: u64, src: Ip, dst: Ip, size: u16, ttl: u8) -> PacketRecord {
+        PacketRecord {
+            ts_us: ts,
+            src,
+            dst,
+            sport: 1,
+            dport: 2,
+            size,
+            ttl,
+            kind: PayloadKind::Video,
+        }
+    }
+
+    fn sample_trace() -> ProbeTrace {
+        let probe = Ip::from_octets(10, 0, 0, 1);
+        let a = Ip::from_octets(58, 0, 0, 1);
+        let b = Ip::from_octets(60, 0, 0, 1);
+        let mut t = ProbeTrace::new(probe);
+        for i in 0..200u64 {
+            let remote = if i % 3 == 0 { b } else { a };
+            if i % 4 == 0 {
+                t.push(rec(i * 5_000, probe, remote, 1250, 128));
+            } else {
+                t.push(rec(i * 5_000, remote, probe, 1250, 110));
+            }
+        }
+        t.finalize();
+        t
+    }
+
+    #[test]
+    fn flow_pass_matches_batch_aggregation() {
+        let t = sample_trace();
+        let cfg = AnalysisConfig::default();
+        let streamed = run_pass(t.records(), FlowPass::new(t.probe, &cfg));
+        let batch = crate::flows::aggregate_probe(&t, &cfg);
+        assert_eq!(streamed.probe, batch.probe);
+        assert_eq!(streamed.flows.len(), batch.flows.len());
+        for (remote, f) in &streamed.flows {
+            let g = &batch.flows[remote];
+            assert_eq!(f.pkts_rx, g.pkts_rx);
+            assert_eq!(f.bytes_tx, g.bytes_tx);
+            assert_eq!(f.min_ipg_us, g.min_ipg_us);
+            assert_eq!(f.rx_ttl, g.rx_ttl);
+            assert_eq!((f.first_ts_us, f.last_ts_us), (g.first_ts_us, g.last_ts_us));
+        }
+    }
+
+    #[test]
+    fn series_pass_matches_batch_bucketing() {
+        let t = sample_trace();
+        let duration = 2_000_000;
+        let streamed = run_pass(t.records(), SeriesPass::new(t.probe, duration, 100_000));
+        let batch = crate::timeseries::probe_series(&t, duration, 100_000);
+        assert_eq!(streamed.rx_kbps, batch.rx_kbps);
+        assert_eq!(streamed.tx_kbps, batch.tx_kbps);
+        assert_eq!(streamed.active_peers, batch.active_peers);
+    }
+
+    #[test]
+    fn tuple_composition_is_one_sweep() {
+        let t = sample_trace();
+        let cfg = AnalysisConfig::default();
+        let (flows, rates) = run_pass(
+            t.records(),
+            (
+                FlowPass::new(t.probe, &cfg),
+                RatePass::new(t.probe, 2_000_000, &cfg),
+            ),
+        );
+        assert_eq!(flows.peers_seen(), 2);
+        assert!(rates.rx_mean_kbps > 0.0);
+        assert!(rates.tx_mean_kbps > 0.0);
+    }
+
+    #[test]
+    fn empty_stream_finishes_clean() {
+        let cfg = AnalysisConfig::default();
+        let probe = Ip::from_octets(10, 0, 0, 1);
+        let flows = run_pass([].iter(), FlowPass::new(probe, &cfg));
+        assert_eq!(flows.peers_seen(), 0);
+        let rates = run_pass([].iter(), RatePass::new(probe, 1_000_000, &cfg));
+        assert_eq!(rates.rx_max_kbps, 0.0);
+    }
+}

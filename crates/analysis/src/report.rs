@@ -1,18 +1,30 @@
 //! One-call experiment analysis.
+//!
+//! Both drivers stream each probe's records exactly once through a
+//! composite [`AnalysisPass`] (flows + windowed rates + packet/byte
+//! totals), in parallel across probes, then reduce the per-probe outputs
+//! sequentially in trace order. [`analyze`] walks an in-memory
+//! [`netaware_trace::TraceSet`]; [`analyze_corpus`] walks an on-disk
+//! corpus directory via [`CorpusStream`] without ever materialising a
+//! trace, so peak memory is bounded by the accumulators.
 
 use crate::asmatrix::{as_matrix, AsMatrix};
-use crate::flows::{aggregate, ProbeFlows};
+use crate::flows::ProbeFlows;
 use crate::geo::{geo_breakdown, GeoBreakdown};
 use crate::heuristics::AnalysisConfig;
 use crate::hop::hop_threshold;
 use crate::hopdist::{hop_distribution, HopDistribution};
 use crate::netfriend::{friendliness, Friendliness};
+use crate::pass::{AnalysisPass, FlowPass, ProbeRates, RatePass};
 use crate::preference::{all_preferences, MetricPreference};
 use crate::selfbias::{self_bias, SelfBias};
-use crate::summary::{summarize, AppSummary};
+use crate::summary::{summarize_with_rates, AppSummary};
 use netaware_net::{GeoRegistry, Ip};
+use netaware_trace::{CorpusStream, PacketRecord, TraceError};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Everything the paper reports about one experiment, computed from its
 /// traces alone.
@@ -67,12 +79,145 @@ pub fn analyze(
     cfg: &AnalysisConfig,
     highbw_probes: &BTreeSet<Ip>,
 ) -> ExperimentAnalysis {
-    let pfs: Vec<ProbeFlows> = aggregate(set, cfg);
-    let probe_set = set.probe_set();
+    let outs: Vec<ProbeOutput> = set
+        .traces
+        .par_iter()
+        .map(|t| {
+            let mut pass = ProbePass::new(t.probe, set.duration_us, cfg);
+            for rec in t.records() {
+                pass.on_record(rec);
+            }
+            pass.finish()
+        })
+        .collect();
+    assemble(&set.app, set.probe_set(), outs, registry, cfg, highbw_probes)
+}
+
+/// Runs the complete pipeline straight off an on-disk corpus directory
+/// (as written by [`netaware_trace::TraceSet::write_dir`] or a
+/// [`netaware_trace::CorpusSink`]), streaming each probe's records
+/// exactly once — no `TraceSet` is ever materialised, so memory stays
+/// bounded by the per-probe accumulators regardless of corpus size.
+///
+/// Probes stream in parallel; per-probe outputs reduce sequentially in
+/// manifest (trace) order, so the result is byte-identical to
+/// [`analyze`] on the same corpus. Fails with a typed [`TraceError`] on
+/// truncated/corrupt/misordered probe files, on a bad manifest, or when
+/// the streamed packet total disagrees with the manifest.
+pub fn analyze_corpus(
+    dir: &Path,
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    highbw_probes: &BTreeSet<Ip>,
+) -> Result<ExperimentAnalysis, TraceError> {
+    let corpus = CorpusStream::open(dir)?;
+    let duration_us = corpus.duration_us();
+    let streamed: Vec<Result<ProbeOutput, TraceError>> = corpus
+        .probes()
+        .par_iter()
+        .map(|&probe| {
+            let mut pass = ProbePass::new(probe, duration_us, cfg);
+            for rec in corpus.open_probe(probe)? {
+                pass.on_record(&rec?);
+            }
+            Ok(pass.finish())
+        })
+        .collect();
+    let mut outs = Vec::with_capacity(streamed.len());
+    for o in streamed {
+        outs.push(o?);
+    }
+    let total: usize = outs.iter().map(|o| o.packets).sum();
+    if total != corpus.total_packets() {
+        return Err(TraceError::Truncated {
+            expected: corpus.total_packets() as u64,
+            got: total as u64,
+        });
+    }
+    let probe_set: BTreeSet<Ip> = corpus.probes().iter().copied().collect();
+    Ok(assemble(
+        corpus.app(),
+        probe_set,
+        outs,
+        registry,
+        cfg,
+        highbw_probes,
+    ))
+}
+
+/// Everything one probe's single sweep produces: its flow table, its
+/// windowed rates, and its raw packet/byte totals (which count *every*
+/// captured record, including defensive foreign packets, to match
+/// `TraceSet::total_packets`).
+struct ProbeOutput {
+    flows: ProbeFlows,
+    rates: ProbeRates,
+    packets: usize,
+    bytes: u64,
+}
+
+/// The composite per-probe pass behind both drivers.
+struct ProbePass {
+    flow: FlowPass,
+    rate: RatePass,
+    packets: usize,
+    bytes: u64,
+}
+
+impl ProbePass {
+    fn new(probe: Ip, duration_us: u64, cfg: &AnalysisConfig) -> Self {
+        ProbePass {
+            flow: FlowPass::new(probe, cfg),
+            rate: RatePass::new(probe, duration_us, cfg),
+            packets: 0,
+            bytes: 0,
+        }
+    }
+}
+
+impl AnalysisPass for ProbePass {
+    type Output = ProbeOutput;
+
+    fn on_record(&mut self, rec: &PacketRecord) {
+        self.flow.on_record(rec);
+        self.rate.on_record(rec);
+        self.packets += 1;
+        self.bytes += rec.size as u64;
+    }
+
+    fn finish(self) -> ProbeOutput {
+        ProbeOutput {
+            flows: self.flow.finish(),
+            rates: self.rate.finish(),
+            packets: self.packets,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Sequential, trace-ordered reduction shared by both drivers.
+fn assemble(
+    app: &str,
+    probe_set: BTreeSet<Ip>,
+    outs: Vec<ProbeOutput>,
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    highbw_probes: &BTreeSet<Ip>,
+) -> ExperimentAnalysis {
+    let mut pfs = Vec::with_capacity(outs.len());
+    let mut rates = Vec::with_capacity(outs.len());
+    let mut total_packets = 0usize;
+    let mut total_bytes = 0u64;
+    for o in outs {
+        total_packets += o.packets;
+        total_bytes += o.bytes;
+        pfs.push(o.flows);
+        rates.push(o.rates);
+    }
     let hop_thr = hop_threshold(&pfs, cfg);
     ExperimentAnalysis {
-        app: set.app.clone(),
-        summary: summarize(set, &pfs, cfg),
+        app: app.to_string(),
+        summary: summarize_with_rates(app, &rates, &pfs, cfg),
         selfbias: self_bias(&pfs, cfg, &probe_set),
         preferences: all_preferences(&pfs, registry, cfg, hop_thr, &probe_set),
         geo: geo_breakdown(&pfs, registry),
@@ -80,8 +225,8 @@ pub fn analyze(
         friendliness: friendliness(&pfs, registry, cfg),
         hop_distribution: hop_distribution(&pfs, cfg, hop_thr),
         hop_threshold: hop_thr,
-        total_packets: set.total_packets(),
-        total_bytes: set.total_bytes(),
+        total_packets,
+        total_bytes,
     }
 }
 

@@ -9,7 +9,7 @@
 use crate::contributors::{rx_contributor_count, tx_contributor_count};
 use crate::flows::ProbeFlows;
 use crate::heuristics::AnalysisConfig;
-use netaware_sim::{RateMeter, SimTime};
+use crate::pass::{run_pass, ProbeRates, RatePass};
 use netaware_trace::TraceSet;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -40,39 +40,38 @@ pub struct AppSummary {
     pub contrib_tx: MeanMaxVal,
 }
 
-/// Computes Table II for one experiment.
+/// Computes Table II for one experiment from traces held in memory. The
+/// per-record half (windowed rates) runs as a [`RatePass`] per probe in
+/// parallel; the reduction is [`summarize_with_rates`].
 pub fn summarize(set: &TraceSet, pfs: &[ProbeFlows], cfg: &AnalysisConfig) -> AppSummary {
-    let horizon = SimTime::from_us(set.duration_us);
-
-    // Windowed rates per probe (parallel over probes).
-    let rates: Vec<(f64, f64, f64, f64)> = set
+    // Windowed rates per probe (parallel over probes, reduced in slice
+    // order below).
+    let rates: Vec<ProbeRates> = set
         .traces
         .par_iter()
-        .map(|t| {
-            let mut rx = RateMeter::new(SimTime::from_us(cfg.rate_window_us));
-            let mut tx = RateMeter::new(SimTime::from_us(cfg.rate_window_us));
-            for r in t.records_unsorted() {
-                let ts = SimTime::from_us(r.ts_us.min(set.duration_us.saturating_sub(1)));
-                if r.dst == t.probe {
-                    rx.record(ts, r.size as u64);
-                } else {
-                    tx.record(ts, r.size as u64);
-                }
-            }
-            rx.finish(horizon);
-            tx.finish(horizon);
-            (rx.mean_kbps(), rx.max_kbps(), tx.mean_kbps(), tx.max_kbps())
-        })
+        .map(|t| run_pass(t.records_unsorted(), RatePass::new(t.probe, set.duration_us, cfg)))
         .collect();
+    summarize_with_rates(&set.app, &rates, pfs, cfg)
+}
 
+/// The reduction half of Table II: folds already-computed per-probe
+/// [`ProbeRates`] and [`ProbeFlows`] into the mean/max columns.
+/// `rates` and `pfs` must be in the same (trace) order so streaming and
+/// in-memory drivers produce bit-identical float accumulation.
+pub fn summarize_with_rates(
+    app: &str,
+    rates: &[ProbeRates],
+    pfs: &[ProbeFlows],
+    cfg: &AnalysisConfig,
+) -> AppSummary {
     let mut rx_kbps = MeanMaxVal::default();
     let mut tx_kbps = MeanMaxVal::default();
     let n = rates.len().max(1) as f64;
-    for (rxm, rxx, txm, txx) in &rates {
-        rx_kbps.mean += rxm / n;
-        rx_kbps.max = rx_kbps.max.max(*rxx);
-        tx_kbps.mean += txm / n;
-        tx_kbps.max = tx_kbps.max.max(*txx);
+    for r in rates {
+        rx_kbps.mean += r.rx_mean_kbps / n;
+        rx_kbps.max = rx_kbps.max.max(r.rx_max_kbps);
+        tx_kbps.mean += r.tx_mean_kbps / n;
+        tx_kbps.max = tx_kbps.max.max(r.tx_max_kbps);
     }
 
     let mut peers = MeanMaxVal::default();
@@ -92,7 +91,7 @@ pub fn summarize(set: &TraceSet, pfs: &[ProbeFlows], cfg: &AnalysisConfig) -> Ap
     }
 
     AppSummary {
-        app: set.app.clone(),
+        app: app.to_string(),
         rx_kbps,
         tx_kbps,
         peers,

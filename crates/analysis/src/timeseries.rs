@@ -7,9 +7,9 @@
 //! terminal sparkline renderer. Useful for eyeballing warm-up, churn
 //! waves, and upload bursts that the scalar tables average away.
 
+use crate::pass::{run_pass, SeriesPass};
 use netaware_trace::{ProbeTrace, TraceSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// One probe's (or an aggregate's) windowed series.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -66,31 +66,17 @@ impl RateSeries {
     }
 }
 
-/// Computes the windowed series for one probe trace.
+/// Computes the windowed series for one probe trace — a
+/// [`crate::pass::SeriesPass`] driven over the records (bucketing is
+/// order-insensitive, so unsorted captures are fine here).
+///
+/// # Panics
+/// If `window_us` is zero.
 pub fn probe_series(trace: &ProbeTrace, duration_us: u64, window_us: u64) -> RateSeries {
-    assert!(window_us > 0);
-    let n = (duration_us.div_ceil(window_us)).max(1) as usize;
-    let mut rx = vec![0u64; n];
-    let mut tx = vec![0u64; n];
-    let mut peers: Vec<BTreeSet<netaware_net::Ip>> = vec![BTreeSet::new(); n];
-    for r in trace.records_unsorted() {
-        let w = ((r.ts_us / window_us) as usize).min(n - 1);
-        if r.dst == trace.probe {
-            rx[w] += r.size as u64;
-        } else {
-            tx[w] += r.size as u64;
-        }
-        if let Some(remote) = r.remote_of(trace.probe) {
-            peers[w].insert(remote);
-        }
-    }
-    let to_kbps = |bytes: u64| bytes as f64 * 8.0 / window_us as f64 * 1_000.0;
-    RateSeries {
-        window_us,
-        rx_kbps: rx.into_iter().map(to_kbps).collect(),
-        tx_kbps: tx.into_iter().map(to_kbps).collect(),
-        active_peers: peers.into_iter().map(|s| s.len() as u32).collect(),
-    }
+    run_pass(
+        trace.records_unsorted(),
+        SeriesPass::new(trace.probe, duration_us, window_us),
+    )
 }
 
 /// Aggregate series across every probe of an experiment (rates summed).

@@ -6,15 +6,58 @@
 //! * the preference computation across hop/IPG threshold sweeps, which
 //!   doubles as the sensitivity ablation: the assertions verify that the
 //!   BW conclusion is stable in a wide band around the paper's 1 ms
-//!   threshold.
+//!   threshold;
+//! * the streaming pipeline: single-pass `analyze` vs the legacy
+//!   multi-pass shape, and disk-streaming `analyze_corpus` vs
+//!   materialise-then-analyze, with peak heap reported via a counting
+//!   allocator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use netaware_analysis::flows::{aggregate, aggregate_probe};
 use netaware_analysis::partition::Metric;
 use netaware_analysis::preference::{preference, Dir};
-use netaware_analysis::AnalysisConfig;
+use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig};
 use netaware_bench::fixture;
+use netaware_trace::TraceSet;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Heap meter for the streaming comparison: tracks live bytes and the
+/// high-water mark so the bench can report peak memory, not just time.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how far the heap high-water mark rose above the
+/// live baseline during the call, in bytes.
+fn peak_heap_of(f: impl FnOnce()) -> usize {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    f();
+    PEAK.load(Ordering::Relaxed).saturating_sub(base)
+}
 
 fn flow_aggregation(c: &mut Criterion) {
     let f = fixture();
@@ -121,9 +164,72 @@ fn hop_threshold_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// The streaming-pipeline comparison. In memory, the single sweep of
+/// `analyze` is measured against the legacy multi-pass shape (flow
+/// aggregation and the rate summary each re-walking every record). On
+/// disk, streaming `analyze_corpus` is measured against materialising a
+/// `TraceSet` first; the peak-heap report is the memory half of that
+/// story.
+fn streaming(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let dir = std::env::temp_dir().join(format!("netaware_bench_corpus_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    f.traces.write_dir(&dir).expect("write corpus");
+    let total = f.traces.total_packets();
+
+    let mut g = c.benchmark_group("streaming");
+    g.throughput(Throughput::Elements(total as u64));
+    g.bench_function("multi_pass_legacy", |b| {
+        b.iter(|| {
+            let flows = aggregate(&f.traces, &cfg);
+            let summary = netaware_analysis::summary::summarize(&f.traces, &flows, &cfg);
+            black_box((flows, summary))
+        })
+    });
+    g.bench_function("single_pass_analyze", |b| {
+        b.iter(|| black_box(analyze(&f.traces, &f.registry, &cfg, &f.highbw)))
+    });
+    g.bench_function("disk_read_then_analyze", |b| {
+        b.iter(|| {
+            let set = TraceSet::read_dir(&dir).expect("read corpus");
+            black_box(analyze(&set, &f.registry, &cfg, &f.highbw))
+        })
+    });
+    g.bench_function("disk_streaming_analyze", |b| {
+        b.iter(|| black_box(analyze_corpus(&dir, &f.registry, &cfg, &f.highbw).expect("corpus")))
+    });
+    g.finish();
+
+    report_peak_memory(&dir, total);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[allow(clippy::print_stderr)]
+fn report_peak_memory(dir: &Path, total: usize) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let mat = peak_heap_of(|| {
+        let set = TraceSet::read_dir(dir).expect("read corpus");
+        black_box(analyze(&set, &f.registry, &cfg, &f.highbw));
+    });
+    let streamed = peak_heap_of(|| {
+        black_box(analyze_corpus(dir, &f.registry, &cfg, &f.highbw).expect("corpus"));
+    });
+    const MIB: f64 = 1024.0 * 1024.0;
+    eprintln!(
+        "[streaming] peak heap over baseline analysing {total} packets from disk: \
+         read_dir+analyze {:.1} MiB, analyze_corpus {:.1} MiB ({:.1}x)",
+        mat as f64 / MIB,
+        streamed as f64 / MIB,
+        mat as f64 / (streamed as f64).max(1.0),
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = flow_aggregation, preference_computation, ipg_threshold_sweep, hop_threshold_sweep
+    targets = flow_aggregation, preference_computation, ipg_threshold_sweep, hop_threshold_sweep,
+        streaming
 }
 criterion_main!(benches);

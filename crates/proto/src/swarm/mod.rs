@@ -32,7 +32,7 @@ use crate::chunk::StreamParams;
 use crate::peer::{PeerId, PeerInfo, PeerRole};
 use crate::profiles::AppProfile;
 use netaware_sim::{DetRng, Scheduler, SimTime};
-use netaware_trace::{ProbeTrace, TraceSet};
+use netaware_trace::{MemorySink, ProbeTrace, RecordSink, TraceError, TraceSet};
 use state::{Event, ExtDynamic, PeerMeta, ProbeState};
 use std::collections::BTreeMap;
 
@@ -87,7 +87,36 @@ impl<'a> Swarm<'a> {
 
     /// Runs the experiment and returns the captured traces plus the
     /// ground-truth report.
-    pub fn run(mut self) -> (TraceSet, SwarmReport) {
+    pub fn run(self) -> (TraceSet, SwarmReport) {
+        match self.run_into(MemorySink::new()) {
+            Ok(out) => out,
+            // MemorySink::sink_probe / finish are infallible.
+            Err(_) => unreachable!("in-memory sink cannot fail"),
+        }
+    }
+
+    /// Runs the experiment, draining each probe's finalized capture into
+    /// `sink` as it is collected — the capture is never held as a whole
+    /// unless the sink chooses to (e.g. [`MemorySink`]); a spill-to-disk
+    /// sink bounds peak memory to one probe's trace.
+    pub fn run_into<S: RecordSink>(
+        mut self,
+        mut sink: S,
+    ) -> Result<(S::Output, SwarmReport), TraceError> {
+        self.execute();
+        for mut trace in std::mem::take(&mut self.traces) {
+            trace.finalize();
+            sink.sink_probe(trace)?;
+        }
+        let out = sink.finish(&self.cfg.profile.name, self.cfg.duration_us)?;
+        Ok((out, self.report))
+    }
+
+    /// The event loop: schedules the initial processes, dispatches until
+    /// the horizon, and fills the ground-truth report. Captured records
+    /// accumulate in `self.traces`, unsorted (transfers push
+    /// future-timestamped receiver records).
+    fn execute(&mut self) {
         let mut sched: Scheduler<Event> = Scheduler::new();
         let horizon = SimTime::from_us(self.cfg.duration_us);
 
@@ -132,13 +161,6 @@ impl<'a> Swarm<'a> {
                 },
             });
         }
-
-        let mut set = TraceSet::new(self.cfg.profile.name.clone(), self.cfg.duration_us);
-        for t in self.traces {
-            set.add(t);
-        }
-        set.finalize();
-        (set, self.report)
     }
 
     pub(crate) fn is_probe(&self, id: PeerId) -> bool {

@@ -175,12 +175,12 @@ fn rx_video_ipg_reflects_sender_class() {
         exploration: 0.35,
         ..small_profile(AppProfile::sopcast())
     };
-    let (mut set, _) = run_mini(profile, 60, 5);
+    let (set, _) = run_mini(profile, 60, 5);
     let reg = mini_registry();
     let lan_probe = Ip::from_octets(130, 192, 1, 10);
     let trace = set
         .traces
-        .iter_mut()
+        .iter()
         .find(|t| t.probe == lan_probe)
         .unwrap();
     let mut min_gap: std::collections::HashMap<Ip, u64> = std::collections::HashMap::new();

@@ -20,8 +20,8 @@ pub mod scenario;
 pub use hosts::{table1_hosts, HostDef, Site, SITES};
 pub use population::PopulationConfig;
 pub use runner::{
-    run_ablation, run_experiment, run_on_scenario, run_paper_suite, ExperimentOptions,
-    ExperimentOutput,
+    run_ablation, run_experiment, run_on_scenario, run_paper_suite, run_streamed,
+    run_streamed_on_scenario, ExperimentOptions, ExperimentOutput,
 };
 pub use replication::{run_replicated, ReplicatedSummary, RunStat};
 pub use scenario::{BuiltScenario, ScenarioConfig};

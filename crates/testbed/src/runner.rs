@@ -8,12 +8,13 @@
 //! regardless of thread scheduling.
 
 use crate::scenario::{BuiltScenario, ScenarioConfig};
-use netaware_analysis::{analyze, AnalysisConfig, ExperimentAnalysis};
+use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
 use netaware_proto::{
     AppProfile, NetworkEnv, StreamParams, Swarm, SwarmConfig, SwarmReport,
 };
-use netaware_trace::TraceSet;
+use netaware_trace::{CorpusSink, TraceError, TraceSet};
 use rayon::prelude::*;
+use std::path::Path;
 
 /// Options for one experiment run.
 #[derive(Clone, Debug)]
@@ -122,6 +123,63 @@ pub fn run_on_scenario(
     }
 }
 
+/// Runs one application end-to-end with the capture spilled to an
+/// on-disk corpus at `dir` and the analysis streamed back off disk —
+/// the full `TraceSet` is never resident, so peak memory is bounded by
+/// one probe's capture plus the analysis accumulators. The corpus
+/// directory is left in place for re-analysis or sharing.
+pub fn run_streamed(
+    profile: AppProfile,
+    opts: &ExperimentOptions,
+    dir: &Path,
+) -> Result<ExperimentOutput, TraceError> {
+    let scenario = BuiltScenario::build(
+        &ScenarioConfig {
+            seed: opts.seed,
+            scale: opts.scale,
+            ..Default::default()
+        },
+        profile.overlay_size,
+    );
+    run_streamed_on_scenario(profile, &scenario, opts, dir)
+}
+
+/// [`run_streamed`] on an already-built scenario.
+pub fn run_streamed_on_scenario(
+    profile: AppProfile,
+    scenario: &BuiltScenario,
+    opts: &ExperimentOptions,
+    dir: &Path,
+) -> Result<ExperimentOutput, TraceError> {
+    let app = profile.name.clone();
+    let env = NetworkEnv {
+        registry: &scenario.registry,
+        paths: scenario.paths,
+        latency: scenario.latency,
+    };
+    let cfg = SwarmConfig {
+        seed: opts.seed,
+        duration_us: opts.duration_us,
+        stream: StreamParams::cctv1(),
+        profile,
+    };
+    let swarm = Swarm::new(cfg, env, scenario.peer_setup());
+    let (manifest, report) = swarm.run_into(CorpusSink::create(dir)?)?;
+    let analysis = analyze_corpus(
+        dir,
+        &scenario.registry,
+        &opts.analysis,
+        &scenario.highbw_probe_ips,
+    )?;
+    debug_assert_eq!(manifest.total_packets, analysis.total_packets);
+    Ok(ExperimentOutput {
+        app,
+        analysis,
+        report,
+        traces: None,
+    })
+}
+
 /// Runs the three paper applications (PPLive, SopCast, TVAnts)
 /// concurrently and returns their outputs in that order.
 pub fn run_paper_suite(opts: &ExperimentOptions) -> Vec<ExperimentOutput> {
@@ -179,6 +237,23 @@ mod tests {
         let t = out.traces.expect("traces requested");
         assert_eq!(t.traces.len(), 46);
         assert_eq!(t.total_packets(), out.analysis.total_packets);
+    }
+
+    #[test]
+    fn streamed_run_matches_in_memory_run() {
+        let dir = std::env::temp_dir()
+            .join(format!("netaware_runner_streamed_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = quick_opts();
+        opts.duration_us = 25_000_000;
+        let mem = run_experiment(AppProfile::tvants(), &opts);
+        let streamed = run_streamed(AppProfile::tvants(), &opts, &dir).unwrap();
+        assert!(streamed.traces.is_none());
+        assert_eq!(streamed.analysis.to_json(), mem.analysis.to_json());
+        // The spilled corpus is a loadable artifact.
+        let set = TraceSet::read_dir(&dir).unwrap();
+        assert_eq!(set.total_packets(), mem.analysis.total_packets);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

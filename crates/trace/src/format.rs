@@ -43,6 +43,13 @@ pub enum TraceError {
     },
     /// A record failed to decode (e.g. invalid payload kind).
     CorruptRecord(u64),
+    /// A streamed record's timestamp went backwards. Streaming readers
+    /// cannot re-sort, so the file must already be time-sorted (traces
+    /// are written post-finalize; see `ProbeTrace::finalize`).
+    OutOfOrder(
+        /// Index of the record that broke monotonicity.
+        u64,
+    ),
     /// A corpus manifest was missing, unparsable, or inconsistent with
     /// its trace files.
     BadManifest(
@@ -61,6 +68,9 @@ impl fmt::Display for TraceError {
                 write!(f, "truncated trace: header said {expected} records, found {got}")
             }
             TraceError::CorruptRecord(i) => write!(f, "corrupt record at index {i}"),
+            TraceError::OutOfOrder(i) => {
+                write!(f, "record {i} is out of timestamp order; finalize before writing")
+            }
             TraceError::BadManifest(why) => write!(f, "bad corpus manifest: {why}"),
         }
     }
@@ -110,8 +120,10 @@ pub fn write_trace<W: Write>(trace: &ProbeTrace, out: &mut W) -> Result<(), Trac
     Ok(())
 }
 
-/// Deserialises a probe trace from `input`.
-pub fn read_trace<R: Read>(input: &mut R) -> Result<ProbeTrace, TraceError> {
+/// Parses the fixed 18-byte header, returning `(probe, record count)`.
+/// Shared by the eager [`read_trace`] and the streaming
+/// [`crate::stream::RecordStream`] readers.
+pub(crate) fn read_header<R: Read>(input: &mut R) -> Result<(Ip, u64), TraceError> {
     let mut head = [0u8; 18];
     input.read_exact(&mut head)?;
     let [m0, m1, m2, m3, v0, v1, p0, p1, p2, p3, c0, c1, c2, c3, c4, c5, c6, c7] = head;
@@ -125,7 +137,12 @@ pub fn read_trace<R: Read>(input: &mut R) -> Result<ProbeTrace, TraceError> {
     }
     let probe = Ip(u32::from_le_bytes([p0, p1, p2, p3]));
     let count = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
+    Ok((probe, count))
+}
 
+/// Deserialises a probe trace from `input`.
+pub fn read_trace<R: Read>(input: &mut R) -> Result<ProbeTrace, TraceError> {
+    let (probe, count) = read_header(input)?;
     let mut records = Vec::with_capacity(count.min(1 << 24) as usize);
     let mut rec_buf = [0u8; PacketRecord::WIRE_SIZE];
     for i in 0..count {
@@ -184,11 +201,11 @@ mod tests {
 
     #[test]
     fn roundtrip_many() {
-        let mut t = sample_trace(10_000);
+        let t = sample_trace(10_000);
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         assert_eq!(buf.len(), 18 + 10_000 * PacketRecord::WIRE_SIZE);
-        let mut back = read_trace(&mut buf.as_slice()).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
         assert_eq!(back.probe, t.probe);
         assert_eq!(back.records(), t.records());
     }

@@ -14,6 +14,12 @@
 //!   guarantees;
 //! * [`pcap`] — classic libpcap export/import (synthesising Ethernet,
 //!   IPv4 and UDP headers), so traces open in standard tooling;
+//! * [`stream`] — incremental readers ([`RecordStream`],
+//!   [`CorpusStream`]) that yield records straight off disk so analyses
+//!   can run without materialising a [`TraceSet`];
+//! * [`sink`] — [`RecordSink`] consumers for captures as they are
+//!   produced: in-memory ([`MemorySink`]) or spill-to-disk
+//!   ([`CorpusSink`]);
 //! * [`filter`] — direction/time/size windowing used by the analysis.
 //!
 //! The analysis crate never looks at [`PayloadKind`] ground truth — it
@@ -29,8 +35,12 @@ pub mod merge;
 pub mod pcap;
 pub mod record;
 pub mod set;
+pub mod sink;
+pub mod stream;
 
 pub use filter::{Direction, TraceView};
 pub use format::{read_trace, write_trace, TraceError};
 pub use record::{PacketRecord, PayloadKind};
 pub use set::{ProbeTrace, TraceSet};
+pub use sink::{CorpusSink, MemorySink, RecordSink};
+pub use stream::{CorpusStream, FileRecordStream, RecordStream};

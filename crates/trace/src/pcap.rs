@@ -102,46 +102,102 @@ fn ipv4_checksum(hdr: &[u8]) -> u16 {
     !(sum as u16)
 }
 
+/// Incremental pcap reader: yields one [`PacketRecord`] per UDP/IPv4
+/// frame without materialising the capture.
+///
+/// pcap is a foreign format with no ordering guarantee, so unlike
+/// [`crate::stream::RecordStream`] this iterator does **not** enforce
+/// timestamp monotonicity — collect through
+/// [`ProbeTrace::from_records`] (or sort downstream) before analyses
+/// that need time order.
+pub struct PcapStream<R: Read> {
+    input: R,
+    skipped: u64,
+    done: bool,
+}
+
+impl<R: Read> PcapStream<R> {
+    /// Opens a stream by validating the 24-byte pcap global header
+    /// (classic magic, Ethernet link type).
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut head = [0u8; 24];
+        input.read_exact(&mut head)?;
+        let magic_bytes = [head[0], head[1], head[2], head[3]];
+        let magic = u32::from_le_bytes(magic_bytes);
+        if magic != PCAP_MAGIC {
+            return Err(TraceError::BadMagic(magic_bytes));
+        }
+        let linktype = u32::from_le_bytes([head[20], head[21], head[22], head[23]]);
+        if linktype != LINKTYPE_EN10MB {
+            return Err(TraceError::BadVersion(linktype as u16));
+        }
+        Ok(PcapStream {
+            input,
+            skipped: 0,
+            done: false,
+        })
+    }
+
+    /// Frames skipped so far because they were not IPv4/UDP.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Reads frames until one parses, EOF (`Ok(None)`), or an I/O error.
+    fn next_record(&mut self) -> Result<Option<PacketRecord>, TraceError> {
+        let mut pkt_head = [0u8; 16];
+        loop {
+            match self.input.read_exact(&mut pkt_head) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+                Err(e) => return Err(e.into()),
+            }
+            let [s0, s1, s2, s3, u0, u1, u2, u3, i0, i1, i2, i3, ..] = pkt_head;
+            let ts_sec = u32::from_le_bytes([s0, s1, s2, s3]) as u64;
+            let ts_usec = u32::from_le_bytes([u0, u1, u2, u3]) as u64;
+            let incl = u32::from_le_bytes([i0, i1, i2, i3]) as usize;
+            let mut frame = vec![0u8; incl];
+            self.input.read_exact(&mut frame)?;
+            match parse_frame(ts_sec * 1_000_000 + ts_usec, &frame) {
+                Some(rec) => return Ok(Some(rec)),
+                None => self.skipped += 1,
+            }
+        }
+    }
+}
+
+impl<R: Read> Iterator for PcapStream<R> {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Reads a classic pcap file captured at `probe` back into a trace.
 ///
 /// Non-IPv4/non-UDP frames are skipped. Returns the trace and the number
 /// of skipped frames.
 pub fn import_pcap<R: Read>(probe: Ip, input: &mut R) -> Result<(ProbeTrace, u64), TraceError> {
-    let mut head = [0u8; 24];
-    input.read_exact(&mut head)?;
-    let magic_bytes = [head[0], head[1], head[2], head[3]];
-    let magic = u32::from_le_bytes(magic_bytes);
-    if magic != PCAP_MAGIC {
-        return Err(TraceError::BadMagic(magic_bytes));
-    }
-    let linktype = u32::from_le_bytes([head[20], head[21], head[22], head[23]]);
-    if linktype != LINKTYPE_EN10MB {
-        return Err(TraceError::BadVersion(linktype as u16));
-    }
-
+    let mut stream = PcapStream::new(input)?;
     let mut records = Vec::new();
-    let mut skipped = 0u64;
-    let mut pkt_head = [0u8; 16];
-    loop {
-        match input.read_exact(&mut pkt_head) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-            Err(e) => return Err(e.into()),
-        }
-        let [s0, s1, s2, s3, u0, u1, u2, u3, i0, i1, i2, i3, ..] = pkt_head;
-        let ts_sec = u32::from_le_bytes([s0, s1, s2, s3]) as u64;
-        let ts_usec = u32::from_le_bytes([u0, u1, u2, u3]) as u64;
-        let incl = u32::from_le_bytes([i0, i1, i2, i3]) as usize;
-        let mut frame = vec![0u8; incl];
-        input.read_exact(&mut frame)?;
-
-        let Some(rec) = parse_frame(ts_sec * 1_000_000 + ts_usec, &frame) else {
-            skipped += 1;
-            continue;
-        };
-        records.push(rec);
+    for rec in stream.by_ref() {
+        records.push(rec?);
     }
-    Ok((ProbeTrace::from_records(probe, records), skipped))
+    Ok((ProbeTrace::from_records(probe, records), stream.skipped()))
 }
 
 fn parse_frame(ts_us: u64, frame: &[u8]) -> Option<PacketRecord> {
@@ -281,6 +337,18 @@ mod tests {
             import_pcap(Ip(0), &mut garbage.as_slice()),
             Err(TraceError::BadMagic(_))
         ));
+    }
+
+    #[test]
+    fn pcap_stream_yields_frames_incrementally() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        export_pcap(&t, &mut buf).unwrap();
+        let mut stream = PcapStream::new(buf.as_slice()).unwrap();
+        let recs: Vec<PacketRecord> = stream.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), t.len());
+        assert_eq!(stream.skipped(), 0);
+        assert_eq!(recs[0].ts_us, t.records_unsorted()[0].ts_us);
     }
 
     #[test]

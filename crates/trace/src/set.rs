@@ -40,19 +40,31 @@ impl ProbeTrace {
         self.records.push(rec);
     }
 
-    /// The records, sorting first if any arrived out of order.
-    pub fn records(&mut self) -> &[PacketRecord] {
-        if !self.sorted {
-            self.records.sort_by_key(|r| r.ts_us);
-            self.sorted = true;
-        }
+    /// The time-sorted records.
+    ///
+    /// Requires [`ProbeTrace::finalize`] (or [`TraceSet::finalize`]) to
+    /// have run if any record arrived out of order — sorting is an
+    /// explicit, one-time step, never a hidden side effect of a read.
+    /// Debug builds assert the invariant; release builds trust it.
+    pub fn records(&self) -> &[PacketRecord] {
+        debug_assert!(
+            self.sorted,
+            "probe {} trace read before finalize(); records are not time-sorted",
+            self.probe
+        );
         &self.records
     }
 
-    /// The records without enforcing order (read-only contexts that do
-    /// their own per-flow ordering).
+    /// The records without enforcing order (read-only contexts that are
+    /// order-insensitive or do their own per-flow ordering).
     pub fn records_unsorted(&self) -> &[PacketRecord] {
         &self.records
+    }
+
+    /// Whether the records are known to be in timestamp order (always
+    /// true after [`ProbeTrace::finalize`]).
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
     }
 
     /// Number of captured packets.
@@ -177,14 +189,29 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_pushes_get_sorted() {
+    fn out_of_order_pushes_get_sorted_by_finalize() {
         let p = Ip::from_octets(10, 0, 0, 1);
         let r = Ip::from_octets(10, 0, 0, 2);
         let mut t = ProbeTrace::new(p);
         t.push(rec(20, p, r, 100));
         t.push(rec(10, r, p, 100));
+        assert!(!t.is_sorted());
+        t.finalize();
+        assert!(t.is_sorted());
         let ts: Vec<u64> = t.records().iter().map(|x| x.ts_us).collect();
         assert_eq!(ts, vec![10, 20]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "before finalize")]
+    fn unsorted_read_panics_in_debug() {
+        let p = Ip::from_octets(10, 0, 0, 1);
+        let r = Ip::from_octets(10, 0, 0, 2);
+        let mut t = ProbeTrace::new(p);
+        t.push(rec(20, p, r, 100));
+        t.push(rec(10, r, p, 100));
+        let _ = t.records();
     }
 
     #[test]

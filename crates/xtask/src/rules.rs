@@ -16,6 +16,8 @@ pub enum RuleId {
     Nd02,
     /// No unordered parallel float reductions in analysis.
     Nd03,
+    /// No full-trace materialisation in analysis hot paths.
+    Nd04,
     /// No `unwrap`/`expect`/`panic!` in non-test library code.
     Pa01,
     /// Public items must be documented.
@@ -29,6 +31,7 @@ impl RuleId {
             RuleId::Nd01 => "ND01",
             RuleId::Nd02 => "ND02",
             RuleId::Nd03 => "ND03",
+            RuleId::Nd04 => "ND04",
             RuleId::Pa01 => "PA01",
             RuleId::Doc01 => "DOC01",
         }
@@ -40,6 +43,7 @@ impl RuleId {
             "ND01" => Some(RuleId::Nd01),
             "ND02" => Some(RuleId::Nd02),
             "ND03" => Some(RuleId::Nd03),
+            "ND04" => Some(RuleId::Nd04),
             "PA01" => Some(RuleId::Pa01),
             "DOC01" => Some(RuleId::Doc01),
             _ => None,
@@ -47,11 +51,12 @@ impl RuleId {
     }
 
     /// All rules, in catalogue order.
-    pub fn all() -> [RuleId; 5] {
+    pub fn all() -> [RuleId; 6] {
         [
             RuleId::Nd01,
             RuleId::Nd02,
             RuleId::Nd03,
+            RuleId::Nd04,
             RuleId::Pa01,
             RuleId::Doc01,
         ]
@@ -71,6 +76,10 @@ impl RuleId {
             RuleId::Nd03 => {
                 "no unordered parallel float reductions (par_iter…sum/reduce/fold) in analysis"
             }
+            RuleId::Nd04 => {
+                "no full-trace materialisation (into_records(), records()…collect) in analysis \
+                 hot paths; stream records through AnalysisPass accumulators"
+            }
             RuleId::Pa01 => "no unwrap()/expect()/panic! in non-test library code",
             RuleId::Doc01 => "public items must carry doc comments",
         }
@@ -85,6 +94,8 @@ pub struct FileScope {
     pub nd02: bool,
     /// ND03 applies (analysis reductions).
     pub nd03: bool,
+    /// ND04 applies (analysis record-streaming discipline).
+    pub nd04: bool,
     /// PA01/DOC01 apply (library source).
     pub library: bool,
 }
@@ -131,10 +142,14 @@ impl FileScope {
         let nd02 = !is_xtask
             && (nd01 || matches!(crate_name, Some("trace" | "analysis")) || crate_name.is_none());
         let nd03 = matches!(crate_name, Some("analysis"));
+        // The analysis crate must stream records, never buffer a whole
+        // trace: the streaming pipeline's memory bound depends on it.
+        let nd04 = nd03;
         Some(FileScope {
             nd01,
             nd02,
             nd03,
+            nd04,
             library: true,
         })
     }
@@ -267,6 +282,9 @@ pub fn check(toks: &[Tok], scope: &FileScope) -> Vec<RawFinding> {
         if scope.nd03 {
             nd03_at(&code, i, &mut out);
         }
+        if scope.nd04 {
+            nd04_at(&code, i, &mut out);
+        }
         if scope.library {
             pa01_at(&code, i, &mut out);
             doc01_at(toks, &code, i, &mut out);
@@ -364,6 +382,63 @@ fn nd03_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
                     "unordered parallel `{}` makes float results depend on thread scheduling; \
                      collect in input order and reduce sequentially",
                     c.text
+                ),
+            ));
+            return;
+        }
+    }
+}
+
+/// Flags analysis code that materialises a whole trace instead of
+/// streaming it: any `.into_records()` call, and `.records()` /
+/// `.records_unsorted()` pipelines that `.collect` the records before the
+/// statement ends. Borrowing the slice to iterate (`for r in t.records()`,
+/// `run_pass(t.records(), …)`) is the intended idiom and stays clean.
+fn nd04_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if t.kind != TokKind::Ident
+        || i == 0
+        || !code[i - 1].tok.is_punct('.')
+        || !tok_at(code, i + 1).is_some_and(|n| n.is_punct('('))
+    {
+        return;
+    }
+    if t.text == "into_records" {
+        out.push(finding(
+            RuleId::Nd04,
+            t,
+            "`.into_records()` materialises the whole trace; stream it through an \
+             AnalysisPass instead"
+                .into(),
+        ));
+        return;
+    }
+    if t.text != "records" && t.text != "records_unsorted" {
+        return;
+    }
+    let mut depth = 0i32;
+    for j in (i + 1)..code.len() {
+        let c = code[j].tok;
+        if c.is_punct('(') || c.is_punct('[') {
+            depth += 1;
+        } else if c.is_punct(')') || c.is_punct(']') {
+            depth -= 1;
+            if depth < 0 {
+                return; // the records call was an argument; caller borrows
+            }
+        } else if depth == 0 && (c.is_punct(';') || c.is_punct('{')) {
+            return; // statement (or loop body) ends without collecting
+        } else if depth == 0
+            && c.is_ident("collect")
+            && code[j - 1].tok.is_punct('.')
+        {
+            out.push(finding(
+                RuleId::Nd04,
+                c,
+                format!(
+                    "collecting `.{}()` copies the whole trace; feed the records through an \
+                     AnalysisPass accumulator instead",
+                    t.text
                 ),
             ));
             return;

@@ -1,0 +1,20 @@
+//! ND04 fixture (clean): records are borrowed and streamed in place,
+//! never rebuffered into a second allocation.
+
+use crate::pass::{run_pass, FlowPass};
+use netaware_trace::ProbeTrace;
+
+/// Streams the trace through an accumulator in one pass.
+pub fn stream_bytes(trace: &ProbeTrace) -> u64 {
+    let mut total = 0u64;
+    for rec in trace.records() {
+        total += u64::from(rec.bytes);
+    }
+    total
+}
+
+/// Hands the borrowed slice straight to the pass driver.
+pub fn drive(trace: &ProbeTrace, pass: FlowPass) -> u64 {
+    let flows = run_pass(trace.records_unsorted(), pass);
+    flows.len() as u64
+}

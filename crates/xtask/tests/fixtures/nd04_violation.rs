@@ -1,0 +1,18 @@
+//! ND04 fixture: full-trace materialisation in analysis code.
+
+use netaware_trace::{PacketRecord, ProbeTrace};
+
+/// Buffers the whole trace into an owned Vec before looking at it.
+pub fn buffer_all(trace: ProbeTrace) -> Vec<PacketRecord> {
+    trace.into_records()
+}
+
+/// Copies the record slice into a second allocation.
+pub fn copy_all(trace: &ProbeTrace) -> Vec<PacketRecord> {
+    trace.records().iter().copied().collect()
+}
+
+/// Same copy through the unsorted accessor.
+pub fn copy_unsorted(trace: &ProbeTrace) -> Vec<u64> {
+    trace.records_unsorted().iter().map(|r| r.ts_us).collect()
+}

@@ -84,6 +84,41 @@ fn nd03_fixture_clean_passes() {
     assert_clean(&lint_as("crates/analysis/src/fixture.rs", "nd03_clean.rs"));
 }
 
+// ---- ND04: full-trace materialisation ----------------------------------
+
+#[test]
+fn nd04_fixture_flags_materialisation() {
+    let diags = lint_as("crates/analysis/src/fixture.rs", "nd04_violation.rs");
+    assert_all_rule(&diags, "ND04");
+    assert_eq!(diags.len(), 3, "into_records + two records…collect");
+}
+
+#[test]
+fn nd04_fixture_clean_passes() {
+    // Borrowed iteration and run_pass(t.records(), …) are the idiom.
+    assert_clean(&lint_as("crates/analysis/src/fixture.rs", "nd04_clean.rs"));
+}
+
+#[test]
+fn nd04_out_of_scope_in_trace() {
+    // The trace crate owns the buffers; it may materialise freely.
+    let diags = lint_as("crates/trace/src/fixture.rs", "nd04_violation.rs");
+    assert!(diags.iter().all(|d| d.rule != "ND04"), "ND04 fired out of scope");
+}
+
+#[test]
+fn nd04_allow_directive_suppresses() {
+    let src = "/// Rebuffers deliberately.\n\
+               pub fn snapshot(trace: &ProbeTrace) -> Vec<PacketRecord> {\n\
+               \x20   // netaware-lint: allow(ND04) snapshot API contract returns owned Vec\n\
+               \x20   trace.records().iter().copied().collect()\n\
+               }\n";
+    assert_clean(&netaware_xtask::lint_source(
+        "crates/analysis/src/fixture.rs",
+        src,
+    ));
+}
+
 // ---- PA01: panicking escape hatches ------------------------------------
 
 #[test]

@@ -1,14 +1,17 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release --example paper_tables [-- --scale 0.1 --secs 600 --seed 42 --json out.json]
+//! cargo run --release --example paper_tables [-- --scale 0.1 --secs 600 --seed 42 --json out.json --spill DIR]
 //! ```
 //!
 //! Runs the three applications (PPLive-, SopCast-, TVAnts-like) on the
 //! reconstructed NAPA-WINE testbed, applies the passive analysis, and
 //! prints Tables I–IV and Figures 1–2 in the paper's layout. `--scale 1.0
 //! --secs 3600` reproduces the original experiment size (minutes of CPU,
-//! GBs of in-memory traces); the defaults are laptop-friendly.
+//! GBs of in-memory traces); the defaults are laptop-friendly. With
+//! `--spill DIR`, each application's capture is streamed to an on-disk
+//! corpus under `DIR/<app>/` and analysed back off disk, bounding peak
+//! memory at paper scale.
 
 use netaware::analysis::tables;
 use netaware::testbed::{self, ExperimentOptions};
@@ -18,6 +21,7 @@ struct Args {
     secs: u64,
     seed: u64,
     json: Option<String>,
+    spill: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +30,7 @@ fn parse_args() -> Args {
         secs: 420,
         seed: 42,
         json: None,
+        spill: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
             "--secs" => args.secs = val("--secs").parse().expect("secs"),
             "--seed" => args.seed = val("--seed").parse().expect("seed"),
             "--json" => args.json = Some(val("--json")),
+            "--spill" => args.spill = Some(val("--spill")),
             other => panic!("unknown argument {other}"),
         }
     }
@@ -60,8 +66,25 @@ fn main() {
         args.scale, args.secs, args.seed
     );
     let t0 = std::time::Instant::now();
-    let outs = testbed::run_paper_suite(&opts);
+    let outs = match &args.spill {
+        // Spilled variant: each app's capture goes to its own corpus
+        // directory and the analysis streams it back off disk.
+        Some(dir) => {
+            use rayon::prelude::*;
+            netaware::AppProfile::paper_apps()
+                .into_par_iter()
+                .map(|p| {
+                    let sub = std::path::Path::new(dir).join(&p.name);
+                    testbed::run_streamed(p, &opts, &sub).expect("streamed run")
+                })
+                .collect()
+        }
+        None => testbed::run_paper_suite(&opts),
+    };
     eprintln!("done in {:.1?}\n", t0.elapsed());
+    if let Some(dir) = &args.spill {
+        eprintln!("trace corpora left under {dir}/<app>/\n");
+    }
 
     let summaries: Vec<_> = outs.iter().map(|o| o.analysis.summary.clone()).collect();
     println!("{}", tables::render_table2(&summaries));

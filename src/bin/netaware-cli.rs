@@ -3,17 +3,22 @@
 //! ```text
 //! netaware-cli suite     [--scale F] [--secs N] [--seed N] [--json FILE]
 //! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
-//! netaware-cli run APP [--uniform] [--scale F] [--secs N] [--seed N] [--json FILE]
+//! netaware-cli run APP [--uniform] [--spill DIR] [--scale F] [--secs N] [--seed N] [--json FILE]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
 //! netaware-cli testbed
 //! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
-//! netaware-cli analyze --probe IP FILE.pcap [--probe IP FILE.pcap …]
+//! netaware-cli analyze --dir CORPUS | --probe IP FILE.pcap [--probe IP FILE.pcap …]
 //! ```
 //!
 //! `APP` is one of `pplive`, `sopcast`, `tvants`, `nextgen`.
-//! `analyze` ingests classic pcap captures (e.g. produced by `export`
-//! or by tcpdump against the same address plan) and runs the passive
-//! framework over them using the reconstructed testbed registry.
+//! `run --spill DIR` spills the capture to an on-disk corpus as it is
+//! produced and streams the analysis back off disk — constant memory in
+//! the experiment size, and the corpus stays behind for `analyze --dir`.
+//! `analyze --dir` streams a saved corpus through the single-pass engine
+//! without loading it; `analyze --probe …` ingests classic pcap captures
+//! (e.g. produced by `export` or by tcpdump against the same address
+//! plan) and runs the passive framework over them using the
+//! reconstructed testbed registry.
 
 use netaware::analysis::tables;
 use netaware::analysis::{analyze, AnalysisConfig};
@@ -44,6 +49,7 @@ struct Common {
     markdown: Option<String>,
     uniform: bool,
     persite: bool,
+    spill: Option<String>,
     dir: Option<String>,
     app: Option<String>,
     pcaps: Vec<(Ip, String)>,
@@ -60,6 +66,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         markdown: None,
         uniform: false,
         persite: false,
+        spill: None,
         dir: None,
         app: None,
         pcaps: Vec::new(),
@@ -80,6 +87,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--json" => c.json = Some(take(&mut i)?),
             "--csv" => c.csv = Some(take(&mut i)?),
             "--markdown" => c.markdown = Some(take(&mut i)?),
+            "--spill" => c.spill = Some(take(&mut i)?),
             "--dir" => c.dir = Some(take(&mut i)?),
             "--app" => c.app = Some(take(&mut i)?),
             "--uniform" => c.uniform = true,
@@ -203,7 +211,24 @@ fn cmd_run(c: &Common) -> ExitCode {
     }
     let mut opts = opts_of(c);
     opts.keep_traces = c.persite;
-    let out = run_experiment(profile, &opts);
+    let out = if let Some(dir) = &c.spill {
+        if c.persite {
+            eprintln!("run: --persite needs in-memory traces and cannot be combined with --spill");
+            return ExitCode::from(2);
+        }
+        match netaware::run_streamed(profile, &opts, std::path::Path::new(dir)) {
+            Ok(out) => {
+                eprintln!("trace corpus spilled to {dir}/ (manifest.json + .nawt)");
+                out
+            }
+            Err(e) => {
+                eprintln!("run: streaming to {dir} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_experiment(profile, &opts)
+    };
     if c.persite {
         let traces = out.traces.as_ref().expect("keep_traces set");
         let scenario = BuiltScenario::build(
@@ -316,16 +341,22 @@ fn cmd_export(c: &Common) -> ExitCode {
 }
 
 fn cmd_analyze(c: &Common) -> ExitCode {
-    // A saved corpus directory (from `export`) analyses in one step.
+    // A saved corpus directory (from `export` or `run --spill`) analyses
+    // in one step, streaming each probe's records straight off disk.
     if let Some(dir) = &c.dir {
-        let set = TraceSet::read_dir(std::path::Path::new(dir)).expect("read corpus");
         let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale: 0.01, ..Default::default() }, 100);
-        let a = analyze(
-            &set,
+        let a = match netaware::analyze_corpus(
+            std::path::Path::new(dir),
             &scenario.registry,
             &AnalysisConfig::default(),
             &scenario.highbw_probe_ips,
-        );
+        ) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("analyze: reading corpus {dir} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!("{}", tables::render_table4(&[(a.app.clone(), a.preferences.clone())]));
         println!(
             "{} packets, {} peers observed, hop threshold {}",

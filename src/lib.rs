@@ -43,6 +43,8 @@ pub use netaware_sim as sim;
 pub use netaware_testbed as testbed;
 pub use netaware_trace as trace;
 
-pub use netaware_analysis::{analyze, AnalysisConfig, ExperimentAnalysis};
+pub use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
 pub use netaware_proto::AppProfile;
-pub use netaware_testbed::{run_experiment, run_paper_suite, ExperimentOptions};
+pub use netaware_testbed::{
+    run_experiment, run_paper_suite, run_streamed, ExperimentOptions,
+};

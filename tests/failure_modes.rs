@@ -2,10 +2,11 @@
 //! — the analysis must degrade gracefully, never panic or fabricate.
 
 use netaware::analysis::flows::aggregate;
-use netaware::analysis::{analyze, AnalysisConfig};
+use netaware::analysis::{analyze, analyze_corpus, AnalysisConfig};
 use netaware::net::{GeoRegistryBuilder, Ip};
 use netaware::trace::{
-    read_trace, write_trace, PacketRecord, PayloadKind, ProbeTrace, TraceError, TraceSet,
+    read_trace, write_trace, CorpusStream, PacketRecord, PayloadKind, ProbeTrace, RecordStream,
+    TraceError, TraceSet,
 };
 use std::collections::BTreeSet;
 
@@ -179,6 +180,146 @@ impl ContribMax for netaware::testbed::ExperimentOutput {
             .max
             .max(self.analysis.summary.contrib_tx.max)
     }
+}
+
+// ---- Streaming reads: the error must carry progress, and the stream
+// ---- must fuse after it ------------------------------------------------
+
+fn full_trace_bytes(n: u64) -> Vec<u8> {
+    let probe = Ip::from_octets(10, 0, 0, 1);
+    let mut t = ProbeTrace::new(probe);
+    for i in 0..n {
+        t.push(video_rec(i * 10, Ip::from_octets(58, 0, 0, 1), probe, 110));
+    }
+    let mut buf = Vec::new();
+    write_trace(&t, &mut buf).unwrap();
+    buf
+}
+
+#[test]
+fn streaming_truncation_reports_records_already_yielded() {
+    const WIRE: usize = PacketRecord::WIRE_SIZE;
+    let buf = full_trace_bytes(50);
+    for (cut, want_got) in [
+        (18, 0u64),                 // header only
+        (18 + WIRE - 1, 0),         // first record cut short
+        (18 + 7 * WIRE + 5, 7),     // mid-stream cut
+        (buf.len() - 1, 49),        // last record one byte short
+    ] {
+        let sliced = &buf[..cut];
+        let mut stream = RecordStream::new(sliced).unwrap();
+        let mut yielded = 0u64;
+        let err = loop {
+            match stream.next() {
+                Some(Ok(_)) => yielded += 1,
+                Some(Err(e)) => break e,
+                None => panic!("cut at {cut}: stream ended without an error"),
+            }
+        };
+        match err {
+            TraceError::Truncated { expected, got } => {
+                assert_eq!(expected, 50, "cut at {cut}");
+                assert_eq!(got, want_got, "cut at {cut}");
+                assert_eq!(got, yielded, "cut at {cut}: error disagrees with iteration");
+            }
+            other => panic!("cut at {cut}: unexpected {other:?}"),
+        }
+        // The stream fuses: no records are invented after the error.
+        assert!(stream.next().is_none(), "cut at {cut}: stream not fused");
+    }
+}
+
+#[test]
+fn streaming_corrupt_record_carries_its_index() {
+    const WIRE: usize = PacketRecord::WIRE_SIZE;
+    let mut buf = full_trace_bytes(10);
+    // Stamp an invalid payload-kind byte into record 3 (last byte of the
+    // 24-byte record encoding).
+    buf[18 + 3 * WIRE + (WIRE - 1)] = 0xFF;
+    let stream = RecordStream::new(&buf[..]).unwrap();
+    let results: Vec<_> = stream.collect();
+    assert_eq!(results.len(), 4, "three good records, then the error, then fused");
+    assert!(results[..3].iter().all(|r| r.is_ok()));
+    match &results[3] {
+        Err(TraceError::CorruptRecord(idx)) => assert_eq!(*idx, 3),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn streaming_rejects_out_of_order_records() {
+    // The on-disk format is a sorted capture; a streaming reader cannot
+    // re-sort, so a timestamp regression must surface as an error rather
+    // than silently corrupting windowed passes downstream.
+    let probe = Ip::from_octets(10, 0, 0, 1);
+    let mut t = ProbeTrace::new(probe);
+    t.push(video_rec(5_000, Ip::from_octets(58, 0, 0, 1), probe, 110));
+    t.push(video_rec(3_000, Ip::from_octets(58, 0, 0, 1), probe, 110));
+    // Deliberately NOT finalized: write the records out of order.
+    let mut buf = Vec::new();
+    write_trace(&t, &mut buf).unwrap();
+    let stream = RecordStream::new(&buf[..]).unwrap();
+    let results: Vec<_> = stream.collect();
+    assert!(results[0].is_ok());
+    match &results[1] {
+        Err(TraceError::OutOfOrder(idx)) => assert_eq!(*idx, 1),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(results.len(), 2, "stream must fuse after the ordering error");
+}
+
+#[test]
+fn corrupt_corpus_surfaces_errors_not_partial_analyses() {
+    let dir = std::env::temp_dir().join(format!("netaware_failure_corpus_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let probe = Ip::from_octets(10, 0, 0, 1);
+    let mut t = ProbeTrace::new(probe);
+    for i in 0..60u64 {
+        t.push(video_rec(i * 1_000, Ip::from_octets(58, 0, 0, 1), probe, 110));
+    }
+    let mut set = TraceSet::new("X", 1_000_000);
+    set.add(t);
+    set.finalize();
+    set.write_dir(&dir).unwrap();
+    let reg = GeoRegistryBuilder::new().build();
+    let cfg = AnalysisConfig::default();
+
+    // Unparsable manifest → BadManifest, naming the problem.
+    let manifest_path = dir.join("manifest.json");
+    let good_manifest = std::fs::read(&manifest_path).unwrap();
+    std::fs::write(&manifest_path, b"{ not json").unwrap();
+    match CorpusStream::open(&dir) {
+        Err(TraceError::BadManifest(_)) => {}
+        Err(other) => panic!("unexpected {other:?}"),
+        Ok(_) => panic!("garbage manifest parsed"),
+    }
+    std::fs::write(&manifest_path, &good_manifest).unwrap();
+
+    // Truncated probe file → the streamed analysis refuses, it does not
+    // fabricate a partial result.
+    let nawt = dir.join(format!("{probe}.nawt"));
+    let good_nawt = std::fs::read(&nawt).unwrap();
+    std::fs::write(&nawt, &good_nawt[..good_nawt.len() - 7]).unwrap();
+    match analyze_corpus(&dir, &reg, &cfg, &BTreeSet::new()) {
+        Err(TraceError::Truncated { expected, got }) => {
+            assert_eq!(expected, 60);
+            assert_eq!(got, 59);
+        }
+        other => panic!("unexpected {:?}", other.map(|a| a.total_packets)),
+    }
+    std::fs::write(&nawt, &good_nawt).unwrap();
+
+    // A probe file whose header names a different probe than its
+    // manifest entry → BadManifest on open.
+    let mut wrong = good_nawt.clone();
+    wrong[6] ^= 0x01; // flip a bit inside the header's probe field
+    std::fs::write(&nawt, &wrong).unwrap();
+    let corpus = CorpusStream::open(&dir).unwrap();
+    match corpus.open_probe(probe) {
+        Err(TraceError::BadManifest(_)) => {}
+        other => panic!("unexpected {:?}", other.map(|s| s.expected())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
