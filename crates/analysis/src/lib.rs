@@ -67,4 +67,6 @@ pub mod validation;
 
 pub use heuristics::AnalysisConfig;
 pub use pass::{run_pass, AnalysisPass};
-pub use report::{analyze, analyze_corpus, ExperimentAnalysis};
+pub use report::{
+    analyze, analyze_corpus, analyze_corpus_with_obs, analyze_with_obs, ExperimentAnalysis,
+};

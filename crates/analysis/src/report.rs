@@ -20,6 +20,8 @@ use crate::preference::{all_preferences, MetricPreference};
 use crate::selfbias::{self_bias, SelfBias};
 use crate::summary::{summarize_with_rates, AppSummary};
 use netaware_net::{GeoRegistry, Ip};
+use netaware_obs::{Level, Obs};
+use netaware_sim::SimTime;
 use netaware_trace::{CorpusStream, PacketRecord, TraceError};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -79,18 +81,44 @@ pub fn analyze(
     cfg: &AnalysisConfig,
     highbw_probes: &BTreeSet<Ip>,
 ) -> ExperimentAnalysis {
-    let outs: Vec<ProbeOutput> = set
-        .traces
-        .par_iter()
-        .map(|t| {
-            let mut pass = ProbePass::new(t.probe, set.duration_us, cfg);
-            for rec in t.records() {
-                pass.on_record(rec);
-            }
-            pass.finish()
-        })
-        .collect();
-    assemble(&set.app, set.probe_set(), outs, registry, cfg, highbw_probes)
+    analyze_with_obs(set, registry, cfg, highbw_probes, &Obs::default())
+}
+
+/// [`analyze`] with observability: the parallel sweep and the sequential
+/// reduction run under `analysis.sweep` / `analysis.assemble` spans,
+/// `analysis.*` metrics are updated, and one `pass.flow` event per probe
+/// (emitted sequentially in trace order, so the event log stays
+/// deterministic) reports that probe's sweep output.
+pub fn analyze_with_obs(
+    set: &netaware_trace::TraceSet,
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    highbw_probes: &BTreeSet<Ip>,
+    obs: &Obs,
+) -> ExperimentAnalysis {
+    let outs: Vec<ProbeOutput> = {
+        let _sweep = obs.span("analysis.sweep");
+        set.traces
+            .par_iter()
+            .map(|t| {
+                let mut pass = ProbePass::new(t.probe, set.duration_us, cfg);
+                for rec in t.records() {
+                    pass.on_record(rec);
+                }
+                pass.finish()
+            })
+            .collect()
+    };
+    assemble(
+        &set.app,
+        set.duration_us,
+        set.probe_set(),
+        outs,
+        registry,
+        cfg,
+        highbw_probes,
+        obs,
+    )
 }
 
 /// Runs the complete pipeline straight off an on-disk corpus directory
@@ -110,19 +138,35 @@ pub fn analyze_corpus(
     cfg: &AnalysisConfig,
     highbw_probes: &BTreeSet<Ip>,
 ) -> Result<ExperimentAnalysis, TraceError> {
-    let corpus = CorpusStream::open(dir)?;
+    analyze_corpus_with_obs(dir, registry, cfg, highbw_probes, &Obs::default())
+}
+
+/// [`analyze_corpus`] with observability — same instrumentation as
+/// [`analyze_with_obs`], plus `stream.error` events from the underlying
+/// [`CorpusStream`] when a probe file fails to stream.
+pub fn analyze_corpus_with_obs(
+    dir: &Path,
+    registry: &GeoRegistry,
+    cfg: &AnalysisConfig,
+    highbw_probes: &BTreeSet<Ip>,
+    obs: &Obs,
+) -> Result<ExperimentAnalysis, TraceError> {
+    let corpus = CorpusStream::open_with(dir, obs.clone())?;
     let duration_us = corpus.duration_us();
-    let streamed: Vec<Result<ProbeOutput, TraceError>> = corpus
-        .probes()
-        .par_iter()
-        .map(|&probe| {
-            let mut pass = ProbePass::new(probe, duration_us, cfg);
-            for rec in corpus.open_probe(probe)? {
-                pass.on_record(&rec?);
-            }
-            Ok(pass.finish())
-        })
-        .collect();
+    let streamed: Vec<Result<ProbeOutput, TraceError>> = {
+        let _sweep = obs.span("analysis.sweep");
+        corpus
+            .probes()
+            .par_iter()
+            .map(|&probe| {
+                let mut pass = ProbePass::new(probe, duration_us, cfg);
+                for rec in corpus.open_probe(probe)? {
+                    pass.on_record(&rec?);
+                }
+                Ok(pass.finish())
+            })
+            .collect()
+    };
     let mut outs = Vec::with_capacity(streamed.len());
     for o in streamed {
         outs.push(o?);
@@ -137,11 +181,13 @@ pub fn analyze_corpus(
     let probe_set: BTreeSet<Ip> = corpus.probes().iter().copied().collect();
     Ok(assemble(
         corpus.app(),
+        duration_us,
         probe_set,
         outs,
         registry,
         cfg,
         highbw_probes,
+        obs,
     ))
 }
 
@@ -196,31 +242,60 @@ impl AnalysisPass for ProbePass {
 }
 
 /// Sequential, trace-ordered reduction shared by both drivers.
+///
+/// Per-probe `pass.flow` events are emitted from this sequential loop —
+/// never from the parallel sweep — so the event log order is the trace
+/// order, independent of rayon scheduling.
+#[allow(clippy::too_many_arguments)]
 fn assemble(
     app: &str,
+    duration_us: u64,
     probe_set: BTreeSet<Ip>,
     outs: Vec<ProbeOutput>,
     registry: &GeoRegistry,
     cfg: &AnalysisConfig,
     highbw_probes: &BTreeSet<Ip>,
+    obs: &Obs,
 ) -> ExperimentAnalysis {
+    let _assemble = obs.span("analysis.assemble");
+    let records_swept = obs.counter("analysis.records_swept");
+    let probes_analyzed = obs.counter("analysis.probes_analyzed");
+    let flows_per_probe = obs.histogram("analysis.flows_per_probe", 4096);
+    let horizon = SimTime::from_us(duration_us);
     let mut pfs = Vec::with_capacity(outs.len());
     let mut rates = Vec::with_capacity(outs.len());
     let mut total_packets = 0usize;
     let mut total_bytes = 0u64;
     for o in outs {
+        records_swept.add(o.packets as u64);
+        probes_analyzed.inc();
+        flows_per_probe.record(o.flows.peers_seen());
+        netaware_obs::event!(
+            obs,
+            Level::Debug,
+            "pass.flow",
+            horizon,
+            "probe" = o.flows.probe.to_string(),
+            "flows" = o.flows.peers_seen(),
+            "packets" = o.packets,
+            "bytes" = o.bytes,
+        );
         total_packets += o.packets;
         total_bytes += o.bytes;
         pfs.push(o.flows);
         rates.push(o.rates);
     }
     let hop_thr = hop_threshold(&pfs, cfg);
+    obs.gauge("analysis.hop_threshold").set(hop_thr as i64);
+    let geo = geo_breakdown(&pfs, registry);
+    obs.gauge("analysis.peers_observed")
+        .set(geo.total_peers as i64);
     ExperimentAnalysis {
         app: app.to_string(),
         summary: summarize_with_rates(app, &rates, &pfs, cfg),
         selfbias: self_bias(&pfs, cfg, &probe_set),
         preferences: all_preferences(&pfs, registry, cfg, hop_thr, &probe_set),
-        geo: geo_breakdown(&pfs, registry),
+        geo,
         asmatrix: as_matrix(&pfs, registry, highbw_probes),
         friendliness: friendliness(&pfs, registry, cfg),
         hop_distribution: hop_distribution(&pfs, cfg, hop_thr),

@@ -1,0 +1,86 @@
+//! Observability-overhead benches.
+//!
+//! The `obs_overhead` group runs the same single-pass analysis three
+//! ways: with the default disabled handle (instrumentation compiles to
+//! an `enabled()` check on a `None` handle and nothing else), with a
+//! counting null sink (filters pass, fields are evaluated, the event is
+//! dropped at the sink), and with a live ring sink (events are built
+//! and retained). The deltas bound what instrumentation costs the hot
+//! analysis path; the acceptance bar for the PR is that the disabled
+//! and null-sink variants stay within noise of the uninstrumented
+//! `streaming` group baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netaware_analysis::{analyze_with_obs, AnalysisConfig};
+use netaware_bench::fixture;
+use netaware_obs::{Filter, Level, NullSink, Obs, RingSink};
+use netaware_sim::SimTime;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn analysis_overhead(c: &mut Criterion) {
+    let f = fixture();
+    let cfg = AnalysisConfig::default();
+    let total = f.traces.total_packets();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(total as u64));
+    g.bench_function("disabled", |b| {
+        let obs = Obs::default();
+        b.iter(|| black_box(analyze_with_obs(&f.traces, &f.registry, &cfg, &f.highbw, &obs)))
+    });
+    g.bench_function("null_sink", |b| {
+        let obs = Obs::new(Arc::new(NullSink::new()));
+        b.iter(|| black_box(analyze_with_obs(&f.traces, &f.registry, &cfg, &f.highbw, &obs)))
+    });
+    g.bench_function("ring_sink", |b| {
+        let obs = Obs::new(Arc::new(RingSink::new(8192)));
+        b.iter(|| black_box(analyze_with_obs(&f.traces, &f.registry, &cfg, &f.highbw, &obs)))
+    });
+    g.finish();
+}
+
+/// Micro-benches of the event macro itself: the filtered-out case is
+/// the cost every silenced call site pays, the recorded case is the
+/// full build-and-store path.
+fn event_macro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_event");
+    g.bench_function("filtered_out", |b| {
+        let obs = Obs::with_filter(Arc::new(RingSink::new(64)), Filter::min(Level::Error));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            netaware_obs::event!(
+                obs,
+                Level::Debug,
+                "bench.tick",
+                SimTime::from_us(n),
+                "n" = n,
+            );
+            black_box(n)
+        })
+    });
+    g.bench_function("ring_recorded", |b| {
+        let obs = Obs::new(Arc::new(RingSink::new(64)));
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            netaware_obs::event!(
+                obs,
+                Level::Debug,
+                "bench.tick",
+                SimTime::from_us(n),
+                "n" = n,
+            );
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = analysis_overhead, event_macro
+}
+criterion_main!(benches);

@@ -41,6 +41,7 @@ pub fn bench_options() -> ExperimentOptions {
         duration_us: 90_000_000,
         analysis: AnalysisConfig::default(),
         keep_traces: true,
+        obs: netaware_obs::Obs::default(),
     }
 }
 
@@ -88,5 +89,6 @@ pub fn tiny_options() -> ExperimentOptions {
         duration_us: 30_000_000,
         analysis: AnalysisConfig::default(),
         keep_traces: false,
+        obs: netaware_obs::Obs::default(),
     }
 }

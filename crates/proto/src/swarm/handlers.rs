@@ -6,6 +6,7 @@ use crate::chunk::ChunkId;
 use crate::message::Signal;
 use crate::peer::{PeerId, PeerRole};
 use crate::policy::Candidate;
+use netaware_obs::Level;
 use netaware_sim::{Scheduler, SimTime};
 use netaware_trace::PayloadKind;
 
@@ -79,7 +80,19 @@ impl Swarm<'_> {
                     .count() as u64;
                 s.lost += lost;
                 s.bufmap.advance_base(playhead);
+                if lost > 0 {
+                    self.m.chunks_expired.add(lost);
+                    netaware_obs::event!(
+                        self.obs,
+                        Level::Debug,
+                        "swarm.chunk_expired",
+                        now,
+                        "probe" = i,
+                        "lost" = lost,
+                    );
+                }
             }
+            let s = &mut self.probe_states[i];
             // Expire timed-out requests, punishing the slow provider.
             let mut timed_out = Vec::new();
             s.pending.retain(|p| {
@@ -90,6 +103,8 @@ impl Swarm<'_> {
                     true
                 }
             });
+            self.m.requests_timed_out.add(timed_out.len() as u64);
+            let s = &mut self.probe_states[i];
             for prov in timed_out {
                 let e = s.est_bps.entry(prov).or_insert(TIMEOUT_EST_BPS);
                 *e = (*e).min(TIMEOUT_EST_BPS);
@@ -132,6 +147,10 @@ impl Swarm<'_> {
         if n_neigh == 0 {
             return;
         }
+        // Gossip fan-out: how many neighbors this tick's announcements
+        // could reach, and how many buffer maps actually go out.
+        self.m.gossip_fanout.record(n_neigh);
+        self.m.gossip_announcements.add(tx_n as u64);
         let tick = profile.tick_us;
         for k in 0..tx_n {
             let pick = self.probe_states[i].rng.range(0..n_neigh);
@@ -243,6 +262,17 @@ impl Swarm<'_> {
             provider,
             deadline_us: now_us + profile.request_timeout_us,
         });
+        self.m.chunks_requested.inc();
+        netaware_obs::event!(
+            self.obs,
+            Level::Debug,
+            "swarm.chunk_sched",
+            now,
+            "probe" = i,
+            "chunk" = chunk.0,
+            "provider" = provider.0,
+            "candidates" = cand_ids.len(),
+        );
         let arrival = self.send_signal(now, pid, provider, Signal::ChunkRequest(chunk));
         sched.push(
             arrival,
@@ -272,6 +302,16 @@ impl Swarm<'_> {
                     self.probe_serve_chunk(sched, now, provider, to, chunk);
                 } else {
                     self.report.chunks_refused += 1;
+                    self.m.chunks_refused.inc();
+                    netaware_obs::event!(
+                        self.obs,
+                        Level::Debug,
+                        "swarm.serve_refused",
+                        now,
+                        "provider" = provider.0,
+                        "chunk" = chunk.0,
+                        "has" = has,
+                    );
                 }
             }
             PeerRole::Source | PeerRole::External => {
@@ -292,6 +332,10 @@ impl Swarm<'_> {
         if !s.bufmap.contains(chunk) && chunk.0 >= s.bufmap.base().0 {
             s.bufmap.insert(chunk);
             s.delivered += 1;
+        } else {
+            // Duplicate or stale delivery (already held, or behind the
+            // playout base): the bytes were wasted.
+            self.m.chunks_duplicate.inc();
         }
         s.est_bps.insert(from, est);
         s.last_provider = Some(from);
@@ -464,6 +508,17 @@ pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64
         let nat = swarm.meta[cand.0 as usize].nat;
         let s = &mut swarm.probe_states[i];
         if nat && !s.rng.chance(0.7) {
+            swarm.m.handshakes_refused.inc();
+            netaware_obs::event!(
+                swarm.obs,
+                Level::Debug,
+                "swarm.handshake",
+                SimTime::from_us(now_us),
+                "probe" = i,
+                "peer" = cand.0,
+                "ok" = false,
+                "nat" = true,
+            );
             return false;
         }
     }
@@ -493,5 +548,16 @@ pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64
         PayloadKind::Signaling,
     );
     swarm.report.signal_packets += 1;
+    swarm.m.handshakes_ok.inc();
+    netaware_obs::event!(
+        swarm.obs,
+        Level::Debug,
+        "swarm.handshake",
+        now,
+        "probe" = i,
+        "peer" = cand.0,
+        "ok" = true,
+        "nat" = swarm.meta[cand.0 as usize].nat,
+    );
     true
 }

@@ -31,6 +31,7 @@ pub use state::{ExternalSpec, NetworkEnv, PeerSetup, ProbeSpec};
 use crate::chunk::StreamParams;
 use crate::peer::{PeerId, PeerInfo, PeerRole};
 use crate::profiles::AppProfile;
+use netaware_obs::{Counter, HistogramMetric, Level, Obs};
 use netaware_sim::{DetRng, Scheduler, SimTime};
 use netaware_trace::{MemorySink, ProbeTrace, RecordSink, TraceError, TraceSet};
 use state::{Event, ExtDynamic, PeerMeta, ProbeState};
@@ -50,6 +51,38 @@ pub struct SwarmConfig {
     pub profile: AppProfile,
 }
 
+/// Pre-registered protocol metric handles, so the event loop's hot
+/// paths pay one atomic add per update instead of a registry lookup.
+/// Default handles (obs disabled) are no-ops.
+#[derive(Default)]
+pub(crate) struct SwarmMetrics {
+    pub(crate) chunks_requested: Counter,
+    pub(crate) chunks_duplicate: Counter,
+    pub(crate) chunks_expired: Counter,
+    pub(crate) requests_timed_out: Counter,
+    pub(crate) chunks_refused: Counter,
+    pub(crate) handshakes_ok: Counter,
+    pub(crate) handshakes_refused: Counter,
+    pub(crate) gossip_announcements: Counter,
+    pub(crate) gossip_fanout: HistogramMetric,
+}
+
+impl SwarmMetrics {
+    fn register(obs: &Obs) -> SwarmMetrics {
+        SwarmMetrics {
+            chunks_requested: obs.counter("proto.chunks_requested"),
+            chunks_duplicate: obs.counter("proto.chunks_duplicate"),
+            chunks_expired: obs.counter("proto.chunks_expired"),
+            requests_timed_out: obs.counter("proto.requests_timed_out"),
+            chunks_refused: obs.counter("proto.chunks_refused"),
+            handshakes_ok: obs.counter("proto.handshakes_ok"),
+            handshakes_refused: obs.counter("proto.handshakes_refused"),
+            gossip_announcements: obs.counter("proto.gossip_announcements"),
+            gossip_fanout: obs.histogram("proto.gossip_fanout", 128),
+        }
+    }
+}
+
 /// A fully wired simulation, ready to run.
 pub struct Swarm<'a> {
     pub(crate) cfg: SwarmConfig,
@@ -67,6 +100,11 @@ pub struct Swarm<'a> {
     /// Alias buckets for discovery sampling: same-AS shortlists per probe
     /// plus the global bandwidth-weighted candidate list.
     pub(crate) discovery: state::DiscoveryTables,
+    /// Observability handle; events it emits are keyed by sim time, so
+    /// they ride the same determinism contract as the traces.
+    pub(crate) obs: Obs,
+    /// Pre-registered metric handles derived from `obs`.
+    pub(crate) m: SwarmMetrics,
 }
 
 impl<'a> Swarm<'a> {
@@ -78,6 +116,14 @@ impl<'a> Swarm<'a> {
     /// Number of probe vantage points.
     pub fn n_probes(&self) -> usize {
         self.n_probes
+    }
+
+    /// Attaches an observability handle: protocol events (`swarm.*`
+    /// targets) and `proto.*` metrics flow into it from here on. The
+    /// default handle is disabled, making all instrumentation no-ops.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.m = SwarmMetrics::register(&obs);
+        self.obs = obs;
     }
 
     /// The peer table (source, probes, externals).
@@ -119,6 +165,16 @@ impl<'a> Swarm<'a> {
     fn execute(&mut self) {
         let mut sched: Scheduler<Event> = Scheduler::new();
         let horizon = SimTime::from_us(self.cfg.duration_us);
+        netaware_obs::event!(
+            self.obs,
+            Level::Info,
+            "swarm.run",
+            SimTime::ZERO,
+            "app" = self.cfg.profile.name.as_str(),
+            "probes" = self.n_probes,
+            "peers" = self.peers.len(),
+            "duration_us" = self.cfg.duration_us,
+        );
 
         // Stagger initial ticks across one tick interval so probes do not
         // act in lockstep.
@@ -161,6 +217,16 @@ impl<'a> Swarm<'a> {
                 },
             });
         }
+        netaware_obs::event!(
+            self.obs,
+            Level::Info,
+            "swarm.done",
+            horizon,
+            "delivered" = self.report.chunks_delivered,
+            "lost" = self.report.chunks_lost,
+            "refused" = self.report.chunks_refused,
+            "events" = self.report.events_dispatched,
+        );
     }
 
     pub(crate) fn is_probe(&self, id: PeerId) -> bool {

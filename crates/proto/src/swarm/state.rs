@@ -405,6 +405,8 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
             cum_weights,
             by_as,
         },
+        obs: netaware_obs::Obs::default(),
+        m: super::SwarmMetrics::default(),
     };
     for i in 0..n_probes {
         let want = swarm.cfg.profile.init_neighbors;

@@ -210,6 +210,7 @@ impl Swarm<'_> {
         if let Some(ext) = self.ext_dyn.get(&provider) {
             if ext.uplink.backlog_us(now) > EXT_BACKLOG_CAP_US {
                 self.report.chunks_refused += 1;
+                self.m.chunks_refused.inc();
                 return;
             }
         }
@@ -283,6 +284,7 @@ impl Swarm<'_> {
             > self.cfg.profile.upload_backlog_cap_us
         {
             self.report.chunks_refused += 1;
+            self.m.chunks_refused.inc();
             return false;
         }
         let Some(chunk) = ({
@@ -291,6 +293,7 @@ impl Swarm<'_> {
             sample_held(&s.bufmap, pick)
         }) else {
             self.report.chunks_refused += 1;
+            self.m.chunks_refused.inc();
             return false;
         };
         let _ = chunk;

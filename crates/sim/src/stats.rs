@@ -2,10 +2,13 @@
 //!
 //! Table II of the paper reports mean and maximum stream rates and peer
 //! counts "as seen by NAPA-WINE peers": [`RateMeter`] reproduces its
-//! windowed rate measurement (bytes per wall-clock window → kb/s, with
-//! mean and max over windows), [`MeanMax`] and [`Welford`] aggregate
-//! scalar observations, and [`Histogram`] supports the hop-median used by
-//! the HOP partition.
+//! windowed rate measurement (bytes per fixed [`SimTime`] window → kb/s,
+//! with mean and max over windows — the meter is driven entirely by
+//! simulated time, never the wall clock, so its readings are
+//! deterministic), [`MeanMax`] and [`Welford`] aggregate scalar
+//! observations, and [`Histogram`] supports the hop-median used by the
+//! HOP partition and backs the `netaware-obs` metrics-registry
+//! histograms.
 
 use crate::time::SimTime;
 

@@ -8,11 +8,15 @@
 //! regardless of thread scheduling.
 
 use crate::scenario::{BuiltScenario, ScenarioConfig};
-use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
+use netaware_analysis::{
+    analyze_corpus_with_obs, analyze_with_obs, AnalysisConfig, ExperimentAnalysis,
+};
+use netaware_obs::{Level, Obs};
 use netaware_proto::{
     AppProfile, NetworkEnv, StreamParams, Swarm, SwarmConfig, SwarmReport,
 };
-use netaware_trace::{CorpusSink, TraceError, TraceSet};
+use netaware_sim::SimTime;
+use netaware_trace::{CorpusSink, MemorySink, TraceError, TraceSet};
 use rayon::prelude::*;
 use std::path::Path;
 
@@ -29,6 +33,14 @@ pub struct ExperimentOptions {
     pub analysis: AnalysisConfig,
     /// Keep the raw traces in the output (they can be large).
     pub keep_traces: bool,
+    /// Observability handle threaded through the swarm, the trace
+    /// sinks, and the analysis. Defaults to disabled (all
+    /// instrumentation is a no-op). Note: [`run_paper_suite`] and
+    /// [`run_ablation`] run experiments concurrently, so a shared
+    /// enabled handle interleaves their events nondeterministically —
+    /// the per-run event-log determinism guarantee applies to a single
+    /// experiment per handle.
+    pub obs: Obs,
 }
 
 impl Default for ExperimentOptions {
@@ -39,6 +51,7 @@ impl Default for ExperimentOptions {
             duration_us: 120_000_000,
             analysis: AnalysisConfig::default(),
             keep_traces: false,
+            obs: Obs::default(),
         }
     }
 }
@@ -107,13 +120,32 @@ pub fn run_on_scenario(
         stream: StreamParams::cctv1(),
         profile,
     };
-    let swarm = Swarm::new(cfg, env, scenario.peer_setup());
-    let (traces, report) = swarm.run();
-    let analysis = analyze(
+    netaware_obs::event!(
+        opts.obs,
+        Level::Info,
+        "testbed.experiment",
+        SimTime::ZERO,
+        "app" = app.as_str(),
+        "seed" = opts.seed,
+        "scale" = opts.scale,
+        "streamed" = false,
+    );
+    let mut swarm = Swarm::new(cfg, env, scenario.peer_setup());
+    swarm.set_obs(opts.obs.clone());
+    let (traces, report) = {
+        let _swarm_span = opts.obs.span("testbed.swarm");
+        match swarm.run_into(MemorySink::with_obs(opts.obs.clone())) {
+            Ok(out) => out,
+            // MemorySink::sink_probe / finish are infallible.
+            Err(_) => unreachable!("in-memory sink cannot fail"),
+        }
+    };
+    let analysis = analyze_with_obs(
         &traces,
         &scenario.registry,
         &opts.analysis,
         &scenario.highbw_probe_ips,
+        &opts.obs,
     );
     ExperimentOutput {
         app,
@@ -163,13 +195,28 @@ pub fn run_streamed_on_scenario(
         stream: StreamParams::cctv1(),
         profile,
     };
-    let swarm = Swarm::new(cfg, env, scenario.peer_setup());
-    let (manifest, report) = swarm.run_into(CorpusSink::create(dir)?)?;
-    let analysis = analyze_corpus(
+    netaware_obs::event!(
+        opts.obs,
+        Level::Info,
+        "testbed.experiment",
+        SimTime::ZERO,
+        "app" = app.as_str(),
+        "seed" = opts.seed,
+        "scale" = opts.scale,
+        "streamed" = true,
+    );
+    let mut swarm = Swarm::new(cfg, env, scenario.peer_setup());
+    swarm.set_obs(opts.obs.clone());
+    let (manifest, report) = {
+        let _swarm_span = opts.obs.span("testbed.swarm");
+        swarm.run_into(CorpusSink::create_with(dir, opts.obs.clone())?)?
+    };
+    let analysis = analyze_corpus_with_obs(
         dir,
         &scenario.registry,
         &opts.analysis,
         &scenario.highbw_probe_ips,
+        &opts.obs,
     )?;
     debug_assert_eq!(manifest.total_packets, analysis.total_packets);
     Ok(ExperimentOutput {
@@ -214,6 +261,7 @@ mod tests {
             duration_us: 40_000_000,
             analysis: AnalysisConfig::default(),
             keep_traces: false,
+            obs: Obs::default(),
         }
     }
 

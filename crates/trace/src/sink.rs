@@ -12,9 +12,19 @@ use crate::corpus::CorpusManifest;
 use crate::format::{write_trace, TraceError};
 use crate::set::{ProbeTrace, TraceSet};
 use netaware_net::Ip;
+use netaware_obs::{Counter, Level, Obs};
+use netaware_sim::SimTime;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+
+/// Sim time of a sunk trace: its last record's timestamp (the moment
+/// the capture was complete), or zero for an empty capture. Reads the
+/// unsorted view so a [`MemorySink`] fed a not-yet-finalized trace
+/// still stamps a usable time.
+fn sink_time(trace: &ProbeTrace) -> SimTime {
+    SimTime::from_us(trace.records_unsorted().last().map_or(0, |r| r.ts_us))
+}
 
 /// Consumes finalized probe captures one at a time.
 ///
@@ -37,6 +47,8 @@ pub trait RecordSink {
 #[derive(Default)]
 pub struct MemorySink {
     traces: Vec<ProbeTrace>,
+    obs: Obs,
+    records_sunk: Counter,
 }
 
 impl MemorySink {
@@ -44,12 +56,31 @@ impl MemorySink {
     pub fn new() -> Self {
         MemorySink::default()
     }
+
+    /// An in-memory sink reporting `trace.records_sunk` and per-probe
+    /// `stream.sink` events through `obs`.
+    pub fn with_obs(obs: Obs) -> Self {
+        MemorySink {
+            traces: Vec::new(),
+            records_sunk: obs.counter("trace.records_sunk"),
+            obs,
+        }
+    }
 }
 
 impl RecordSink for MemorySink {
     type Output = TraceSet;
 
     fn sink_probe(&mut self, trace: ProbeTrace) -> Result<(), TraceError> {
+        self.records_sunk.add(trace.len() as u64);
+        netaware_obs::event!(
+            self.obs,
+            Level::Info,
+            "stream.sink",
+            sink_time(&trace),
+            "probe" = trace.probe.to_string(),
+            "records" = trace.len(),
+        );
         self.traces.push(trace);
         Ok(())
     }
@@ -72,17 +103,30 @@ pub struct CorpusSink {
     dir: PathBuf,
     probes: Vec<Ip>,
     total_packets: usize,
+    obs: Obs,
+    records_sunk: Counter,
+    probes_spilled: Counter,
 }
 
 impl CorpusSink {
     /// Creates the corpus directory (and parents) and an empty sink
     /// writing into it.
     pub fn create(dir: &Path) -> Result<Self, TraceError> {
+        CorpusSink::create_with(dir, Obs::default())
+    }
+
+    /// Like [`CorpusSink::create`], additionally reporting
+    /// `trace.records_sunk` / `trace.probes_spilled` and per-probe
+    /// `stream.spill` events through `obs`.
+    pub fn create_with(dir: &Path, obs: Obs) -> Result<Self, TraceError> {
         std::fs::create_dir_all(dir)?;
         Ok(CorpusSink {
             dir: dir.to_path_buf(),
             probes: Vec::new(),
             total_packets: 0,
+            records_sunk: obs.counter("trace.records_sunk"),
+            probes_spilled: obs.counter("trace.probes_spilled"),
+            obs,
         })
     }
 
@@ -104,6 +148,16 @@ impl RecordSink for CorpusSink {
         let path = self.dir.join(format!("{}.nawt", trace.probe));
         let mut w = BufWriter::new(File::create(path)?);
         write_trace(&trace, &mut w)?;
+        self.records_sunk.add(trace.len() as u64);
+        self.probes_spilled.inc();
+        netaware_obs::event!(
+            self.obs,
+            Level::Info,
+            "stream.spill",
+            sink_time(&trace),
+            "probe" = trace.probe.to_string(),
+            "records" = trace.len(),
+        );
         self.probes.push(trace.probe);
         self.total_packets += trace.len();
         Ok(())

@@ -22,9 +22,26 @@ use crate::corpus::CorpusManifest;
 use crate::format::{read_header, TraceError};
 use crate::record::PacketRecord;
 use netaware_net::Ip;
+use netaware_obs::{Level, Obs};
+use netaware_sim::SimTime;
 use std::fs::File;
 use std::io::{self, BufReader, Read};
 use std::path::{Path, PathBuf};
+
+/// Stable label for a stream failure, used as the `kind` field of
+/// `stream.error` events and as the `trace.stream_errors.<kind>`
+/// counter suffix.
+fn error_kind(e: &TraceError) -> &'static str {
+    match e {
+        TraceError::Io(_) => "io",
+        TraceError::BadMagic(_) => "bad_magic",
+        TraceError::BadVersion(_) => "bad_version",
+        TraceError::Truncated { .. } => "truncated",
+        TraceError::CorruptRecord(_) => "corrupt_record",
+        TraceError::OutOfOrder(_) => "out_of_order",
+        TraceError::BadManifest(_) => "bad_manifest",
+    }
+}
 
 /// Incremental reader over one binary probe trace.
 ///
@@ -38,6 +55,7 @@ pub struct RecordStream<R: Read> {
     yielded: u64,
     last_ts: u64,
     done: bool,
+    obs: Obs,
 }
 
 impl<R: Read> RecordStream<R> {
@@ -52,7 +70,15 @@ impl<R: Read> RecordStream<R> {
             yielded: 0,
             last_ts: 0,
             done: false,
+            obs: Obs::default(),
         })
+    }
+
+    /// Attaches an observability handle: read failures are counted as
+    /// `trace.stream_errors.<kind>` and reported as `stream.error`
+    /// events stamped with the last good record's sim time.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The capturing probe, from the header.
@@ -90,6 +116,27 @@ impl<R: Read> RecordStream<R> {
         self.last_ts = rec.ts_us;
         Ok(rec)
     }
+
+    /// Reports a stream failure through the obs handle. Out of line and
+    /// cold so the error machinery (string formatting, event assembly)
+    /// stays off the per-record `next()` hot path.
+    #[cold]
+    #[inline(never)]
+    fn report_error(&self, e: &TraceError) {
+        let kind = error_kind(e);
+        self.obs
+            .counter(&format!("trace.stream_errors.{kind}"))
+            .inc();
+        netaware_obs::event!(
+            self.obs,
+            Level::Error,
+            "stream.error",
+            SimTime::from_us(self.last_ts),
+            "probe" = self.probe.to_string(),
+            "at_record" = self.yielded,
+            "kind" = kind,
+        );
+    }
 }
 
 impl<R: Read> Iterator for RecordStream<R> {
@@ -107,6 +154,7 @@ impl<R: Read> Iterator for RecordStream<R> {
             }
             Err(e) => {
                 self.done = true;
+                self.report_error(&e);
                 Some(Err(e))
             }
         }
@@ -131,6 +179,7 @@ pub type FileRecordStream = RecordStream<BufReader<File>>;
 pub struct CorpusStream {
     dir: PathBuf,
     manifest: CorpusManifest,
+    obs: Obs,
 }
 
 impl CorpusStream {
@@ -138,12 +187,20 @@ impl CorpusStream {
     /// manifest is missing and [`TraceError::BadManifest`] when it does
     /// not parse.
     pub fn open(dir: &Path) -> Result<Self, TraceError> {
+        CorpusStream::open_with(dir, Obs::default())
+    }
+
+    /// Like [`CorpusStream::open`], additionally attaching `obs` to
+    /// every probe stream handed out by
+    /// [`CorpusStream::open_probe`] (see [`RecordStream::set_obs`]).
+    pub fn open_with(dir: &Path, obs: Obs) -> Result<Self, TraceError> {
         let raw = std::fs::read_to_string(dir.join("manifest.json"))?;
         let manifest: CorpusManifest =
             serde_json::from_str(&raw).map_err(|e| TraceError::BadManifest(e.to_string()))?;
         Ok(CorpusStream {
             dir: dir.to_path_buf(),
             manifest,
+            obs,
         })
     }
 
@@ -177,7 +234,8 @@ impl CorpusStream {
     /// header agrees with the manifest about who captured it.
     pub fn open_probe(&self, probe: Ip) -> Result<FileRecordStream, TraceError> {
         let path = self.dir.join(format!("{probe}.nawt"));
-        let stream = RecordStream::new(BufReader::new(File::open(path)?))?;
+        let mut stream = RecordStream::new(BufReader::new(File::open(path)?))?;
+        stream.set_obs(self.obs.clone());
         if stream.probe() != probe {
             return Err(TraceError::BadManifest(format!(
                 "{probe}.nawt contains capture for {}",

@@ -22,6 +22,8 @@ pub enum RuleId {
     Pa01,
     /// Public items must be documented.
     Doc01,
+    /// No `println!`/`eprintln!`/`dbg!` in library crates.
+    Ob01,
 }
 
 impl RuleId {
@@ -34,6 +36,7 @@ impl RuleId {
             RuleId::Nd04 => "ND04",
             RuleId::Pa01 => "PA01",
             RuleId::Doc01 => "DOC01",
+            RuleId::Ob01 => "OB01",
         }
     }
 
@@ -46,12 +49,13 @@ impl RuleId {
             "ND04" => Some(RuleId::Nd04),
             "PA01" => Some(RuleId::Pa01),
             "DOC01" => Some(RuleId::Doc01),
+            "OB01" => Some(RuleId::Ob01),
             _ => None,
         }
     }
 
     /// All rules, in catalogue order.
-    pub fn all() -> [RuleId; 6] {
+    pub fn all() -> [RuleId; 7] {
         [
             RuleId::Nd01,
             RuleId::Nd02,
@@ -59,6 +63,7 @@ impl RuleId {
             RuleId::Nd04,
             RuleId::Pa01,
             RuleId::Doc01,
+            RuleId::Ob01,
         ]
     }
 
@@ -82,6 +87,10 @@ impl RuleId {
             }
             RuleId::Pa01 => "no unwrap()/expect()/panic! in non-test library code",
             RuleId::Doc01 => "public items must carry doc comments",
+            RuleId::Ob01 => {
+                "no println!/eprintln!/dbg! in library crates; route diagnostics through the \
+                 netaware-obs event log so they are filterable, structured, and deterministic"
+            }
         }
     }
 }
@@ -98,6 +107,9 @@ pub struct FileScope {
     pub nd04: bool,
     /// PA01/DOC01 apply (library source).
     pub library: bool,
+    /// OB01 applies (library crates other than the linter itself, whose
+    /// command-line reporting legitimately prints).
+    pub ob01: bool,
 }
 
 impl FileScope {
@@ -151,6 +163,7 @@ impl FileScope {
             nd03,
             nd04,
             library: true,
+            ob01: !is_xtask,
         })
     }
 }
@@ -288,6 +301,9 @@ pub fn check(toks: &[Tok], scope: &FileScope) -> Vec<RawFinding> {
         if scope.library {
             pa01_at(&code, i, &mut out);
             doc01_at(toks, &code, i, &mut out);
+        }
+        if scope.ob01 {
+            ob01_at(&code, i, &mut out);
         }
     }
     out
@@ -478,6 +494,32 @@ fn pa01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
         }
         _ => {}
     }
+}
+
+/// Flags direct console printing in library crates: `println!`,
+/// `eprintln!`, `print!`, `eprint!` and `dbg!`. Libraries should emit
+/// structured `netaware_obs::event!`s (filterable, sim-time-stamped,
+/// deterministic) and let binaries own the console.
+fn ob01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
+    let t = code[i].tok;
+    if t.kind != TokKind::Ident
+        || !matches!(
+            t.text.as_str(),
+            "println" | "eprintln" | "print" | "eprint" | "dbg"
+        )
+        || !tok_at(code, i + 1).is_some_and(|n| n.is_punct('!'))
+    {
+        return;
+    }
+    out.push(finding(
+        RuleId::Ob01,
+        t,
+        format!(
+            "`{}!` writes to the console from library code; emit a `netaware_obs::event!` \
+             (or return the data) and let the binary decide what to print",
+            t.text
+        ),
+    ));
 }
 
 /// Items after `pub` that require a doc comment.

@@ -1,0 +1,19 @@
+//! OB01 fixture (clean): diagnostics flow through the obs event log;
+//! `writeln!` into a caller-supplied buffer is fine, and the macro
+//! names may appear in comments (println! stays legal in prose).
+
+use netaware_obs::{Level, Obs};
+use netaware_sim::SimTime;
+use std::fmt::Write;
+
+/// Reports progress as a structured, filterable event.
+pub fn narrate(obs: &Obs, now: SimTime, done: usize, total: usize) {
+    netaware_obs::event!(obs, Level::Info, "pass.progress", now, "done" = done, "total" = total);
+}
+
+/// Renders into a buffer the binary chooses how to display.
+pub fn render(done: usize, total: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "swept {done}/{total} probes");
+    out
+}

@@ -1,0 +1,16 @@
+//! OB01 fixture: console printing from library code.
+
+/// Narrates progress straight to stdout.
+pub fn narrate(done: usize, total: usize) {
+    println!("swept {done}/{total} probes");
+}
+
+/// Grumbles to stderr instead of surfacing a structured event.
+pub fn grumble(kind: &str) {
+    eprintln!("stream error: {kind}");
+}
+
+/// Leftover debugging macro.
+pub fn inspect(x: u64) -> u64 {
+    dbg!(x * 2)
+}

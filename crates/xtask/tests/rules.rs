@@ -147,6 +147,41 @@ fn doc01_fixture_clean_passes() {
     assert_clean(&lint_as("crates/trace/src/fixture.rs", "doc01_clean.rs"));
 }
 
+// ---- OB01: console printing in library code ----------------------------
+
+#[test]
+fn ob01_fixture_flags_console_macros() {
+    let diags = lint_as("crates/obs/src/fixture.rs", "ob01_violation.rs");
+    assert_all_rule(&diags, "OB01");
+    assert_eq!(diags.len(), 3, "println + eprintln + dbg");
+}
+
+#[test]
+fn ob01_fixture_clean_passes() {
+    // event! emission and writeln! into a caller buffer are the idiom.
+    assert_clean(&lint_as("crates/obs/src/fixture.rs", "ob01_clean.rs"));
+}
+
+#[test]
+fn ob01_out_of_scope_in_xtask() {
+    // The linter's own CLI reporting prints legitimately.
+    let diags = lint_as("crates/xtask/src/fixture.rs", "ob01_violation.rs");
+    assert!(diags.iter().all(|d| d.rule != "OB01"), "OB01 fired in xtask");
+}
+
+#[test]
+fn ob01_allow_directive_suppresses() {
+    let src = "/// Prints a banner.\n\
+               pub fn banner() {\n\
+               \x20   // netaware-lint: allow(OB01) one-shot startup banner requested by the host\n\
+               \x20   println!(\"netaware\");\n\
+               }\n";
+    assert_clean(&netaware_xtask::lint_source(
+        "crates/analysis/src/fixture.rs",
+        src,
+    ));
+}
+
 // ---- Escape hatch -------------------------------------------------------
 
 #[test]

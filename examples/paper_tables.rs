@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run --release --example paper_tables [-- --scale 0.1 --secs 600 --seed 42 --json out.json --spill DIR]
+//! cargo run --release --example paper_tables [-- --scale 0.1 --secs 600 --seed 42 --json out.json --spill DIR --timings]
 //! ```
 //!
 //! Runs the three applications (PPLive-, SopCast-, TVAnts-like) on the
@@ -11,10 +11,15 @@
 //! GBs of in-memory traces); the defaults are laptop-friendly. With
 //! `--spill DIR`, each application's capture is streamed to an on-disk
 //! corpus under `DIR/<app>/` and analysed back off disk, bounding peak
-//! memory at paper scale.
+//! memory at paper scale. `--timings` attaches an observability handle
+//! and prints per-phase wall-clock spans (swarm, analysis sweep,
+//! reduction) after the tables.
 
 use netaware::analysis::tables;
+use netaware::obs::NullSink;
 use netaware::testbed::{self, ExperimentOptions};
+use netaware::Obs;
+use std::sync::Arc;
 
 struct Args {
     scale: f64,
@@ -22,6 +27,7 @@ struct Args {
     seed: u64,
     json: Option<String>,
     spill: Option<String>,
+    timings: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +37,7 @@ fn parse_args() -> Args {
         seed: 42,
         json: None,
         spill: None,
+        timings: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -44,6 +51,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().expect("seed"),
             "--json" => args.json = Some(val("--json")),
             "--spill" => args.spill = Some(val("--spill")),
+            "--timings" => args.timings = true,
             other => panic!("unknown argument {other}"),
         }
     }
@@ -52,10 +60,17 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // Timings only need the span recorder; events go to a null sink.
+    let obs = if args.timings {
+        Obs::new(Arc::new(NullSink::new()))
+    } else {
+        Obs::default()
+    };
     let opts = ExperimentOptions {
         seed: args.seed,
         scale: args.scale,
         duration_us: args.secs * 1_000_000,
+        obs: obs.clone(),
         ..Default::default()
     };
 
@@ -141,6 +156,14 @@ fn main() {
             o.analysis.total_packets,
             o.report.events_dispatched
         );
+    }
+
+    if args.timings {
+        println!("PHASE TIMINGS (wall clock, all three apps; spans overlap across rayon workers)");
+        for t in obs.timings() {
+            println!("  {:<20} {:>10.3} ms", t.name, t.elapsed_us as f64 / 1000.0);
+        }
+        println!();
     }
 
     if let Some(path) = args.json {

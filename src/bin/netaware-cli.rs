@@ -4,10 +4,12 @@
 //! netaware-cli suite     [--scale F] [--secs N] [--seed N] [--json FILE]
 //! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
 //! netaware-cli run APP [--uniform] [--spill DIR] [--scale F] [--secs N] [--seed N] [--json FILE]
+//!                      [--obs-log FILE] [--metrics FILE]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
 //! netaware-cli testbed
 //! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
 //! netaware-cli analyze --dir CORPUS | --probe IP FILE.pcap [--probe IP FILE.pcap …]
+//! netaware-cli obs summarize FILE
 //! ```
 //!
 //! `APP` is one of `pplive`, `sopcast`, `tvants`, `nextgen`.
@@ -19,6 +21,12 @@
 //! (e.g. produced by `export` or by tcpdump against the same address
 //! plan) and runs the passive framework over them using the
 //! reconstructed testbed registry.
+//!
+//! `run --obs-log FILE` writes the run's structured event log as JSONL
+//! (byte-identical across same-seed runs); `run --metrics FILE` writes
+//! the metrics-registry snapshot (JSON, or CSV when FILE ends in
+//! `.csv`). `obs summarize FILE` renders an event log: top targets,
+//! error events, and the chunk-scheduler decision rate.
 
 use netaware::analysis::tables;
 use netaware::analysis::{analyze, AnalysisConfig};
@@ -26,14 +34,16 @@ use netaware::net::Ip;
 use netaware::testbed::{
     self, run_experiment, run_paper_suite, BuiltScenario, ExperimentOptions, ScenarioConfig,
 };
+use netaware::obs::{EventSink, JsonlSink, LogSummary, NullSink};
 use netaware::trace::pcap::import_pcap;
 use netaware::trace::TraceSet;
-use netaware::AppProfile;
+use netaware::{AppProfile, Obs};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: netaware-cli <suite|run|nextgen|testbed|export|analyze> [options]\n\
+        "usage: netaware-cli <suite|run|replicate|nextgen|testbed|export|analyze|obs> [options]\n\
          see the crate docs (cargo doc --open) for details"
     );
     ExitCode::from(2)
@@ -53,6 +63,8 @@ struct Common {
     dir: Option<String>,
     app: Option<String>,
     pcaps: Vec<(Ip, String)>,
+    obs_log: Option<String>,
+    metrics: Option<String>,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -70,6 +82,8 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         dir: None,
         app: None,
         pcaps: Vec::new(),
+        obs_log: None,
+        metrics: None,
     };
     let mut i = 0;
     let mut pending_probe: Option<Ip> = None;
@@ -88,6 +102,8 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--csv" => c.csv = Some(take(&mut i)?),
             "--markdown" => c.markdown = Some(take(&mut i)?),
             "--spill" => c.spill = Some(take(&mut i)?),
+            "--obs-log" => c.obs_log = Some(take(&mut i)?),
+            "--metrics" => c.metrics = Some(take(&mut i)?),
             "--dir" => c.dir = Some(take(&mut i)?),
             "--app" => c.app = Some(take(&mut i)?),
             "--uniform" => c.uniform = true,
@@ -211,6 +227,22 @@ fn cmd_run(c: &Common) -> ExitCode {
     }
     let mut opts = opts_of(c);
     opts.keep_traces = c.persite;
+    // Observability: a JSONL sink when an event log is requested, a
+    // counting null sink when only metrics are (events still flow so
+    // the counters fill, but nothing is built or written).
+    if c.obs_log.is_some() || c.metrics.is_some() {
+        let sink: Arc<dyn EventSink> = match &c.obs_log {
+            Some(path) => match JsonlSink::create(std::path::Path::new(path)) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    eprintln!("run: cannot create event log {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Arc::new(NullSink::new()),
+        };
+        opts.obs = Obs::new(sink);
+    }
     let out = if let Some(dir) = &c.spill {
         if c.persite {
             eprintln!("run: --persite needs in-memory traces and cannot be combined with --spill");
@@ -261,7 +293,62 @@ fn cmd_run(c: &Common) -> ExitCode {
     if let Some(p) = &c.json {
         write_json(p, &outs);
     }
+    let obs = &opts.obs;
+    if let Err(e) = obs.flush() {
+        eprintln!("run: flushing event log failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &c.obs_log {
+        eprintln!("event log written to {path}");
+    }
+    if let Some(path) = &c.metrics {
+        let Some(snap) = obs.metrics() else {
+            eprintln!("run: no metrics recorded");
+            return ExitCode::FAILURE;
+        };
+        let body = if path.ends_with(".csv") { snap.to_csv() } else { snap.to_json() };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("run: writing metrics to {path} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if obs.is_enabled() {
+        for t in obs.timings() {
+            eprintln!("timing: {:<20} {:>10.3} ms", t.name, t.elapsed_us as f64 / 1000.0);
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// `obs summarize FILE` — render an event-log summary. Fails (non-zero)
+/// on unreadable or malformed logs, including truncated JSONL lines.
+fn cmd_obs(rest: &[String]) -> ExitCode {
+    match rest {
+        [sub, file] if sub == "summarize" => {
+            let f = match std::fs::File::open(file) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("obs summarize: cannot open {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match LogSummary::from_reader(std::io::BufReader::new(f)) {
+                Ok(s) => {
+                    print!("{}", s.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("obs summarize: {file}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: netaware-cli obs summarize FILE");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_replicate(c: &Common) -> ExitCode {
@@ -411,6 +498,10 @@ fn main() -> ExitCode {
         return usage();
     };
     let rest = &args[1..];
+    // `obs` has positional subcommand syntax; route it before the flag parser.
+    if cmd == "obs" {
+        return cmd_obs(rest);
+    }
     let common = match parse_common(rest) {
         Ok(c) => c,
         Err(e) => {

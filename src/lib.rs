@@ -16,7 +16,9 @@
 //!   (contributor heuristic, packet-pair BW inference, TTL hop counting,
 //!   preferential partitions, peer-/byte-wise preference metrics);
 //! * [`testbed`] — the Table I testbed, the synthetic overlay
-//!   population, and one-call experiment orchestration.
+//!   population, and one-call experiment orchestration;
+//! * [`obs`] — deterministic sim-time observability: structured event
+//!   log, metrics registry, and span timing for the whole pipeline.
 //!
 //! ## Quickstart
 //!
@@ -38,12 +40,14 @@
 
 pub use netaware_analysis as analysis;
 pub use netaware_net as net;
+pub use netaware_obs as obs;
 pub use netaware_proto as proto;
 pub use netaware_sim as sim;
 pub use netaware_testbed as testbed;
 pub use netaware_trace as trace;
 
 pub use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
+pub use netaware_obs::Obs;
 pub use netaware_proto::AppProfile;
 pub use netaware_testbed::{
     run_experiment, run_paper_suite, run_streamed, ExperimentOptions,

@@ -68,6 +68,71 @@ fn run_rejects_unknown_app() {
 }
 
 #[test]
+fn run_obs_log_and_metrics_roundtrip() {
+    let log = std::env::temp_dir().join("netaware_cli_obs.jsonl");
+    let metrics = std::env::temp_dir().join("netaware_cli_metrics.json");
+    let out = cli()
+        .args(["run", "tvants", "--scale", "0.02", "--secs", "20", "--obs-log"])
+        .arg(&log)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("event log written"));
+    assert!(err.contains("metrics snapshot written"));
+
+    // The event log is JSONL naming every instrumented layer.
+    let body = std::fs::read_to_string(&log).unwrap();
+    for target in ["swarm.", "stream.", "pass."] {
+        assert!(
+            body.contains(&format!("\"target\":\"{target}")),
+            "no {target}* events in --obs-log output"
+        );
+    }
+
+    // The metrics snapshot carries protocol and analysis counters.
+    let snap: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    let counters = serde_json::value::field(snap.as_map().expect("object"), "counters");
+    let requested =
+        serde_json::value::field(counters.as_map().expect("counters"), "proto.chunks_requested");
+    assert!(requested.as_u64().is_some_and(|n| n > 0), "no chunks requested");
+
+    // `obs summarize` renders the same log.
+    let out = cli().arg("obs").arg("summarize").arg(&log).output().expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("top targets:"));
+    assert!(s.contains("swarm.chunk_sched"));
+    assert!(s.contains("chunk-scheduler decisions:"));
+
+    // A truncated log (mid-line cut) must fail loudly, not summarize
+    // silently short.
+    let cut = body.len() - 20;
+    std::fs::write(&log, &body.as_bytes()[..cut]).unwrap();
+    let out = cli().arg("obs").arg("summarize").arg(&log).output().expect("spawn");
+    assert!(!out.status.success(), "truncated log summarized successfully");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line"));
+
+    let _ = std::fs::remove_file(&log);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn obs_summarize_requires_file() {
+    let out = cli().args(["obs", "summarize"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = cli()
+        .args(["obs", "summarize", "/nonexistent/netaware.jsonl"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+}
+
+#[test]
 fn export_then_analyze_roundtrip() {
     let dir = std::env::temp_dir().join("netaware_cli_export");
     let _ = std::fs::remove_dir_all(&dir);

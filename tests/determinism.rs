@@ -6,9 +6,11 @@
 //! eventually show up here as a byte diff between two same-seed runs.
 
 use netaware::analysis::AnalysisConfig;
+use netaware::obs::{Level, RingSink};
 use netaware::testbed::{run_experiment, ExperimentOptions};
 use netaware::trace::write_trace;
-use netaware::AppProfile;
+use netaware::{AppProfile, Obs};
+use std::sync::Arc;
 
 fn options() -> ExperimentOptions {
     ExperimentOptions {
@@ -17,6 +19,7 @@ fn options() -> ExperimentOptions {
         duration_us: 30_000_000,
         analysis: AnalysisConfig::default(),
         keep_traces: true,
+        obs: netaware::Obs::default(),
     }
 }
 
@@ -38,6 +41,79 @@ fn same_seed_runs_are_byte_identical() {
     assert!(!a.is_empty(), "experiment captured no traces");
     assert_eq!(a.len(), b.len(), "trace byte lengths diverged");
     assert!(a == b, "same-seed runs produced different trace bytes");
+}
+
+/// Runs one full observed experiment and returns the serialized obs
+/// artifacts: the JSONL event log and the metrics snapshot JSON.
+fn observed_run(seed: u64) -> (String, String) {
+    let sink = Arc::new(RingSink::new(1 << 20));
+    let obs = Obs::new(sink.clone() as Arc<dyn netaware::obs::EventSink>);
+    let opts = ExperimentOptions {
+        seed,
+        obs: obs.clone(),
+        ..options()
+    };
+    run_experiment(AppProfile::pplive(), &opts);
+    let log: String = sink
+        .snapshot()
+        .iter()
+        .map(|e| {
+            let mut line = e.to_jsonl();
+            line.push('\n');
+            line
+        })
+        .collect();
+    let metrics = obs.metrics().expect("obs enabled").to_json();
+    (log, metrics)
+}
+
+#[test]
+fn same_seed_obs_artifacts_are_byte_identical() {
+    let (log_a, metrics_a) = observed_run(777);
+    let (log_b, metrics_b) = observed_run(777);
+    assert!(
+        log_a.lines().count() > 100,
+        "event log suspiciously small: {} lines",
+        log_a.lines().count()
+    );
+    // Every instrumented layer must appear in the log.
+    for target in ["swarm.", "stream.", "pass.", "testbed."] {
+        assert!(
+            log_a.contains(&format!("\"target\":\"{target}")),
+            "no {target}* events in the log"
+        );
+    }
+    assert_eq!(log_a, log_b, "same-seed event logs diverged");
+    assert_eq!(metrics_a, metrics_b, "same-seed metrics snapshots diverged");
+    // Span timings are wall-clock and deliberately excluded from the
+    // deterministic artifacts; the metrics snapshot must not leak them.
+    assert!(!metrics_a.contains("elapsed_us"), "timings leaked into metrics");
+}
+
+#[test]
+fn different_seed_obs_logs_diverge() {
+    let (log_a, _) = observed_run(777);
+    let (log_b, _) = observed_run(778);
+    assert_ne!(log_a, log_b, "changing the seed changed no events");
+}
+
+#[test]
+fn disabled_obs_skips_field_evaluation() {
+    // The event macro must not evaluate field expressions when the
+    // event is filtered out: a disabled handle sees no side effects.
+    let obs = Obs::default();
+    let mut evaluated = false;
+    netaware::obs::event!(
+        obs,
+        Level::Info,
+        "test.side_effect",
+        netaware::sim::SimTime::ZERO,
+        "x" = {
+            evaluated = true;
+            1u64
+        },
+    );
+    assert!(!evaluated, "disabled obs evaluated event fields");
 }
 
 #[test]
