@@ -42,6 +42,7 @@ pub fn bench_options() -> ExperimentOptions {
         analysis: AnalysisConfig::default(),
         keep_traces: true,
         obs: netaware_obs::Obs::default(),
+        ..Default::default()
     }
 }
 
@@ -90,5 +91,6 @@ pub fn tiny_options() -> ExperimentOptions {
         analysis: AnalysisConfig::default(),
         keep_traces: false,
         obs: netaware_obs::Obs::default(),
+        ..Default::default()
     }
 }

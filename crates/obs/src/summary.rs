@@ -60,6 +60,10 @@ pub struct LogSummary {
     pub first_us: u64,
     /// Latest event time, µs of sim time.
     pub last_us: u64,
+    /// Per-probe stream continuity in permille, from `swarm.continuity`
+    /// events (one per probe at end of run; empty when the log carries
+    /// none).
+    pub continuity_permille: Vec<u64>,
 }
 
 impl LogSummary {
@@ -101,6 +105,11 @@ impl LogSummary {
             s.last_us = s.last_us.max(t);
             *s.by_target.entry(target.to_string()).or_insert(0) += 1;
             *s.by_level.entry(level.to_string()).or_insert(0) += 1;
+            if target == "swarm.continuity" {
+                if let Some(p) = serde_json::value::field(map, "permille").as_u64() {
+                    s.continuity_permille.push(p);
+                }
+            }
             if level == "error" {
                 s.error_count += 1;
                 if s.errors.len() < Self::ERROR_CAP {
@@ -131,8 +140,27 @@ impl LogSummary {
         }
     }
 
+    /// Mean per-probe stream continuity (0..=1) from `swarm.continuity`
+    /// events, if the log carries any.
+    pub fn continuity_mean(&self) -> Option<f64> {
+        if self.continuity_permille.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.continuity_permille.iter().sum();
+        Some(sum as f64 / self.continuity_permille.len() as f64 / 1000.0)
+    }
+
+    /// Worst per-probe stream continuity (0..=1), if reported.
+    pub fn continuity_min(&self) -> Option<f64> {
+        self.continuity_permille
+            .iter()
+            .min()
+            .map(|p| *p as f64 / 1000.0)
+    }
+
     /// Human-readable report: totals, top targets by count, error lines,
-    /// and the chunk-scheduler decision rate.
+    /// the chunk-scheduler decision rate, and stream continuity when the
+    /// run reported it.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
@@ -151,6 +179,15 @@ impl LogSummary {
         let rate = self.chunk_sched_rate_hz();
         if rate > 0.0 {
             let _ = writeln!(out, "chunk-scheduler decisions: {rate:.1}/s (sim)");
+        }
+        if let (Some(mean), Some(min)) = (self.continuity_mean(), self.continuity_min()) {
+            let _ = writeln!(
+                out,
+                "continuity: mean {:.3}, worst probe {:.3} ({} probes)",
+                mean,
+                min,
+                self.continuity_permille.len(),
+            );
         }
         let _ = writeln!(out, "errors: {}", self.error_count);
         for line in &self.errors {
@@ -176,20 +213,28 @@ mod tests {
         "\n",
         r#"{"t":4000000,"target":"pass.flow","level":"info","probe":0}"#,
         "\n",
+        r#"{"t":4000000,"target":"swarm.continuity","level":"info","probe":0,"permille":950}"#,
+        "\n",
+        r#"{"t":4000000,"target":"swarm.continuity","level":"info","probe":1,"permille":850}"#,
+        "\n",
     );
 
     #[test]
     fn summarises_counts_span_and_rate() {
         let s = LogSummary::from_reader(BufReader::new(LOG.as_bytes())).expect("parse");
-        assert_eq!(s.events, 5);
+        assert_eq!(s.events, 7);
         assert_eq!(s.by_target["swarm.chunk_sched"], 2);
         assert_eq!(s.error_count, 1);
         assert_eq!(s.errors.len(), 1);
         assert_eq!(s.first_us, 0);
         assert_eq!(s.last_us, 4_000_000);
         assert!((s.chunk_sched_rate_hz() - 0.5).abs() < 1e-9);
+        assert_eq!(s.continuity_permille, vec![950, 850]);
+        assert!((s.continuity_mean().unwrap() - 0.9).abs() < 1e-9);
+        assert!((s.continuity_min().unwrap() - 0.85).abs() < 1e-9);
         let text = s.render();
-        assert!(text.contains("events: 5"));
+        assert!(text.contains("events: 7"));
+        assert!(text.contains("continuity: mean 0.900, worst probe 0.850 (2 probes)"));
         assert!(text.contains("swarm.chunk_sched"));
         assert!(text.contains("errors: 1"));
         assert!(text.contains("chunk-scheduler decisions: 0.5/s"));
@@ -201,7 +246,7 @@ mod tests {
         let err = LogSummary::from_reader(BufReader::new(broken.as_bytes()))
             .expect_err("must fail");
         match err {
-            SummaryError::Malformed { line, .. } => assert_eq!(line, 5),
+            SummaryError::Malformed { line, .. } => assert_eq!(line, 7),
             other => panic!("wrong error: {other}"),
         }
     }
@@ -221,5 +266,7 @@ mod tests {
         assert_eq!(s.events, 0);
         assert_eq!(s.first_us, 0);
         assert_eq!(s.chunk_sched_rate_hz(), 0.0);
+        assert_eq!(s.continuity_mean(), None);
+        assert_eq!(s.continuity_min(), None);
     }
 }

@@ -1,0 +1,264 @@
+//! Fault runtime: link impairments and peer churn inside the event loop.
+//!
+//! [`FaultRuntime`] is built by [`Swarm::set_faults`] from a
+//! [`netaware_faults::FaultPlan`] and consulted from the transfer and
+//! handler paths. Everything here rides dedicated RNG streams
+//! (`"fault.link"` sub-stream per probe, `"fault.churn"` for the
+//! departure/arrival process), so enabling faults never shifts a
+//! protocol stream, and a no-op plan builds no runtime at all — the
+//! structural guarantee behind "fault-disabled runs are byte-identical
+//! to pre-fault baselines".
+//!
+//! ## Fidelity boundary
+//!
+//! Link faults apply to the *probe* access links (both directions): the
+//! probes are where tcpdump ran, so theirs are the only links whose
+//! impairments shape observable packet timing. TX records are still
+//! captured for packets that are later dropped — the capture point sits
+//! on the host, before its access link — while RX records materialise
+//! only for packets that survive. Churn applies to the *external*
+//! population only: probes are persistent vantage points and the source
+//! never leaves.
+
+use super::state::Event;
+use super::Swarm;
+use crate::chunk::ChunkId;
+use crate::peer::{PeerId, PeerRole};
+use netaware_faults::{ChurnPlan, FaultPlan};
+use netaware_obs::Level;
+use netaware_sim::{DetRng, LinkFaults, PacketFate, Scheduler, SimTime};
+use std::collections::BTreeSet;
+
+/// Churn process state: who is gone, and the stream that decides for
+/// how long.
+pub(crate) struct ChurnRuntime {
+    /// The configured arrival/departure process.
+    pub(crate) plan: ChurnPlan,
+    /// Dedicated churn decision stream.
+    pub(crate) rng: DetRng,
+    /// Externals currently offline.
+    pub(crate) offline: BTreeSet<PeerId>,
+}
+
+impl ChurnRuntime {
+    /// Draws an online session length, µs (exponential, ≥ 1).
+    fn session_us(&mut self) -> u64 {
+        (self.rng.exp(self.plan.session_mean_us as f64) as u64).max(1)
+    }
+
+    /// Draws an offline period length, µs (exponential, ≥ 1).
+    fn offline_us(&mut self) -> u64 {
+        (self.rng.exp(self.plan.offline_mean_us as f64) as u64).max(1)
+    }
+}
+
+/// Compiled fault state attached to a running swarm.
+pub(crate) struct FaultRuntime {
+    /// One impairment machine per probe access link (empty when the
+    /// link plan is a no-op, so churn-only plans draw no link fates).
+    pub(crate) links: Vec<LinkFaults>,
+    /// Churn process, when the plan enables it.
+    pub(crate) churn: Option<ChurnRuntime>,
+}
+
+impl FaultRuntime {
+    /// Compiles `plan` for a swarm with `n_probes` probes. Returns
+    /// `None` for a no-op plan: no runtime, no draws, no divergence.
+    pub(crate) fn new(plan: &FaultPlan, seed: u64, n_probes: usize) -> Option<Self> {
+        if plan.is_noop() {
+            return None;
+        }
+        let links = if plan.link.is_noop() {
+            Vec::new()
+        } else {
+            (0..n_probes)
+                .map(|i| {
+                    LinkFaults::new(
+                        plan.link.params(),
+                        DetRng::substream(seed, "fault.link", i as u64),
+                    )
+                })
+                .collect()
+        };
+        let churn = plan.churn.clone().map(|plan| ChurnRuntime {
+            plan,
+            rng: DetRng::stream(seed, "fault.churn"),
+            offline: BTreeSet::new(),
+        });
+        Some(FaultRuntime { links, churn })
+    }
+}
+
+impl Swarm<'_> {
+    /// Fate of one packet crossing probe `idx`'s access link at `at_us`.
+    /// Without link faults every packet passes undelayed, and no RNG is
+    /// consulted.
+    pub(crate) fn link_fate(&mut self, idx: usize, at_us: u64) -> PacketFate {
+        let Some(f) = &mut self.faults else {
+            return PacketFate::Pass { extra_delay_us: 0 };
+        };
+        if f.links.is_empty() {
+            return PacketFate::Pass { extra_delay_us: 0 };
+        }
+        let fate = f.links[idx].packet_fate(at_us);
+        if fate.is_dropped() {
+            self.report.packets_dropped += 1;
+            self.m.packets_dropped.inc();
+        }
+        fate
+    }
+
+    /// Whether `id` is currently offline (churned away).
+    pub(crate) fn is_offline(&self, id: PeerId) -> bool {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.churn.as_ref())
+            .is_some_and(|c| c.offline.contains(&id))
+    }
+
+    /// Whether a configured tracker outage covers `now_us` (discovery
+    /// is then impossible: departed neighbors cannot be replaced).
+    pub(crate) fn tracker_down(&self, now_us: u64) -> bool {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.churn.as_ref())
+            .is_some_and(|c| c.plan.tracker_down(now_us))
+    }
+
+    /// Seeds the churn process at the start of the event loop: every
+    /// external either starts offline (evicted from the bootstrap
+    /// neighbor tables, arriving later) or gets a departure scheduled
+    /// at the end of its first session.
+    pub(crate) fn init_churn(&mut self, sched: &mut Scheduler<Event>) {
+        let Some(churn) = self.faults.as_mut().and_then(|f| f.churn.as_mut()) else {
+            return;
+        };
+        let ids: Vec<PeerId> = self.discovery.ext_ids.clone();
+        let mut start_offline = Vec::new();
+        for id in ids {
+            let begins_offline =
+                churn.plan.initial_offline > 0.0 && churn.rng.chance(churn.plan.initial_offline);
+            if begins_offline {
+                let back_at = churn.offline_us();
+                churn.offline.insert(id);
+                sched.push(SimTime::from_us(back_at), Event::Arrive(id));
+                start_offline.push(id);
+            } else {
+                let gone_at = churn.session_us();
+                sched.push(SimTime::from_us(gone_at), Event::Depart(id));
+            }
+        }
+        // Initially-offline externals may have been handed out by the
+        // tracker bootstrap before the plan was attached: evict them.
+        for id in start_offline {
+            self.evict_peer(id, SimTime::ZERO);
+        }
+    }
+
+    /// An external's session ends: it vanishes mid-whatever-it-was-doing.
+    pub(crate) fn on_depart(&mut self, sched: &mut Scheduler<Event>, now: SimTime, id: PeerId) {
+        debug_assert_eq!(self.peers[id.0 as usize].role, PeerRole::External);
+        let back_at = {
+            let Some(churn) = self.faults.as_mut().and_then(|f| f.churn.as_mut()) else {
+                return;
+            };
+            if !churn.offline.insert(id) {
+                return; // already gone (stale event)
+            }
+            now + churn.offline_us()
+        };
+        sched.push(back_at, Event::Arrive(id));
+        self.report.peers_departed += 1;
+        self.m.peers_departed.inc();
+        netaware_obs::event!(
+            self.obs,
+            Level::Debug,
+            "swarm.peer_departed",
+            now,
+            "peer" = id.0,
+        );
+        let touched = self.evict_peer(id, now);
+        // Dead-peer replacement: each probe that lost this neighbor
+        // immediately asks the gossip/tracker view for a substitute
+        // (which fails during tracker outages — then the next tick's
+        // discovery top-up retries).
+        for i in touched {
+            super::handlers::try_discover_neighbor(self, i, now.as_us());
+        }
+    }
+
+    /// A departed external rejoins the overlay and becomes discoverable
+    /// again; its next departure is scheduled.
+    pub(crate) fn on_arrive(&mut self, sched: &mut Scheduler<Event>, now: SimTime, id: PeerId) {
+        let Some(churn) = self.faults.as_mut().and_then(|f| f.churn.as_mut()) else {
+            return;
+        };
+        if !churn.offline.remove(&id) {
+            return; // was never marked offline (stale event)
+        }
+        let gone_at = now + churn.session_us();
+        sched.push(gone_at, Event::Depart(id));
+        self.report.peers_arrived += 1;
+        self.m.peers_arrived.inc();
+        netaware_obs::event!(
+            self.obs,
+            Level::Debug,
+            "swarm.peer_arrived",
+            now,
+            "peer" = id.0,
+        );
+    }
+
+    /// Scrubs a departed peer from every probe's protocol state and
+    /// re-queues the chunk requests that were pending on it (the
+    /// mid-transfer-crash recovery path). Returns the probes that lost
+    /// a neighbor entry.
+    pub(crate) fn evict_peer(&mut self, id: PeerId, now: SimTime) -> Vec<usize> {
+        self.ext_dyn.remove(&id);
+        let mut touched = Vec::new();
+        let mut requeued_total = 0u64;
+        for (i, s) in self.probe_states.iter_mut().enumerate() {
+            let had = s.neighbors.len();
+            s.neighbors.retain(|n| n.id != id);
+            if s.neighbors.len() != had {
+                touched.push(i);
+            }
+            s.active_requesters.retain(|r| *r != id);
+            s.last_rx_from.remove(&id);
+            if s.last_provider == Some(id) {
+                s.last_provider = None;
+            }
+            // Requests in flight to the departed peer will never be
+            // answered: move them to the prompt re-request queue instead
+            // of letting them ride out the full request timeout.
+            let mut requeued: Vec<ChunkId> = Vec::new();
+            s.pending.retain(|p| {
+                if p.provider == id {
+                    requeued.push(p.chunk);
+                    false
+                } else {
+                    true
+                }
+            });
+            requeued_total += requeued.len() as u64;
+            for c in requeued {
+                if !s.requeue.contains(&c) {
+                    s.requeue.push(c);
+                }
+            }
+        }
+        if requeued_total > 0 {
+            self.report.requests_requeued += requeued_total;
+            self.m.requests_requeued.add(requeued_total);
+            netaware_obs::event!(
+                self.obs,
+                Level::Debug,
+                "swarm.requests_requeued",
+                now,
+                "peer" = id.0,
+                "requests" = requeued_total,
+            );
+        }
+        touched
+    }
+}

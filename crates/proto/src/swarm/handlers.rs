@@ -7,7 +7,7 @@ use crate::message::Signal;
 use crate::peer::{PeerId, PeerRole};
 use crate::policy::Candidate;
 use netaware_obs::Level;
-use netaware_sim::{Scheduler, SimTime};
+use netaware_sim::{PacketFate, Scheduler, SimTime};
 use netaware_trace::PayloadKind;
 
 /// Real clients rarely pull from the source itself once the swarm is
@@ -32,6 +32,8 @@ impl Swarm<'_> {
                 chunk,
                 est_bps,
             } => self.on_delivered(now, to, from, chunk, est_bps),
+            Event::Depart(id) => self.on_depart(sched, now, id),
+            Event::Arrive(id) => self.on_arrive(sched, now, id),
         }
     }
 
@@ -80,6 +82,9 @@ impl Swarm<'_> {
                     .count() as u64;
                 s.lost += lost;
                 s.bufmap.advance_base(playhead);
+                // Chunks behind the playhead can never be requested
+                // again: drop their retry-backoff bookkeeping.
+                s.attempts = s.attempts.split_off(&playhead);
                 if lost > 0 {
                     self.m.chunks_expired.add(lost);
                     netaware_obs::event!(
@@ -112,18 +117,34 @@ impl Swarm<'_> {
         }
 
         // Issue requests for missing chunks, oldest-deadline-first.
+        // Re-queued chunks (provider departed mid-request) go first:
+        // they were already scheduled once, so their playout deadline is
+        // nearest.
         let target = ChunkId(frontier.0.max(playhead.0));
         let budget = profile
             .max_parallel_requests
             .saturating_sub(self.probe_states[i].pending.len());
         if budget > 0 {
             let missing: Vec<ChunkId> = {
-                let s = &self.probe_states[i];
-                s.bufmap
+                let s = &mut self.probe_states[i];
+                let mut list: Vec<ChunkId> = Vec::new();
+                for c in std::mem::take(&mut s.requeue) {
+                    if c.0 >= playhead.0
+                        && !s.bufmap.contains(c)
+                        && !s.pending.iter().any(|p| p.chunk == c)
+                        && !list.contains(&c)
+                    {
+                        list.push(c);
+                    }
+                }
+                let scan: Vec<ChunkId> = s
+                    .bufmap
                     .missing_in(playhead, target)
-                    .filter(|c| !s.pending.iter().any(|p| p.chunk == *c))
-                    .take(budget)
-                    .collect()
+                    .filter(|c| !s.pending.iter().any(|p| p.chunk == *c) && !list.contains(c))
+                    .collect();
+                list.extend(scan);
+                list.truncate(budget);
+                list
             };
             for chunk in missing {
                 self.request_chunk(sched, now, i, pid, chunk, &profile);
@@ -172,6 +193,12 @@ impl Swarm<'_> {
             let pick = self.probe_states[i].rng.range(0..ext_neighbors.len());
             let from = ext_neighbors[pick];
             let at = now + (k as u64 * tick) / (rx_n.max(1) as u64);
+            // Incoming announces cross this probe's access link; a
+            // faulty link silently eats some of them.
+            let at = match self.link_fate(i, at.as_us()) {
+                PacketFate::Dropped => continue,
+                PacketFate::Pass { extra_delay_us } => at + extra_delay_us,
+            };
             let ttl = self.ttl_to(from, pid);
             self.capture(
                 i,
@@ -208,6 +235,11 @@ impl Swarm<'_> {
             let chunk_ready_us = self.cfg.stream.chunk_time_us(chunk);
             for n in &s.neighbors {
                 let id = n.id;
+                // Departed externals are scrubbed from neighbor tables
+                // eagerly, but a same-tick departure can race the scan.
+                if self.is_offline(id) {
+                    continue;
+                }
                 let available = match self.peers[id.0 as usize].role {
                     PeerRole::Source => true,
                     PeerRole::Probe => {
@@ -244,7 +276,12 @@ impl Swarm<'_> {
             }
         }
         if cand_ids.is_empty() {
-            return; // nobody has it yet; retry next tick
+            // Nobody reachable has it. The chunk stays missing, so the
+            // next tick's scan retries it — and if it got here via the
+            // requeue path (sole provider departed), `on_depart` already
+            // pulled it out of `pending`, so the scan *will* see it
+            // rather than treating it as still in flight.
+            return;
         }
 
         let s = &mut self.probe_states[i];
@@ -257,10 +294,21 @@ impl Swarm<'_> {
             }
         };
 
+        // Retransmit timer with exponential backoff: each repeat attempt
+        // for the same chunk doubles the timeout (capped at 8×), so a
+        // lossy path is given progressively longer to complete a train
+        // instead of being hammered at the base RTO.
+        let attempt = {
+            let a = s.attempts.entry(chunk).or_insert(0);
+            let prev = *a;
+            *a = a.saturating_add(1);
+            prev
+        };
+        let timeout_us = profile.request_timeout_us << attempt.min(3);
         s.pending.push(Pending {
             chunk,
             provider,
-            deadline_us: now_us + profile.request_timeout_us,
+            deadline_us: now_us + timeout_us,
         });
         self.m.chunks_requested.inc();
         netaware_obs::event!(
@@ -273,15 +321,18 @@ impl Swarm<'_> {
             "provider" = provider.0,
             "candidates" = cand_ids.len(),
         );
-        let arrival = self.send_signal(now, pid, provider, Signal::ChunkRequest(chunk));
-        sched.push(
-            arrival,
-            Event::Serve {
-                provider,
-                to: pid,
-                chunk,
-            },
-        );
+        // A lost request packet simply never reaches the provider: the
+        // pending entry rides out its timeout and the chunk is retried.
+        if let Some(arrival) = self.send_signal(now, pid, provider, Signal::ChunkRequest(chunk)) {
+            sched.push(
+                arrival,
+                Event::Serve {
+                    provider,
+                    to: pid,
+                    chunk,
+                },
+            );
+        }
     }
 
     fn on_serve(
@@ -292,6 +343,15 @@ impl Swarm<'_> {
         to: PeerId,
         chunk: ChunkId,
     ) {
+        // Mid-transfer crash: the provider departed after the request
+        // was sent but before it arrived. Nothing is served; the
+        // requester recovers via the re-queue (if the departure was
+        // seen) or its request timeout.
+        if self.is_offline(provider) {
+            self.report.chunks_refused += 1;
+            self.m.chunks_refused.inc();
+            return;
+        }
         match self.peers[provider.0 as usize].role {
             PeerRole::Probe => {
                 let pi = provider.0 as usize - 1;
@@ -329,6 +389,8 @@ impl Swarm<'_> {
         };
         let s = &mut self.probe_states[ti];
         s.pending.retain(|p| p.chunk != chunk);
+        s.attempts.remove(&chunk);
+        s.requeue.retain(|c| *c != chunk);
         if !s.bufmap.contains(chunk) && chunk.0 >= s.bufmap.base().0 {
             s.bufmap.insert(chunk);
             s.delivered += 1;
@@ -409,7 +471,13 @@ impl Swarm<'_> {
         };
         let Some(requester) = requester else { return };
 
-        // The request packet arrives at the probe now.
+        // The request packet arrives at the probe now — unless the
+        // probe's access link eats it (the external retries on its own
+        // schedule, which the Poisson demand process already models).
+        let now = match self.link_fate(i, now.as_us()) {
+            PacketFate::Dropped => return,
+            PacketFate::Pass { extra_delay_us } => now + extra_delay_us,
+        };
         let ttl = self.ttl_to(requester, pid);
         self.capture(
             i,
@@ -439,16 +507,26 @@ impl Swarm<'_> {
             return;
         };
         let entries = self.cfg.profile.peerlist_entries;
-        let arrival = self.send_signal(now, pid, target, Signal::Hello);
-        // NATted externals answer only if the hole punch works.
+        let Some(arrival) = self.send_signal(now, pid, target, Signal::Hello) else {
+            return; // hello lost on the wire
+        };
+        // Departed peers are silent; NATted externals answer only if
+        // the hole punch works.
         let replies = {
             let m = &self.meta[target.0 as usize];
+            let nat = m.nat;
+            let online = !self.is_offline(target);
             let s = &mut self.probe_states[i];
-            !m.nat || s.rng.chance(0.6)
+            online && (!nat || s.rng.chance(0.6))
         };
         if replies {
             let lat = self.delay_us(target, pid);
             let back = arrival + lat;
+            // The reply crosses this probe's access link on the way in.
+            let back = match self.link_fate(i, back.as_us()) {
+                PacketFate::Dropped => return,
+                PacketFate::Pass { extra_delay_us } => back + extra_delay_us,
+            };
             let ttl = self.ttl_to(target, pid);
             self.capture(
                 i,
@@ -469,6 +547,11 @@ impl Swarm<'_> {
 pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64) -> bool {
     let profile = swarm.cfg.profile.clone();
     if swarm.probe_states[i].neighbors.len() >= profile.max_neighbors {
+        return false;
+    }
+    // Scheduled tracker outage: the rendezvous point is unreachable, so
+    // no new peers can be learned until the window closes.
+    if swarm.tracker_down(now_us) {
         return false;
     }
     let pid = PeerId((1 + i) as u32);
@@ -499,6 +582,10 @@ pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64
     };
     let Some(cand) = candidate else { return false };
 
+    // Departed peers are not discoverable until they rejoin.
+    if swarm.is_offline(cand) {
+        return false;
+    }
     // Already a neighbor?
     if swarm.probe_states[i].neighbors.iter().any(|n| n.id == cand) {
         return false;
@@ -528,19 +615,27 @@ pub(crate) fn try_discover_neighbor(swarm: &mut Swarm<'_>, i: usize, now_us: u64
         let mean = profile.neighbor_lifetime_us as f64;
         (s.rng.exp(mean)).clamp(5e6, 20.0 * mean) as u64
     };
+
+    // Handshake on the wire: either direction lost to a link fault means
+    // no handshake and no neighbor entry.
+    let now = SimTime::from_us(now_us);
+    let Some(arrival) = swarm.send_signal(now, pid, cand, Signal::Hello) else {
+        return false;
+    };
+    let lat = swarm.delay_us(cand, pid);
+    let reply_at = arrival + lat;
+    let reply_at = match swarm.link_fate(i, reply_at.as_us()) {
+        PacketFate::Dropped => return false,
+        PacketFate::Pass { extra_delay_us } => reply_at + extra_delay_us,
+    };
     swarm.probe_states[i].neighbors.push(Neighbor {
         id: cand,
         expires_us: now_us.saturating_add(lifetime),
     });
-
-    // Handshake on the wire.
-    let now = SimTime::from_us(now_us);
-    let arrival = swarm.send_signal(now, pid, cand, Signal::Hello);
-    let lat = swarm.delay_us(cand, pid);
     let ttl = swarm.ttl_to(cand, pid);
     swarm.capture(
         i,
-        arrival + lat,
+        reply_at,
         cand,
         pid,
         Signal::Hello.wire_size(),

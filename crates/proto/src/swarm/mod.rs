@@ -20,6 +20,7 @@
 //! probe-observable quantity (packet timing, TTLs, byte shares, peer
 //! counts) behaviourally faithful.
 
+mod faults;
 mod handlers;
 mod report;
 mod state;
@@ -31,7 +32,8 @@ pub use state::{ExternalSpec, NetworkEnv, PeerSetup, ProbeSpec};
 use crate::chunk::StreamParams;
 use crate::peer::{PeerId, PeerInfo, PeerRole};
 use crate::profiles::AppProfile;
-use netaware_obs::{Counter, HistogramMetric, Level, Obs};
+use netaware_faults::FaultPlan;
+use netaware_obs::{Counter, Gauge, HistogramMetric, Level, Obs};
 use netaware_sim::{DetRng, Scheduler, SimTime};
 use netaware_trace::{MemorySink, ProbeTrace, RecordSink, TraceError, TraceSet};
 use state::{Event, ExtDynamic, PeerMeta, ProbeState};
@@ -65,6 +67,12 @@ pub(crate) struct SwarmMetrics {
     pub(crate) handshakes_refused: Counter,
     pub(crate) gossip_announcements: Counter,
     pub(crate) gossip_fanout: HistogramMetric,
+    pub(crate) packets_dropped: Counter,
+    pub(crate) requests_requeued: Counter,
+    pub(crate) peers_departed: Counter,
+    pub(crate) peers_arrived: Counter,
+    pub(crate) continuity_permille: HistogramMetric,
+    pub(crate) continuity_min_permille: Gauge,
 }
 
 impl SwarmMetrics {
@@ -79,6 +87,12 @@ impl SwarmMetrics {
             handshakes_refused: obs.counter("proto.handshakes_refused"),
             gossip_announcements: obs.counter("proto.gossip_announcements"),
             gossip_fanout: obs.histogram("proto.gossip_fanout", 128),
+            packets_dropped: obs.counter("proto.packets_dropped"),
+            requests_requeued: obs.counter("proto.requests_requeued"),
+            peers_departed: obs.counter("proto.peers_departed"),
+            peers_arrived: obs.counter("proto.peers_arrived"),
+            continuity_permille: obs.histogram("proto.continuity_permille", 1001),
+            continuity_min_permille: obs.gauge("proto.continuity_min_permille"),
         }
     }
 }
@@ -105,6 +119,9 @@ pub struct Swarm<'a> {
     pub(crate) obs: Obs,
     /// Pre-registered metric handles derived from `obs`.
     pub(crate) m: SwarmMetrics,
+    /// Compiled fault-injection state; `None` (the default) means no
+    /// fault machinery runs and no fault stream is ever consulted.
+    pub(crate) faults: Option<faults::FaultRuntime>,
 }
 
 impl<'a> Swarm<'a> {
@@ -124,6 +141,14 @@ impl<'a> Swarm<'a> {
     pub fn set_obs(&mut self, obs: Obs) {
         self.m = SwarmMetrics::register(&obs);
         self.obs = obs;
+    }
+
+    /// Attaches a fault-injection plan. A no-op plan (the default)
+    /// installs nothing: the run stays byte-identical to one on a swarm
+    /// that never heard of faults. Fault draws ride dedicated RNG
+    /// streams, so attaching a plan never perturbs protocol streams.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        self.faults = faults::FaultRuntime::new(plan, self.cfg.seed, self.n_probes);
     }
 
     /// The peer table (source, probes, externals).
@@ -192,6 +217,9 @@ impl<'a> Swarm<'a> {
                 sched.push(SimTime::from_us(h0), Event::Halo(p as u32));
             }
         }
+        // Churn processes (no-op without a fault plan): every external
+        // gets its first departure or arrival scheduled.
+        self.init_churn(&mut sched);
 
         loop {
             match sched.peek_time() {
@@ -202,21 +230,40 @@ impl<'a> Swarm<'a> {
             self.handle(&mut sched, now, ev);
         }
         self.report.events_dispatched = sched.dispatched();
+        let mut min_permille: i64 = 1000;
         for (i, s) in self.probe_states.iter().enumerate() {
             self.report.chunks_delivered += s.delivered;
             self.report.chunks_lost += s.lost;
             let total = s.delivered + s.lost;
+            let continuity = if total == 0 {
+                1.0
+            } else {
+                s.delivered as f64 / total as f64
+            };
+            // Surface the per-probe continuity index (graceful-degradation
+            // signal under faults) through the obs layer: stored as
+            // permille so the integer metrics pipeline carries it intact.
+            let permille = (continuity * 1000.0).round() as u64;
+            min_permille = min_permille.min(permille as i64);
+            self.m.continuity_permille.record(permille as usize);
+            netaware_obs::event!(
+                self.obs,
+                Level::Info,
+                "swarm.continuity",
+                horizon,
+                "probe" = i,
+                "permille" = permille,
+                "delivered" = s.delivered,
+                "lost" = s.lost,
+            );
             self.report.per_probe.push(report::ProbePerf {
                 probe: self.meta[1 + i].ip,
                 delivered: s.delivered,
                 lost: s.lost,
-                continuity: if total == 0 {
-                    1.0
-                } else {
-                    s.delivered as f64 / total as f64
-                },
+                continuity,
             });
         }
+        self.m.continuity_min_permille.set(min_permille);
         netaware_obs::event!(
             self.obs,
             Level::Info,

@@ -41,6 +41,14 @@ pub struct SwarmReport {
     pub video_bytes_tx: u64,
     /// Total scheduler events dispatched.
     pub events_dispatched: u64,
+    /// Packets eaten by injected link faults (loss coin + outages).
+    pub packets_dropped: u64,
+    /// External-peer departures (churn).
+    pub peers_departed: u64,
+    /// External-peer re-arrivals (churn).
+    pub peers_arrived: u64,
+    /// Pending requests re-queued because their provider departed.
+    pub requests_requeued: u64,
     /// Per-probe breakdown (simulator truth; one row per vantage point).
     pub per_probe: Vec<ProbePerf>,
 }

@@ -130,6 +130,12 @@ pub struct ProbeState {
     pub last_provider: Option<PeerId>,
     /// In-flight chunk requests.
     pub pending: Vec<Pending>,
+    /// Chunks to re-request promptly: their provider departed while the
+    /// request was in flight (churn recovery path).
+    pub requeue: Vec<ChunkId>,
+    /// Request attempts per missing chunk, for exponential timeout
+    /// backoff; pruned as the playout base advances.
+    pub attempts: BTreeMap<ChunkId, u32>,
     /// Requesters recently served (upload stickiness pool).
     pub active_requesters: Vec<PeerId>,
     /// Aggregate external demand rate on this probe, Hz.
@@ -216,6 +222,11 @@ pub enum Event {
         /// the provider's upstream).
         est_bps: u64,
     },
+    /// An external peer's session ends (churn): it crashes away,
+    /// stranding whatever was pending on it.
+    Depart(PeerId),
+    /// A departed external rejoins the overlay (churn).
+    Arrive(PeerId),
 }
 
 /// Upload-side dynamic state of an external peer, created lazily the
@@ -378,6 +389,8 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
             est_bps: BTreeMap::new(),
             last_provider: None,
             pending: Vec::new(),
+            requeue: Vec::new(),
+            attempts: BTreeMap::new(),
             active_requesters: Vec::new(),
             demand_rate_hz: demand_hz,
             halo_rate_hz: cfg.profile.halo_contacts_per_sec * halo_jitter,
@@ -407,6 +420,7 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
         },
         obs: netaware_obs::Obs::default(),
         m: super::SwarmMetrics::default(),
+        faults: None,
     };
     for i in 0..n_probes {
         let want = swarm.cfg.profile.init_neighbors;

@@ -1,7 +1,7 @@
 //! Swarm behaviour tests on a miniature scenario.
 
 use super::*;
-use crate::chunk::StreamParams;
+use crate::chunk::{ChunkId, StreamParams};
 use crate::profiles::AppProfile;
 use crate::swarm::state::{ExternalSpec, PeerSetup, ProbeSpec};
 use netaware_net::{
@@ -499,4 +499,113 @@ fn per_probe_report_rows_cover_every_probe() {
     }
     let sum: u64 = report.per_probe.iter().map(|p| p.delivered).sum();
     assert_eq!(sum, report.chunks_delivered);
+}
+
+// ---------- fault injection & recovery ----------
+
+fn mini_cfg(secs: u64, seed: u64) -> SwarmConfig {
+    SwarmConfig {
+        seed,
+        duration_us: secs * 1_000_000,
+        stream: StreamParams::cctv1(),
+        profile: small_profile(AppProfile::sopcast()),
+    }
+}
+
+/// Regression test for the old "drop the request and let the timeout
+/// catch it" behaviour: a pending request whose provider departs must
+/// move to the prompt re-request queue immediately, not ride out the
+/// full request timeout.
+#[test]
+fn departed_provider_pending_requests_move_to_requeue() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(1),
+        latency: LatencyModel::new(1),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 1), env, mini_setup(20));
+    swarm.set_faults(&netaware_faults::FaultPlan::from_flags(None, None, true));
+
+    // Pick an external neighbor of probe 0 (peers: source, 4 probes,
+    // then externals — so any neighbor with id >= 5 is external).
+    let provider = swarm.probe_states[0]
+        .neighbors
+        .iter()
+        .map(|n| n.id)
+        .find(|id| id.0 >= 5)
+        .expect("bootstrap gave probe 0 an external neighbor");
+    let chunk = ChunkId(123);
+    swarm.probe_states[0].pending.push(state::Pending {
+        chunk,
+        provider,
+        deadline_us: 10_000_000,
+    });
+    let neighbors_before = swarm.probe_states[0].neighbors.len();
+
+    let mut sched = netaware_sim::Scheduler::new();
+    swarm.on_depart(&mut sched, netaware_sim::SimTime::from_ms(100), provider);
+
+    let s = &swarm.probe_states[0];
+    assert!(
+        s.pending.iter().all(|p| p.provider != provider),
+        "request still pending on a departed peer"
+    );
+    assert_eq!(s.requeue, vec![chunk], "chunk must be promptly re-queued");
+    assert_eq!(s.neighbors.len(), neighbors_before - 1, "departed peer must be evicted");
+    assert!(s.neighbors.iter().all(|n| n.id != provider));
+    assert_eq!(swarm.report.requests_requeued, 1);
+    assert_eq!(swarm.report.peers_departed, 1);
+    // The departed peer's return trip is scheduled.
+    assert!(!sched.is_empty());
+}
+
+/// A churn-heavy run keeps streaming: peers depart and re-arrive, the
+/// stranded requests are re-queued, and continuity stays non-degenerate.
+#[test]
+fn churned_swarm_recovers_and_reports() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(21),
+        latency: LatencyModel::new(21),
+    };
+    let mut swarm = Swarm::new(mini_cfg(60, 21), env, mini_setup(80));
+    swarm.set_faults(&netaware_faults::FaultPlan::from_flags(Some(0.02), None, true));
+    let (_, report) = swarm.run();
+    assert!(report.peers_departed > 0, "no churn happened");
+    assert!(report.peers_arrived > 0, "departed peers never came back");
+    assert!(report.packets_dropped > 0, "loss coin never fired");
+    assert!(report.chunks_delivered > 0, "stream starved entirely");
+    assert!(
+        report.continuity() > 0.5,
+        "continuity collapsed: {}",
+        report.continuity()
+    );
+}
+
+/// Attaching the no-op plan must leave the run byte-identical to never
+/// attaching one (the structural zero-draw guarantee).
+#[test]
+fn noop_fault_plan_is_byte_identical_to_no_plan() {
+    let run = |attach_noop: bool| {
+        let reg = mini_registry();
+        let env = NetworkEnv {
+            registry: &reg,
+            paths: PathModel::new(5),
+            latency: LatencyModel::new(5),
+        };
+        let mut swarm = Swarm::new(mini_cfg(20, 5), env, mini_setup(40));
+        if attach_noop {
+            swarm.set_faults(&netaware_faults::FaultPlan::none());
+        }
+        swarm.run()
+    };
+    let (a, ra) = run(true);
+    let (b, rb) = run(false);
+    assert_eq!(ra.chunks_delivered, rb.chunks_delivered);
+    assert_eq!(ra.signal_packets, rb.signal_packets);
+    for (ta, tb) in a.traces.iter().zip(&b.traces) {
+        assert_eq!(ta.records_unsorted(), tb.records_unsorted());
+    }
 }

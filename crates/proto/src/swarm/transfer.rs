@@ -13,7 +13,7 @@ use super::Swarm;
 use crate::message::Signal;
 use crate::peer::PeerId;
 use netaware_net::{ttl_at_receiver, DEFAULT_TTL};
-use netaware_sim::{AccessSerializer, Scheduler, SimTime};
+use netaware_sim::{AccessSerializer, PacketFate, Scheduler, SimTime};
 use netaware_trace::{PacketRecord, PayloadKind};
 
 /// ADSL interleave window: packets draining within the same window reach
@@ -109,26 +109,42 @@ impl Swarm<'_> {
     }
 
     /// Emits a signalling packet `from → to`, recording it at whichever
-    /// endpoints are probes. Returns its arrival time.
+    /// endpoints are probes. Returns its arrival time, or `None` when a
+    /// link fault ate the packet on the way (the sender's TX capture
+    /// still materialises — tcpdump sits before the access link — but
+    /// no RX record and no arrival exist; the caller's timeout logic is
+    /// the recovery path).
     pub(crate) fn send_signal(
         &mut self,
         now: SimTime,
         from: PeerId,
         to: PeerId,
         sig: Signal,
-    ) -> SimTime {
+    ) -> Option<SimTime> {
         let size = sig.wire_size();
-        let arrival = now + self.delay_us(from, to);
-        if let Some(pi) = self.probe_index(from) {
+        let sender_pi = self.probe_index(from);
+        if let Some(pi) = sender_pi {
             // Captured leaving the sender: TTL still at its initial value.
             self.capture(pi, now, from, to, size, DEFAULT_TTL, PayloadKind::Signaling);
         }
+        self.report.signal_packets += 1;
+        let mut extra = 0u64;
+        if let Some(pi) = sender_pi {
+            match self.link_fate(pi, now.as_us()) {
+                PacketFate::Dropped => return None,
+                PacketFate::Pass { extra_delay_us } => extra = extra_delay_us,
+            }
+        }
+        let mut arrival = now + self.delay_us(from, to) + extra;
         if let Some(pi) = self.probe_index(to) {
+            match self.link_fate(pi, arrival.as_us()) {
+                PacketFate::Dropped => return None,
+                PacketFate::Pass { extra_delay_us } => arrival += extra_delay_us,
+            }
             let ttl = self.ttl_to(from, to);
             self.capture(pi, arrival, from, to, size, ttl, PayloadKind::Signaling);
         }
-        self.report.signal_packets += 1;
-        arrival
+        Some(arrival)
     }
 
     /// Serves one chunk from a probe provider: packetises through the
@@ -153,13 +169,33 @@ impl Swarm<'_> {
 
         let mut first_arrival = None;
         let mut last_arrival = SimTime::ZERO;
+        let mut chunk_ok = true;
         for i in 0..n_pkts {
             let size = stream.packet_size(i) as u16;
             let dep = self.probe_states[prov_idx].uplink.enqueue(now, size as u32);
             self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
-            let reach = dep + lat;
+            // The packet crosses the provider's access link at `dep` and
+            // (when the requester is a probe) the requester's at `reach`;
+            // either can drop it. A chunk with any packet missing never
+            // completes — the requester's timeout + backoff re-request is
+            // the recovery path.
+            let up_extra = match self.link_fate(prov_idx, dep.as_us()) {
+                PacketFate::Dropped => {
+                    chunk_ok = false;
+                    continue;
+                }
+                PacketFate::Pass { extra_delay_us } => extra_delay_us,
+            };
+            let reach = dep + lat + up_extra;
             let arrival = if let Some(ti) = to_probe_idx {
-                let a = self.deliver_to_probe(ti, provider, reach, size as u32);
+                let down_extra = match self.link_fate(ti, reach.as_us()) {
+                    PacketFate::Dropped => {
+                        chunk_ok = false;
+                        continue;
+                    }
+                    PacketFate::Pass { extra_delay_us } => extra_delay_us,
+                };
+                let a = self.deliver_to_probe(ti, provider, reach + down_extra, size as u32);
                 self.capture(ti, a, provider, to, size, ttl, PayloadKind::Video);
                 a
             } else {
@@ -171,7 +207,7 @@ impl Swarm<'_> {
         self.report.chunks_served_by_probes += 1;
         self.report.video_bytes_tx += stream.chunk_bytes as u64;
 
-        if to_probe_idx.is_some() {
+        if to_probe_idx.is_some() && chunk_ok {
             let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
             let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
             sched.push(
@@ -247,14 +283,30 @@ impl Swarm<'_> {
 
         let mut first_arrival = None;
         let mut last_arrival = SimTime::ZERO;
+        let mut chunk_ok = true;
         for (dep, size) in departures {
             let reach = dep + lat;
-            let arrival = self.deliver_to_probe(to_idx, provider, reach, size as u32);
+            // Only the probe's own access link is fault-modelled: the
+            // external's link sits outside the observable path, so its
+            // impairments are indistinguishable from capacity noise.
+            let down_extra = match self.link_fate(to_idx, reach.as_us()) {
+                PacketFate::Dropped => {
+                    chunk_ok = false;
+                    continue;
+                }
+                PacketFate::Pass { extra_delay_us } => extra_delay_us,
+            };
+            let arrival = self.deliver_to_probe(to_idx, provider, reach + down_extra, size as u32);
             self.capture(to_idx, arrival, provider, to, size, ttl, PayloadKind::Video);
             first_arrival.get_or_insert(arrival);
             last_arrival = arrival;
         }
         self.report.chunks_served_by_externals += 1;
+        if !chunk_ok {
+            // Incomplete chunk: the requester's pending entry rides out
+            // its (backed-off) timeout and the chunk is re-requested.
+            return;
+        }
 
         let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
         let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;

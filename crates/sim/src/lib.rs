@@ -11,6 +11,9 @@
 //!   link, the mechanism that turns "peer sends a chunk" into a train of
 //!   packets whose inter-packet gaps encode the bottleneck capacity (the
 //!   packet-pair signal the paper's BW inference exploits);
+//! * [`LinkFaults`] — per-link impairment model (packet loss, latency
+//!   jitter, transient outages) drawing from a dedicated [`DetRng`]
+//!   stream, so fault injection stays inside the determinism contract;
 //! * [`stats`] — streaming mean/max/variance, rate meters and integer
 //!   histograms used by both the protocol models and the benchmarks.
 //!
@@ -21,12 +24,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::Scheduler;
+pub use fault::{LinkFaultParams, LinkFaults, PacketFate};
 pub use link::{AccessSerializer, DownlinkQueue};
 pub use rng::DetRng;
 pub use stats::{Histogram, MeanMax, RateMeter, Welford};

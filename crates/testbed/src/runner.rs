@@ -11,6 +11,7 @@ use crate::scenario::{BuiltScenario, ScenarioConfig};
 use netaware_analysis::{
     analyze_corpus_with_obs, analyze_with_obs, AnalysisConfig, ExperimentAnalysis,
 };
+use netaware_faults::FaultPlan;
 use netaware_obs::{Level, Obs};
 use netaware_proto::{
     AppProfile, NetworkEnv, StreamParams, Swarm, SwarmConfig, SwarmReport,
@@ -41,6 +42,10 @@ pub struct ExperimentOptions {
     /// the per-run event-log determinism guarantee applies to a single
     /// experiment per handle.
     pub obs: Obs,
+    /// Fault-injection plan (link loss/jitter/outages, peer churn).
+    /// Defaults to the no-op plan, which installs nothing and leaves
+    /// runs byte-identical to fault-unaware ones.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExperimentOptions {
@@ -52,6 +57,7 @@ impl Default for ExperimentOptions {
             analysis: AnalysisConfig::default(),
             keep_traces: false,
             obs: Obs::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -132,6 +138,7 @@ pub fn run_on_scenario(
     );
     let mut swarm = Swarm::new(cfg, env, scenario.peer_setup());
     swarm.set_obs(opts.obs.clone());
+    swarm.set_faults(&opts.faults);
     let (traces, report) = {
         let _swarm_span = opts.obs.span("testbed.swarm");
         match swarm.run_into(MemorySink::with_obs(opts.obs.clone())) {
@@ -207,6 +214,7 @@ pub fn run_streamed_on_scenario(
     );
     let mut swarm = Swarm::new(cfg, env, scenario.peer_setup());
     swarm.set_obs(opts.obs.clone());
+    swarm.set_faults(&opts.faults);
     let (manifest, report) = {
         let _swarm_span = opts.obs.span("testbed.swarm");
         swarm.run_into(CorpusSink::create_with(dir, opts.obs.clone())?)?
@@ -262,6 +270,7 @@ mod tests {
             analysis: AnalysisConfig::default(),
             keep_traces: false,
             obs: Obs::default(),
+            faults: FaultPlan::none(),
         }
     }
 

@@ -1,0 +1,107 @@
+//! Extension H: stream continuity under injected faults.
+//!
+//! ```text
+//! cargo run --release --example fault_sweep [-- --scale 0.03 --secs 60 --seed 7]
+//! ```
+//!
+//! The paper measured PPLive/SopCast/TVAnts on real access networks;
+//! this sweep asks how each application profile's mesh-pull machinery
+//! degrades when the network misbehaves. Every paper application runs
+//! across a loss sweep (0–20%, clean links otherwise) and a churn grid
+//! (preset churn alone, and churn combined with 5% loss). Reported per
+//! cell: overall continuity, the worst probe's continuity, and the
+//! recovery counters (packets dropped, re-queued requests, departures).
+//!
+//! All cells run concurrently (rayon); each cell is an independent
+//! seeded experiment, so the table is deterministic for a given seed.
+
+use netaware::testbed::{run_experiment, ExperimentOptions};
+use netaware::{AppProfile, FaultPlan};
+use rayon::prelude::*;
+
+struct Cell {
+    app: String,
+    label: &'static str,
+    continuity: f64,
+    worst: f64,
+    dropped: u64,
+    requeued: u64,
+    departed: u64,
+}
+
+fn main() {
+    let mut scale = 0.03;
+    let mut secs = 60;
+    let mut seed = 7;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let v = it.next().expect("flag value");
+        match a.as_str() {
+            "--scale" => scale = v.parse().expect("scale"),
+            "--secs" => secs = v.parse().expect("secs"),
+            "--seed" => seed = v.parse().expect("seed"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let base = ExperimentOptions {
+        seed,
+        scale,
+        duration_us: secs * 1_000_000,
+        ..Default::default()
+    };
+
+    let plans: Vec<(&'static str, FaultPlan)> = vec![
+        ("clean", FaultPlan::none()),
+        ("loss 2%", FaultPlan::from_flags(Some(0.02), None, false)),
+        ("loss 5%", FaultPlan::from_flags(Some(0.05), None, false)),
+        ("loss 10%", FaultPlan::from_flags(Some(0.10), None, false)),
+        ("loss 20%", FaultPlan::from_flags(Some(0.20), None, false)),
+        ("churn", FaultPlan::from_flags(None, None, true)),
+        ("churn+5%", FaultPlan::from_flags(Some(0.05), None, true)),
+    ];
+
+    let jobs: Vec<(AppProfile, &'static str, FaultPlan)> = AppProfile::paper_apps()
+        .into_iter()
+        .flat_map(|app| plans.iter().map(move |(l, p)| (app.clone(), *l, p.clone())))
+        .collect();
+    eprintln!("running {} fault cells…", jobs.len());
+
+    let cells: Vec<Cell> = jobs
+        .into_par_iter()
+        .map(|(app, label, faults)| {
+            let opts = ExperimentOptions {
+                faults,
+                ..base.clone()
+            };
+            let out = run_experiment(app, &opts);
+            Cell {
+                app: out.app.clone(),
+                label,
+                continuity: out.report.continuity(),
+                worst: out.report.worst_probe().map_or(1.0, |p| p.continuity),
+                dropped: out.report.packets_dropped,
+                requeued: out.report.requests_requeued,
+                departed: out.report.peers_departed,
+            }
+        })
+        .collect();
+
+    println!(
+        "{:<10} {:<10} | {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "app", "faults", "continuity", "worst", "dropped", "requeued", "departed"
+    );
+    for (app, _, _) in
+        cells.iter().map(|c| (&c.app, 0, 0)).collect::<std::collections::BTreeSet<_>>()
+    {
+        for label in plans.iter().map(|(l, _)| *l) {
+            let c = cells
+                .iter()
+                .find(|c| &c.app == app && c.label == label)
+                .expect("cell ran");
+            println!(
+                "{:<10} {:<10} | {:>10.3} {:>10.3} | {:>9} {:>9} {:>9}",
+                c.app, c.label, c.continuity, c.worst, c.dropped, c.requeued, c.departed
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
 //! netaware-cli run APP [--uniform] [--spill DIR] [--scale F] [--secs N] [--seed N] [--json FILE]
 //!                      [--obs-log FILE] [--metrics FILE]
+//!                      [--faults FILE] [--loss P] [--jitter-us N] [--churn]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
 //! netaware-cli testbed
 //! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
@@ -22,6 +23,15 @@
 //! plan) and runs the passive framework over them using the
 //! reconstructed testbed registry.
 //!
+//! `run --faults FILE` loads a fault-injection plan (JSON `FaultPlan`:
+//! link loss/jitter/outages plus peer churn and tracker-outage windows);
+//! `--loss P`, `--jitter-us N` and `--churn` are shorthands that
+//! override/extend the plan (churn uses the default preset). Fault
+//! draws ride dedicated RNG streams, so same-seed fault runs are
+//! byte-identical too. The continuity ground truth printed at the end
+//! (and the `swarm.continuity` events / `proto.continuity_*` metrics)
+//! quantify the protocol's graceful degradation.
+//!
 //! `run --obs-log FILE` writes the run's structured event log as JSONL
 //! (byte-identical across same-seed runs); `run --metrics FILE` writes
 //! the metrics-registry snapshot (JSON, or CSV when FILE ends in
@@ -37,7 +47,7 @@ use netaware::testbed::{
 use netaware::obs::{EventSink, JsonlSink, LogSummary, NullSink};
 use netaware::trace::pcap::import_pcap;
 use netaware::trace::TraceSet;
-use netaware::{AppProfile, Obs};
+use netaware::{AppProfile, ChurnPlan, FaultPlan, Obs};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -65,6 +75,7 @@ struct Common {
     pcaps: Vec<(Ip, String)>,
     obs_log: Option<String>,
     metrics: Option<String>,
+    faults: FaultPlan,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -84,9 +95,14 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         pcaps: Vec::new(),
         obs_log: None,
         metrics: None,
+        faults: FaultPlan::none(),
     };
     let mut i = 0;
     let mut pending_probe: Option<Ip> = None;
+    let mut faults_file: Option<String> = None;
+    let mut loss: Option<f64> = None;
+    let mut jitter_us: Option<u64> = None;
+    let mut churn = false;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
@@ -105,6 +121,12 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--obs-log" => c.obs_log = Some(take(&mut i)?),
             "--metrics" => c.metrics = Some(take(&mut i)?),
             "--dir" => c.dir = Some(take(&mut i)?),
+            "--faults" => faults_file = Some(take(&mut i)?),
+            "--loss" => loss = Some(take(&mut i)?.parse().map_err(|e| format!("loss: {e}"))?),
+            "--jitter-us" => {
+                jitter_us = Some(take(&mut i)?.parse().map_err(|e| format!("jitter-us: {e}"))?)
+            }
+            "--churn" => churn = true,
             "--app" => c.app = Some(take(&mut i)?),
             "--uniform" => c.uniform = true,
             "--persite" => c.persite = true,
@@ -128,6 +150,27 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         }
         i += 1;
     }
+    // Compile the fault plan: the plan file first, shorthand flags
+    // overriding/extending it.
+    let mut plan = match &faults_file {
+        Some(path) => {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("--faults {path}: {e}"))?;
+            FaultPlan::from_json(&body).map_err(|e| format!("--faults {path}: {e}"))?
+        }
+        None => FaultPlan::none(),
+    };
+    if let Some(l) = loss {
+        plan.link.loss = l;
+    }
+    if let Some(j) = jitter_us {
+        plan.link.jitter_us = j;
+    }
+    if churn && plan.churn.is_none() {
+        plan.churn = Some(ChurnPlan::preset());
+    }
+    plan.validate()?;
+    c.faults = plan;
     Ok(c)
 }
 
@@ -146,6 +189,7 @@ fn opts_of(c: &Common) -> ExperimentOptions {
         seed: c.seed,
         scale: c.scale,
         duration_us: c.secs * 1_000_000,
+        faults: c.faults.clone(),
         ..Default::default()
     }
 }
@@ -290,6 +334,16 @@ fn cmd_run(c: &Common) -> ExitCode {
         o.report.events_dispatched,
         o.report.chunks_delivered
     );
+    if !opts.faults.is_noop() {
+        println!(
+            "faults: {} packets dropped, {} departures, {} arrivals, {} requests re-queued, worst probe continuity {:.3}",
+            o.report.packets_dropped,
+            o.report.peers_departed,
+            o.report.peers_arrived,
+            o.report.requests_requeued,
+            o.report.worst_probe().map_or(1.0, |p| p.continuity),
+        );
+    }
     if let Some(p) = &c.json {
         write_json(p, &outs);
     }

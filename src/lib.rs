@@ -18,7 +18,10 @@
 //! * [`testbed`] — the Table I testbed, the synthetic overlay
 //!   population, and one-call experiment orchestration;
 //! * [`obs`] — deterministic sim-time observability: structured event
-//!   log, metrics registry, and span timing for the whole pipeline.
+//!   log, metrics registry, and span timing for the whole pipeline;
+//! * [`faults`] — deterministic fault-injection plans: link
+//!   loss/jitter/outages and peer churn, with protocol-level recovery
+//!   in [`proto`].
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use netaware_analysis as analysis;
+pub use netaware_faults as faults;
 pub use netaware_net as net;
 pub use netaware_obs as obs;
 pub use netaware_proto as proto;
@@ -47,6 +51,7 @@ pub use netaware_testbed as testbed;
 pub use netaware_trace as trace;
 
 pub use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
+pub use netaware_faults::{ChurnPlan, FaultPlan, LinkFaultPlan, TrackerOutage};
 pub use netaware_obs::Obs;
 pub use netaware_proto::AppProfile;
 pub use netaware_testbed::{

@@ -9,7 +9,7 @@ use netaware::analysis::AnalysisConfig;
 use netaware::obs::{Level, RingSink};
 use netaware::testbed::{run_experiment, ExperimentOptions};
 use netaware::trace::write_trace;
-use netaware::{AppProfile, Obs};
+use netaware::{AppProfile, FaultPlan, Obs};
 use std::sync::Arc;
 
 fn options() -> ExperimentOptions {
@@ -20,18 +20,28 @@ fn options() -> ExperimentOptions {
         analysis: AnalysisConfig::default(),
         keep_traces: true,
         obs: netaware::Obs::default(),
+        faults: FaultPlan::none(),
     }
 }
 
+/// A mixed fault plan: link loss + jitter + churn, all enabled.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::from_flags(Some(0.05), Some(2_000), true)
+}
+
 /// Serialises every probe trace of one full experiment run.
-fn run_bytes() -> Vec<u8> {
-    let out = run_experiment(AppProfile::pplive(), &options());
+fn run_bytes_with(opts: &ExperimentOptions) -> Vec<u8> {
+    let out = run_experiment(AppProfile::pplive(), opts);
     let traces = out.traces.expect("keep_traces is set");
     let mut bytes = Vec::new();
     for t in &traces.traces {
         write_trace(t, &mut bytes).expect("in-memory write");
     }
     bytes
+}
+
+fn run_bytes() -> Vec<u8> {
+    run_bytes_with(&options())
 }
 
 #[test]
@@ -46,11 +56,16 @@ fn same_seed_runs_are_byte_identical() {
 /// Runs one full observed experiment and returns the serialized obs
 /// artifacts: the JSONL event log and the metrics snapshot JSON.
 fn observed_run(seed: u64) -> (String, String) {
+    observed_run_with(seed, FaultPlan::none())
+}
+
+fn observed_run_with(seed: u64, faults: FaultPlan) -> (String, String) {
     let sink = Arc::new(RingSink::new(1 << 20));
     let obs = Obs::new(sink.clone() as Arc<dyn netaware::obs::EventSink>);
     let opts = ExperimentOptions {
         seed,
         obs: obs.clone(),
+        faults,
         ..options()
     };
     run_experiment(AppProfile::pplive(), &opts);
@@ -134,4 +149,57 @@ fn different_seeds_actually_diverge() {
         write_trace(t, &mut b).expect("in-memory write");
     }
     assert!(a != b, "changing the seed changed nothing");
+}
+
+#[test]
+fn same_seed_fault_runs_are_byte_identical() {
+    // The whole determinism contract must survive with every fault
+    // class armed: loss coins, jitter draws, outage renewals, churn
+    // arrivals/departures and the recovery machinery all ride seeded
+    // streams, so two same-seed fault runs are still byte-identical.
+    let opts = ExperimentOptions {
+        faults: fault_plan(),
+        ..options()
+    };
+    let a = run_bytes_with(&opts);
+    let b = run_bytes_with(&opts);
+    assert!(!a.is_empty(), "fault run captured no traces");
+    assert!(a == b, "same-seed fault runs produced different trace bytes");
+    // And faults must actually perturb the run vs the clean baseline.
+    assert!(a != run_bytes(), "armed fault plan changed nothing");
+}
+
+#[test]
+fn same_seed_fault_obs_artifacts_are_byte_identical() {
+    let (log_a, metrics_a) = observed_run_with(777, fault_plan());
+    let (log_b, metrics_b) = observed_run_with(777, fault_plan());
+    assert_eq!(log_a, log_b, "same-seed fault event logs diverged");
+    assert_eq!(metrics_a, metrics_b, "same-seed fault metrics diverged");
+    // Churn and continuity must be visible in the artifacts.
+    assert!(
+        log_a.contains("\"target\":\"swarm.peer_departed\""),
+        "no churn events in the log"
+    );
+    assert!(
+        log_a.contains("\"target\":\"swarm.continuity\""),
+        "no continuity events in the log"
+    );
+    assert!(metrics_a.contains("proto.peers_departed"), "no churn metric");
+}
+
+#[test]
+fn noop_fault_plan_matches_fault_free_baseline() {
+    // `FaultPlan::none()` consumes zero RNG draws and installs nothing:
+    // options() already attaches it, so comparing against an explicitly
+    // constructed plan-free ExperimentOptions would be vacuous — instead
+    // check the no-op plan against a *disabled but present* link config.
+    let noop_via_flags = ExperimentOptions {
+        faults: FaultPlan::from_flags(None, None, false),
+        ..options()
+    };
+    assert!(noop_via_flags.faults.is_noop());
+    assert!(
+        run_bytes() == run_bytes_with(&noop_via_flags),
+        "no-op fault plan perturbed the run"
+    );
 }
