@@ -1,0 +1,706 @@
+//! A lightweight Rust syntax tree for the determinism analyzer.
+//!
+//! [`crate::parser`] lifts the lexer's token stream into this tree:
+//! items (`fn`/`impl`/`trait`/`mod`/`struct`/… with nesting), attributes,
+//! struct fields, and per-item *scan ranges* — the code-token spans of
+//! signatures, bodies, and initializers. The tree is deliberately
+//! shallower than `syn`'s: rules need item structure (what is inside a
+//! `#[cfg(test)]` module, what is inside an `impl Drop`), byte spans, and
+//! expression-level *shapes* — method-call chains, path mentions, macro
+//! invocations, `let` bindings — not a full expression grammar. Those
+//! shapes are extracted on demand from scan ranges by the functions at
+//! the bottom of this module.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A byte + line/column span in one source file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: usize,
+    /// Byte offset one past the last character.
+    pub hi: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+}
+
+impl Span {
+    /// The span of a single token.
+    pub fn of(t: &Tok) -> Span {
+        Span {
+            lo: t.pos,
+            hi: t.pos + t.len,
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    /// The union of two spans (start of `self` to end of `other`).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo,
+            hi: other.hi.max(self.hi),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// An outer attribute (`#[…]`) or inner attribute (`#![…]`).
+#[derive(Clone, Debug)]
+pub struct Attr {
+    /// The attribute's code tokens flattened to text, e.g. `cfg(test)`.
+    pub text: String,
+    /// Source span of the whole attribute.
+    pub span: Span,
+}
+
+impl Attr {
+    /// Whether the attribute gates the item to test builds
+    /// (`#[cfg(test)]`, `#[cfg(any(test, …))]`) or marks a test
+    /// (`#[test]`).
+    pub fn is_test_gate(&self) -> bool {
+        self.text == "test"
+            || self.text.starts_with("cfg(test")
+            || self.text.starts_with("cfg(any(test")
+            || self.text.starts_with("cfg(all(test")
+    }
+
+    /// Whether this is a `#[doc = …]` attribute.
+    pub fn is_doc(&self) -> bool {
+        self.text.starts_with("doc=") || self.text.starts_with("doc(")
+    }
+}
+
+/// Item visibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    /// No `pub`.
+    Private,
+    /// Bare `pub` — public API.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, … — not public API.
+    Restricted,
+}
+
+/// What kind of item a node is.
+#[derive(Clone, Debug)]
+pub enum ItemKind {
+    /// `fn name(…) { … }` (free, associated, or trait-default).
+    Fn,
+    /// `struct name { … }` / tuple / unit struct.
+    Struct,
+    /// `enum name { … }`.
+    Enum,
+    /// `union name { … }`.
+    Union,
+    /// `trait name { … }` — children are the associated items.
+    Trait,
+    /// `impl [Trait for] Type { … }` — children are the associated items.
+    Impl {
+        /// Last segment of the trait path in `impl Trait for Type`.
+        trait_name: Option<String>,
+    },
+    /// `mod name;` or `mod name { … }` — children for the inline form.
+    Mod {
+        /// Whether the module body is inline (`{ … }` rather than `;`).
+        inline: bool,
+    },
+    /// `use path::to::{thing, other};`
+    Use {
+        /// The use tree flattened to text, e.g. `std::sync::{Arc,Mutex}`.
+        tree: String,
+    },
+    /// `const NAME: T = …;`
+    Const,
+    /// `static NAME: T = …;`
+    Static,
+    /// `type Name = …;`
+    TypeAlias,
+    /// `extern crate name;`
+    ExternCrate,
+    /// `macro_rules! name { … }`
+    MacroDef,
+    /// A top-level macro invocation, e.g. `thread_local! { … }`.
+    MacroCall {
+        /// The macro name.
+        mac: String,
+    },
+    /// Recovery node for token runs the parser could not classify.
+    Unknown,
+}
+
+/// A struct/union field.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field visibility.
+    pub vis: Vis,
+    /// Whether a doc comment or `#[doc]` attribute is attached.
+    pub has_doc: bool,
+    /// Span of the field name.
+    pub span: Span,
+    /// The field's type flattened to text, e.g. `BTreeMap<String,u64>`.
+    pub ty: String,
+}
+
+/// One item in the tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind, with kind-specific payload.
+    pub kind: ItemKind,
+    /// Item name (`""` for `impl`, `use`, and recovery nodes).
+    pub name: String,
+    /// Visibility.
+    pub vis: Vis,
+    /// Outer attributes.
+    pub attrs: Vec<Attr>,
+    /// Whether the item is gated to test builds (its own attributes only;
+    /// ancestors are handled by the tree walk).
+    pub cfg_test: bool,
+    /// Whether an outer doc comment or `#[doc]` attribute is attached.
+    pub has_doc: bool,
+    /// Span of the whole item, attributes included.
+    pub span: Span,
+    /// Span of the anchor token for diagnostics (`pub` when present,
+    /// otherwise the defining keyword).
+    pub head: Span,
+    /// First and last 1-based source line of the item, attributes
+    /// included — the range an item-level allow directive covers.
+    pub lines: (usize, usize),
+    /// Code-token ranges (indices into [`File::code`]) that expression
+    /// and path rules scan: signatures, bodies, initializers, use trees.
+    pub scan: Vec<(usize, usize)>,
+    /// Code-token range of the function body, when [`ItemKind::Fn`] and
+    /// the body is present (subset of `scan`).
+    pub body: Option<(usize, usize)>,
+    /// Struct/union fields.
+    pub fields: Vec<Field>,
+    /// Nested items (`mod`/`impl`/`trait` members).
+    pub children: Vec<Item>,
+}
+
+/// A parsed source file: the item tree plus the comment-stripped code
+/// token stream all scan ranges index into.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Top-level items.
+    pub items: Vec<Item>,
+    /// Code tokens (comments stripped), in source order.
+    pub code: Vec<Tok>,
+}
+
+impl File {
+    /// Walks every item depth-first, calling `f` with the item and the
+    /// stack of its ancestors (outermost first).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Item, &[&'a Item])) {
+        fn go<'a>(
+            items: &'a [Item],
+            stack: &mut Vec<&'a Item>,
+            f: &mut impl FnMut(&'a Item, &[&'a Item]),
+        ) {
+            for item in items {
+                f(item, stack);
+                stack.push(item);
+                go(&item.children, stack, f);
+                stack.pop();
+            }
+        }
+        go(&self.items, &mut Vec::new(), f)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Expression shapes, extracted from scan ranges on demand.
+// ----------------------------------------------------------------------
+
+/// A maximal `::`-joined identifier path, e.g. `std::thread::spawn`.
+#[derive(Clone, Debug)]
+pub struct PathMention {
+    /// Path segments in order.
+    pub segs: Vec<String>,
+    /// Code-token index of each segment, parallel to `segs`.
+    pub seg_idx: Vec<usize>,
+}
+
+impl PathMention {
+    /// Whether the path ends with the given segment sequence
+    /// (`ends_with(&["Ordering","Relaxed"])` matches
+    /// `std::sync::atomic::Ordering::Relaxed`).
+    pub fn ends_with(&self, tail: &[&str]) -> bool {
+        self.segs.len() >= tail.len()
+            && self.segs[self.segs.len() - tail.len()..]
+                .iter()
+                .zip(tail)
+                .all(|(a, b)| a == b)
+    }
+
+    /// Whether the path contains the adjacent segment pair `a::b`.
+    pub fn has_pair(&self, a: &str, b: &str) -> bool {
+        self.segs.windows(2).any(|w| w[0] == a && w[1] == b)
+    }
+}
+
+/// One `.name(…)` link in a method-call chain.
+#[derive(Clone, Debug)]
+pub struct MethodCall {
+    /// Method name.
+    pub name: String,
+    /// Code-token index of the method name.
+    pub idx: usize,
+}
+
+/// A method-call chain: `recv.m1(…).m2(…)?….mN(…)`.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    /// Code-token index of the receiver token directly before the first
+    /// `.` (an identifier, `)`, `]`, or literal).
+    pub recv: usize,
+    /// Receiver root: the identifier the receiver expression starts from
+    /// (`peers` in `self.peers.iter()…`, `m` in `m.keys()…`), when it is
+    /// a simple path expression.
+    pub root: Option<String>,
+    /// The chain's calls, in order.
+    pub calls: Vec<MethodCall>,
+    /// When the whole chain is an argument of an enclosing call, the
+    /// name of that call's function/method.
+    pub arg_of: Option<String>,
+}
+
+impl Chain {
+    /// Whether any link is named `name`.
+    pub fn has_call(&self, name: &str) -> bool {
+        self.calls.iter().any(|c| c.name == name)
+    }
+
+    /// Index (within `calls`) of the first link named `name`.
+    pub fn call_pos(&self, name: &str) -> Option<usize> {
+        self.calls.iter().position(|c| c.name == name)
+    }
+}
+
+/// A macro invocation `name!(…)` / `name!{…}` / `name![…]`.
+#[derive(Clone, Debug)]
+pub struct MacroBang {
+    /// Macro name.
+    pub name: String,
+    /// Code-token index of the name.
+    pub idx: usize,
+}
+
+/// A `let` binding with whatever type evidence is syntactically visible.
+#[derive(Clone, Debug)]
+pub struct LetBinding {
+    /// Bound name (simple-identifier patterns only).
+    pub name: String,
+    /// Code-token index of the name.
+    pub idx: usize,
+    /// Declared type flattened to text, when annotated.
+    pub ty: Option<String>,
+    /// First path of the initializer expression flattened to text
+    /// (`HashMap::new` in `let m = HashMap::new();`).
+    pub init_path: Option<String>,
+}
+
+fn is_open(t: &Tok) -> bool {
+    t.is_punct('(') || t.is_punct('[') || t.is_punct('{')
+}
+
+fn is_close(t: &Tok) -> bool {
+    t.is_punct(')') || t.is_punct(']') || t.is_punct('}')
+}
+
+/// Extracts every maximal identifier path in `code[lo..hi]`.
+pub fn paths(code: &[Tok], lo: usize, hi: usize) -> Vec<PathMention> {
+    let hi = hi.min(code.len());
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        if code[i].kind == TokKind::Ident {
+            // Skip idents that are path *continuations* (handled when the
+            // head was seen) — detected by a preceding `::`.
+            let continues = i >= 2 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':');
+            if !continues {
+                let mut segs = vec![code[i].text.clone()];
+                let mut seg_idx = vec![i];
+                let mut j = i;
+                while j + 3 < hi
+                    && code[j + 1].is_punct(':')
+                    && code[j + 2].is_punct(':')
+                    && code[j + 3].kind == TokKind::Ident
+                {
+                    j += 3;
+                    segs.push(code[j].text.clone());
+                    seg_idx.push(j);
+                }
+                i = j;
+                out.push(PathMention { segs, seg_idx });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts every macro invocation in `code[lo..hi]`.
+pub fn macro_bangs(code: &[Tok], lo: usize, hi: usize) -> Vec<MacroBang> {
+    let hi = hi.min(code.len());
+    let mut out = Vec::new();
+    for i in lo..hi {
+        if code[i].kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && code
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('{') || t.is_punct('['))
+        {
+            out.push(MacroBang {
+                name: code[i].text.clone(),
+                idx: i,
+            });
+        }
+    }
+    out
+}
+
+/// Skips a balanced delimiter group starting at `i` (which must hold an
+/// opening delimiter); returns the index one past the matching closer,
+/// or `hi` when unbalanced.
+fn skip_group(code: &[Tok], i: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < hi {
+        if is_open(&code[j]) {
+            depth += 1;
+        } else if is_close(&code[j]) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Extracts every method-call chain in `code[lo..hi]`.
+///
+/// A chain starts at the first `.name(…)` (or `.name::<…>(…)`) whose
+/// receiver is the preceding primary expression, and follows further
+/// `.name(…)` links across `?` operators. `.await` and field accesses
+/// are stepped over without becoming links.
+pub fn chains(code: &[Tok], lo: usize, hi: usize) -> Vec<Chain> {
+    let hi = hi.min(code.len());
+    let mut out: Vec<Chain> = Vec::new();
+    let mut consumed = vec![false; hi.saturating_sub(lo)];
+    let mut i = lo;
+    while i < hi {
+        let local = i - lo;
+        if consumed[local] || !code[i].is_punct('.') {
+            i += 1;
+            continue;
+        }
+        let Some((name_idx, after)) = method_link(code, i, hi) else {
+            i += 1;
+            continue;
+        };
+        // Receiver is the token before the `.`; walk further back through
+        // `.field` / `::seg` / `)`→matching-`(` to find the root ident.
+        let recv = if i > lo { i - 1 } else { i };
+        let root = receiver_root(code, lo, i);
+        let arg_of = enclosing_call(code, lo, i);
+        let mut calls = vec![MethodCall {
+            name: code[name_idx].text.clone(),
+            idx: name_idx,
+        }];
+        // Mark the link's span consumed so inner `.m(` patterns inside
+        // its argument list start their own chains, but the outer walk
+        // does not restart on this link.
+        let mut j = after;
+        loop {
+            // Step over `?` and field accesses / `.await` between links.
+            let mut k = j;
+            while k < hi && code[k].is_punct('?') {
+                k += 1;
+            }
+            if k < hi && code[k].is_punct('.') {
+                if let Some((nidx, nafter)) = method_link(code, k, hi) {
+                    calls.push(MethodCall {
+                        name: code[nidx].text.clone(),
+                        idx: nidx,
+                    });
+                    if k - lo < consumed.len() {
+                        consumed[k - lo] = true;
+                    }
+                    j = nafter;
+                    continue;
+                }
+                // `.field` or `.await`: step over and keep following.
+                if k + 1 < hi && code[k + 1].kind == TokKind::Ident {
+                    if k - lo < consumed.len() {
+                        consumed[k - lo] = true;
+                    }
+                    j = k + 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        out.push(Chain {
+            recv,
+            root,
+            calls,
+            arg_of,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// At a `.`: matches `.name(…)` or `.name::<…>(…)`; returns the name's
+/// index and the index one past the call's closing `)`.
+fn method_link(code: &[Tok], dot: usize, hi: usize) -> Option<(usize, usize)> {
+    let name = dot + 1;
+    if name >= hi || code[name].kind != TokKind::Ident {
+        return None;
+    }
+    let mut open = name + 1;
+    // Turbofish: `::< … >` before the argument list.
+    if code.get(open).is_some_and(|t| t.is_punct(':'))
+        && code.get(open + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(open + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let mut depth = 0i32;
+        let mut j = open + 2;
+        while j < hi {
+            if code[j].is_punct('<') {
+                depth += 1;
+            } else if code[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        open = j + 1;
+    }
+    if open < hi && code[open].is_punct('(') {
+        Some((name, skip_group(code, open, hi)))
+    } else {
+        None
+    }
+}
+
+/// The identifier directly before the chain's first `.` — `peers` in
+/// `self.peers.iter()…`, `m` in `m.keys()…` — or `None` when the
+/// receiver is a call or index result.
+fn receiver_root(code: &[Tok], lo: usize, dot: usize) -> Option<String> {
+    let i = dot.checked_sub(1)?;
+    if i < lo {
+        return None;
+    }
+    let t = &code[i];
+    (t.kind == TokKind::Ident).then(|| t.text.clone())
+}
+
+/// When the expression containing position `at` sits inside a call's
+/// argument list, returns the callee name (`run_pass` for
+/// `run_pass(t.records(), …)`).
+fn enclosing_call(code: &[Tok], lo: usize, at: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > lo {
+        i -= 1;
+        let t = &code[i];
+        if is_close(t) {
+            depth += 1;
+        } else if is_open(t) {
+            if depth == 0 {
+                if t.is_punct('(') && i > lo && code[i - 1].kind == TokKind::Ident {
+                    return Some(code[i - 1].text.clone());
+                }
+                return None;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('=')) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Extracts `let` bindings (simple-identifier patterns) in
+/// `code[lo..hi]`, with declared-type and initializer-path evidence.
+pub fn lets(code: &[Tok], lo: usize, hi: usize) -> Vec<LetBinding> {
+    let hi = hi.min(code.len());
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        if !code[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < hi && code[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= hi || code[j].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = code[j].text.clone();
+        let idx = j;
+        let mut ty = None;
+        let mut k = j + 1;
+        if k < hi && code[k].is_punct(':') && !code.get(k + 1).is_some_and(|t| t.is_punct(':')) {
+            // Annotated type: flatten tokens to `=`, `;`, or unbalanced
+            // close at depth 0 (angle brackets tracked separately).
+            let mut angle = 0i32;
+            let mut depth = 0i32;
+            let start = k + 1;
+            k = start;
+            while k < hi {
+                let t = &code[k];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if is_open(t) {
+                    depth += 1;
+                } else if is_close(t) {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if depth == 0 && angle <= 0 && (t.is_punct('=') || t.is_punct(';')) {
+                    break;
+                }
+                k += 1;
+            }
+            ty = Some(flatten(code, start, k));
+        }
+        // Initializer head path, if `= path…` follows.
+        let mut init_path = None;
+        if k < hi && code[k].is_punct('=') && code.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            let ps = paths(code, k + 1, hi);
+            if let Some(p) = ps.first() {
+                if p.seg_idx.first() == Some(&(k + 1)) {
+                    init_path = Some(p.segs.join("::"));
+                }
+            }
+        }
+        out.push(LetBinding {
+            name,
+            idx,
+            ty,
+            init_path,
+        });
+        i = k.max(i + 1);
+    }
+    out
+}
+
+/// Flattens `code[lo..hi]` to compact text (no spaces).
+pub fn flatten(code: &[Tok], lo: usize, hi: usize) -> String {
+    let hi = hi.min(code.len());
+    let mut out = String::new();
+    for t in code.get(lo..hi).unwrap_or(&[]) {
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code(src: &str) -> Vec<Tok> {
+        lex(src)
+            .into_iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paths_are_maximal() {
+        let c = code("std::thread::spawn(|| ());");
+        let ps = paths(&c, 0, c.len());
+        assert!(ps.iter().any(|p| p.segs == ["std", "thread", "spawn"]));
+        assert!(!ps.iter().any(|p| p.segs == ["thread", "spawn"]));
+    }
+
+    #[test]
+    fn path_tail_matching() {
+        let c = code("std::sync::atomic::Ordering::Relaxed");
+        let ps = paths(&c, 0, c.len());
+        assert!(ps[0].ends_with(&["Ordering", "Relaxed"]));
+        assert!(ps[0].has_pair("Ordering", "Relaxed"));
+        assert!(!ps[0].ends_with(&["Ordering", "SeqCst"]));
+    }
+
+    #[test]
+    fn chains_follow_links_and_roots() {
+        let c = code("let y = self.peers.iter().map(|p| p.x).collect::<Vec<_>>();");
+        let cs = chains(&c, 0, c.len());
+        assert_eq!(cs.len(), 1, "{cs:?}");
+        let names: Vec<&str> = cs[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["iter", "map", "collect"]);
+        assert_eq!(cs[0].root.as_deref(), Some("peers"));
+    }
+
+    #[test]
+    fn chain_inside_call_records_callee() {
+        let c = code("run_pass(t.records(), acc);");
+        let cs = chains(&c, 0, c.len());
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].arg_of.as_deref(), Some("run_pass"));
+        assert_eq!(cs[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn chain_follows_question_mark() {
+        let c = code("x.parse()?.checked_add(1)?;");
+        let cs = chains(&c, 0, c.len());
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].has_call("parse") && cs[0].has_call("checked_add"));
+    }
+
+    #[test]
+    fn inner_chains_are_separate() {
+        let c = code("xs.iter().map(|x| x.weight.abs().sqrt()).sum::<f64>();");
+        let cs = chains(&c, 0, c.len());
+        assert_eq!(cs.len(), 2, "{cs:?}");
+        assert!(cs.iter().any(|c| c.has_call("sum")));
+        assert!(cs.iter().any(|c| c.has_call("sqrt") && !c.has_call("sum")));
+    }
+
+    #[test]
+    fn macro_bangs_found() {
+        let c = code("println!(\"x\"); vec![1]; write!(buf, \"y\");");
+        let ms = macro_bangs(&c, 0, c.len());
+        let names: Vec<&str> = ms.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["println", "vec", "write"]);
+    }
+
+    #[test]
+    fn lets_capture_types_and_init_paths() {
+        let c = code("let mut m: HashMap<u32, u32> = HashMap::new(); let n = BTreeMap::new();");
+        let ls = lets(&c, 0, c.len());
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].name, "m");
+        assert_eq!(ls[0].ty.as_deref(), Some("HashMap<u32,u32>"));
+        assert_eq!(ls[0].init_path.as_deref(), Some("HashMap::new"));
+        assert_eq!(ls[1].name, "n");
+        assert_eq!(ls[1].init_path.as_deref(), Some("BTreeMap::new"));
+    }
+}

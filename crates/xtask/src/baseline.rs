@@ -1,0 +1,198 @@
+//! The suppression baseline: a checked-in inventory of known findings.
+//!
+//! Warn-level rules land with their pre-existing findings recorded in
+//! `lint-baseline.json` at the workspace root, so `cargo xtask lint`
+//! stays green while the debt is burned down. An entry matches a finding
+//! exactly — same rule, file, line, column, and message — which makes
+//! the baseline self-invalidating: edit the offending line and the entry
+//! goes *stale*, the drift check in CI fails, and the file must be
+//! regenerated with `--write-baseline` (shrinking it if the finding was
+//! actually fixed).
+
+use crate::Diagnostic;
+use serde_json::{value, Value};
+use std::collections::BTreeSet;
+
+/// The baseline file format version this build reads and writes.
+const VERSION: u64 = 1;
+
+/// One suppression key: (rule, file, line, col, message).
+type Key = (String, String, u64, u64, String);
+
+fn key_of(d: &Diagnostic) -> Key {
+    (
+        d.rule.to_string(),
+        d.file.clone(),
+        d.line as u64,
+        d.col as u64,
+        d.message.clone(),
+    )
+}
+
+/// A parsed suppression baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<Key>,
+}
+
+impl Baseline {
+    /// Whether the baseline suppresses this finding.
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        self.entries.contains(&key_of(d))
+    }
+
+    /// Entries that match none of the given (suppressed) findings,
+    /// rendered as `file:line:col [RULE]` — stale suppressions whose
+    /// code has moved or been fixed.
+    pub fn stale(&self, matched: &[Diagnostic]) -> Vec<String> {
+        let live: BTreeSet<Key> = matched.iter().map(key_of).collect();
+        self.entries
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .map(|(rule, file, line, col, _)| format!("{file}:{line}:{col} [{rule}]"))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the baseline file format produced by [`render`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let root = serde_json::parse_value(text).map_err(|e| format!("bad baseline JSON: {e:?}"))?;
+        let fields = root
+            .as_map()
+            .ok_or_else(|| "baseline root must be an object".to_string())?;
+        match value::field(fields, "version").as_u64() {
+            Some(VERSION) => {}
+            Some(v) => return Err(format!("unsupported baseline version {v}")),
+            None => return Err("baseline is missing a numeric `version`".to_string()),
+        }
+        let list = value::field(fields, "suppressions")
+            .as_seq()
+            .ok_or_else(|| "baseline `suppressions` must be an array".to_string())?;
+        let mut entries = BTreeSet::new();
+        for (i, entry) in list.iter().enumerate() {
+            let fields = entry
+                .as_map()
+                .ok_or_else(|| format!("suppression #{i} must be an object"))?;
+            let text_field = |name: &str| -> Result<String, String> {
+                value::field(fields, name)
+                    .as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("suppression #{i} is missing string `{name}`"))
+            };
+            let num_field = |name: &str| -> Result<u64, String> {
+                value::field(fields, name)
+                    .as_u64()
+                    .ok_or_else(|| format!("suppression #{i} is missing numeric `{name}`"))
+            };
+            entries.insert((
+                text_field("rule")?,
+                text_field("file")?,
+                num_field("line")?,
+                num_field("col")?,
+                text_field("message")?,
+            ));
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Renders the given findings as a baseline file (sorted, versioned,
+/// byte-stable across runs).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut keys: Vec<Key> = diags.iter().map(key_of).collect();
+    keys.sort();
+    keys.dedup();
+    let suppressions: Vec<Value> = keys
+        .into_iter()
+        .map(|(rule, file, line, col, message)| {
+            Value::Map(vec![
+                (Value::Str("rule".into()), Value::Str(rule)),
+                (Value::Str("file".into()), Value::Str(file)),
+                (Value::Str("line".into()), Value::U64(line)),
+                (Value::Str("col".into()), Value::U64(col)),
+                (Value::Str("message".into()), Value::Str(message)),
+            ])
+        })
+        .collect();
+    let root = Value::Map(vec![
+        (Value::Str("version".into()), Value::U64(VERSION)),
+        (
+            Value::Str("suppressions".into()),
+            Value::Seq(suppressions),
+        ),
+    ]);
+    // No floats in the tree, so printing cannot fail.
+    let mut text =
+        serde_json::to_string_pretty(&root).unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"));
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn diag(rule: &'static str, file: &str, line: usize, msg: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Warn,
+            file: file.into(),
+            line,
+            col: 5,
+            len: 4,
+            message: msg.into(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_and_matches_exactly() {
+        let d1 = diag("CC01", "crates/obs/src/sink.rs", 14, "bare `Mutex`");
+        let d2 = diag("CC02", "crates/obs/src/clock.rs", 66, "`Ordering::Relaxed`");
+        let text = render(&[d1.clone(), d2.clone()]);
+        let base = Baseline::parse(&text).expect("parses");
+        assert_eq!(base.len(), 2);
+        assert!(base.covers(&d1) && base.covers(&d2));
+        let mut moved = d1.clone();
+        moved.line += 1;
+        assert!(!base.covers(&moved), "a moved finding must not match");
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let d1 = diag("CC01", "crates/b.rs", 2, "m");
+        let d2 = diag("CC01", "crates/a.rs", 9, "m");
+        let forward = render(&[d1.clone(), d2.clone()]);
+        let reverse = render(&[d2, d1]);
+        assert_eq!(forward, reverse);
+        let a = forward.find("crates/a.rs").expect("a present");
+        let b = forward.find("crates/b.rs").expect("b present");
+        assert!(a < b, "entries must sort by file");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let gone = diag("CC01", "crates/obs/src/sink.rs", 99, "bare `Mutex`");
+        let kept = diag("CC01", "crates/obs/src/sink.rs", 14, "bare `Mutex`");
+        let base = Baseline::parse(&render(&[gone, kept.clone()])).expect("parses");
+        let stale = base.stale(&[kept]);
+        assert_eq!(stale, vec!["crates/obs/src/sink.rs:99:5 [CC01]"]);
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"version\": 2, \"suppressions\": []}").is_err());
+        assert!(Baseline::parse("{\"version\": 1, \"suppressions\": [42]}").is_err());
+    }
+}

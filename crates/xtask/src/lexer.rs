@@ -1,11 +1,12 @@
-//! A flat Rust tokenizer with line/column spans.
+//! A flat Rust tokenizer with byte-offset and line/column spans.
 //!
-//! The lint rules are lexical: they need identifiers, punctuation, and
-//! comments with accurate positions, but no syntax tree (`syn` is
-//! unavailable offline). String and char literals are tokenized as opaque
-//! units so their *content* can never trigger a rule; comments are kept
-//! as tokens because `// netaware-lint: allow(...)` directives and doc
-//! comments (for DOC01) live there.
+//! The lexer is the ground layer of the analyzer: it produces
+//! identifiers, punctuation, literals, and comments with accurate byte
+//! spans, which [`crate::parser`] lifts into a syntax tree. String and
+//! char literals are tokenized as opaque units so their *content* can
+//! never trigger a rule; comments are kept as tokens because
+//! `// netaware-lint: allow(...)` directives and doc comments (for
+//! DOC01) live there.
 
 /// What a token is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,7 +17,7 @@ pub enum TokKind {
     Punct,
     /// Numeric literal.
     Number,
-    /// String literal (including raw strings), content opaque.
+    /// String literal (including raw and byte-raw strings), content opaque.
     Str,
     /// Char literal, content opaque.
     Char,
@@ -35,12 +36,17 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Source text (for comments: the full comment).
+    /// Source text (for comments: the full comment; for string/char
+    /// literals: an opaque placeholder so content cannot match rules).
     pub text: String,
     /// 1-based line of the first character.
     pub line: usize,
     /// 1-based column of the first character.
     pub col: usize,
+    /// Byte offset of the first character in the source.
+    pub pos: usize,
+    /// Byte length of the token in the source.
+    pub len: usize,
 }
 
 impl Tok {
@@ -122,11 +128,12 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 } else {
                     TokKind::LineComment
                 };
-                toks.push(tok(kind, text, line, col));
+                toks.push(tok(kind, text, line, col, start, s.pos - start));
             }
             b'/' if s.peek2() == Some(b'*') => {
                 s.bump();
                 s.bump();
+                // Block comments nest: `/* outer /* inner */ still a comment */`.
                 let mut depth = 1usize;
                 while depth > 0 {
                     match (s.peek(), s.peek2()) {
@@ -152,25 +159,32 @@ pub fn lex(src: &str) -> Vec<Tok> {
                 } else {
                     TokKind::BlockComment
                 };
-                toks.push(tok(kind, text, line, col));
+                toks.push(tok(kind, text, line, col, start, s.pos - start));
             }
             b'"' => {
                 lex_string(&mut s);
-                toks.push(tok(TokKind::Str, "\"…\"", line, col));
+                toks.push(tok(TokKind::Str, "\"…\"", line, col, start, s.pos - start));
             }
-            b'r' if matches!(s.peek2(), Some(b'"') | Some(b'#')) && is_raw_string(&s) => {
+            b'r' if is_raw_string_at(&s, s.pos) => {
+                s.bump(); // r
                 lex_raw_string(&mut s);
-                toks.push(tok(TokKind::Str, "r\"…\"", line, col));
+                toks.push(tok(TokKind::Str, "r\"…\"", line, col, start, s.pos - start));
+            }
+            b'b' if s.peek2() == Some(b'r') && is_raw_string_at(&s, s.pos + 1) => {
+                s.bump(); // b
+                s.bump(); // r
+                lex_raw_string(&mut s);
+                toks.push(tok(TokKind::Str, "br\"…\"", line, col, start, s.pos - start));
             }
             b'b' if s.peek2() == Some(b'"') => {
                 s.bump();
                 lex_string(&mut s);
-                toks.push(tok(TokKind::Str, "b\"…\"", line, col));
+                toks.push(tok(TokKind::Str, "b\"…\"", line, col, start, s.pos - start));
             }
             b'b' if s.peek2() == Some(b'\'') => {
                 s.bump();
                 lex_char(&mut s);
-                toks.push(tok(TokKind::Char, "b'…'", line, col));
+                toks.push(tok(TokKind::Char, "b'…'", line, col, start, s.pos - start));
             }
             b'\'' => {
                 // Lifetime or char literal.
@@ -183,10 +197,17 @@ pub fn lex(src: &str) -> Vec<Tok> {
                             break;
                         }
                     }
-                    toks.push(tok(TokKind::Lifetime, &src[start..s.pos], line, col));
+                    toks.push(tok(
+                        TokKind::Lifetime,
+                        &src[start..s.pos],
+                        line,
+                        col,
+                        start,
+                        s.pos - start,
+                    ));
                 } else {
                     lex_char(&mut s);
-                    toks.push(tok(TokKind::Char, "'…'", line, col));
+                    toks.push(tok(TokKind::Char, "'…'", line, col, start, s.pos - start));
                 }
             }
             c if c.is_ascii_digit() => {
@@ -203,7 +224,14 @@ pub fn lex(src: &str) -> Vec<Tok> {
                         break;
                     }
                 }
-                toks.push(tok(TokKind::Number, &src[start..s.pos], line, col));
+                toks.push(tok(
+                    TokKind::Number,
+                    &src[start..s.pos],
+                    line,
+                    col,
+                    start,
+                    s.pos - start,
+                ));
             }
             c if is_ident_start(c) => {
                 while let Some(c) = s.peek() {
@@ -213,29 +241,46 @@ pub fn lex(src: &str) -> Vec<Tok> {
                         break;
                     }
                 }
-                toks.push(tok(TokKind::Ident, &src[start..s.pos], line, col));
+                toks.push(tok(
+                    TokKind::Ident,
+                    &src[start..s.pos],
+                    line,
+                    col,
+                    start,
+                    s.pos - start,
+                ));
             }
             _ => {
                 s.bump();
-                toks.push(tok(TokKind::Punct, &src[start..s.pos], line, col));
+                toks.push(tok(
+                    TokKind::Punct,
+                    &src[start..s.pos],
+                    line,
+                    col,
+                    start,
+                    s.pos - start,
+                ));
             }
         }
     }
     toks
 }
 
-fn tok(kind: TokKind, text: &str, line: usize, col: usize) -> Tok {
+fn tok(kind: TokKind, text: &str, line: usize, col: usize, pos: usize, len: usize) -> Tok {
     Tok {
         kind,
         text: text.to_string(),
         line,
         col,
+        pos,
+        len,
     }
 }
 
-/// At an `r`: is this `r"`, `r#"`, `r##"`, … (and not an identifier)?
-fn is_raw_string(s: &Scanner<'_>) -> bool {
-    let mut i = s.pos + 1;
+/// At byte `at` (which holds `r`): is this `r"`, `r#"`, `r##"`, … (and
+/// not a raw identifier `r#ident` or a plain identifier)?
+fn is_raw_string_at(s: &Scanner<'_>, at: usize) -> bool {
+    let mut i = at + 1;
     while s.src.get(i) == Some(&b'#') {
         i += 1;
     }
@@ -271,8 +316,10 @@ fn lex_string(s: &mut Scanner<'_>) {
     }
 }
 
+/// Consumes `#*"…"#*` with the scanner positioned just after the `r`
+/// (or `br`) prefix. The body is opaque: quotes inside only terminate
+/// when followed by the matching number of hashes.
 fn lex_raw_string(s: &mut Scanner<'_>) {
-    s.bump(); // r
     let mut hashes = 0usize;
     while s.peek() == Some(b'#') {
         s.bump();
@@ -328,12 +375,14 @@ mod tests {
 
     #[test]
     fn idents_and_puncts_have_spans() {
-        let toks = lex("fn main() {\n    x.unwrap();\n}");
+        let src = "fn main() {\n    x.unwrap();\n}";
+        let toks = lex(src);
         let unwrap = toks
             .iter()
             .find(|t| t.is_ident("unwrap"))
             .expect("unwrap token present");
         assert_eq!((unwrap.line, unwrap.col), (2, 7));
+        assert_eq!(&src[unwrap.pos..unwrap.pos + unwrap.len], "unwrap");
     }
 
     #[test]
@@ -376,10 +425,77 @@ mod tests {
         assert!(toks.iter().any(|t| t.is_ident("y")));
     }
 
+    // Regression: a raw string whose body contains an unescaped quote
+    // followed by rule-matching text must not leak tokens. Before the
+    // parser rewrite, only `r"…"` prefixes reaching the first hash-less
+    // quote were handled; the `"#` terminator logic is exercised here
+    // with code *after* the literal that must still tokenize.
+    #[test]
+    fn raw_string_with_inner_quotes_does_not_leak() {
+        let src = r###"let a = r##"x.unwrap() "# still "quoted" inside"##; let tail = 2;"###;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+        assert!(!toks.iter().any(|t| t.is_ident("inside")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+    }
+
+    // Regression: byte raw strings (`br#"…"#`) were previously lexed as
+    // ident `br` + punct `#` + string, leaking the body as code tokens.
+    #[test]
+    fn byte_raw_strings_are_opaque() {
+        let src = r##"let a = br#"SystemTime::now() HashMap"#; let ok = 1;"##;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")), "{toks:?}");
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("ok")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "one opaque byte-raw-string token"
+        );
+    }
+
+    // Regression: nested block comments must swallow their whole body —
+    // an inner `/* */` must not terminate the outer comment early and
+    // leak the remainder into rule matching.
+    #[test]
+    fn nested_block_comments_do_not_leak() {
+        let src = "/* outer /* inner */ x.unwrap() still comment */ let real = 1;";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let toks = lex("let r#type = 1; let r#fn = r#type;");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+
     #[test]
     fn numbers_do_not_swallow_ranges() {
         let toks = lex("0..xs.len()");
-        assert!(toks.iter().any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "0"));
         assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+
+    #[test]
+    fn byte_spans_cover_the_source() {
+        let src = "pub fn f() -> u32 {\n    0\n}\n";
+        for t in lex(src) {
+            assert!(t.pos + t.len <= src.len());
+            if t.kind == TokKind::Ident {
+                assert_eq!(&src[t.pos..t.pos + t.len], t.text);
+            }
+        }
     }
 }

@@ -2,10 +2,13 @@
 //!
 //! `cargo run -p netaware-xtask -- lint` walks every library source file
 //! and enforces the determinism & reproducibility lints catalogued in
-//! [`rules::RuleId`]. The walker is lexical — a token stream with spans,
-//! not a syntax tree — because `syn` is unavailable offline; the rules
-//! are designed to be robust at that level (string/char contents are
-//! opaque, comments and `#[cfg(test)]` modules are excluded).
+//! [`rules::RuleId`]. The engine is a hand-rolled pipeline — `syn` is
+//! unavailable offline: [`lexer`] produces a token stream with byte
+//! spans, [`parser`] lifts it into the lightweight [`ast`] item tree,
+//! and [`rules`] walks the tree so string/char contents are opaque,
+//! comments never fire, `#[cfg(test)]` items are pruned at any nesting
+//! depth, and context-sensitive rules (draws inside `Drop` impls,
+//! sanctioned concurrency modules) see real item structure.
 //!
 //! A firing can be suppressed with an escape hatch comment:
 //!
@@ -14,12 +17,20 @@
 //! ```
 //!
 //! The directive suppresses matches on its own line, or — when the
-//! comment stands alone on a line — on the next line.
+//! comment stands alone on a line — on the next line; when the next
+//! line opens an item (`fn`, `impl`, `mod`, `struct`, `enum`, `trait`),
+//! the whole item is covered. Pre-existing findings of newly-landed
+//! warn-level rules live in `lint-baseline.json` (see [`baseline`]), so
+//! the tree only ever gets cleaner.
 
+pub mod ast;
+pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 
-pub use rules::RuleId;
+pub use rules::{RuleId, Severity};
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -29,46 +40,64 @@ use std::path::{Path, PathBuf};
 pub struct Diagnostic {
     /// Stable rule code (`"ND01"`, …).
     pub rule: &'static str,
+    /// The rule's severity.
+    pub severity: Severity,
     /// Workspace-relative file path.
     pub file: String,
     /// 1-based line.
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Length in bytes of the offending token run.
+    pub len: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// The offending source line, trailing whitespace trimmed.
+    pub snippet: String,
 }
 
 impl Diagnostic {
-    /// Renders in the conventional `file:line:col: [RULE] message` shape.
+    /// Renders in the conventional `file:line:col: [RULE] message` shape,
+    /// followed by the offending source line with a caret underline.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}:{}: [{}] {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        );
+        if !self.snippet.is_empty() {
+            let n = self.line.to_string();
+            let pad = " ".repeat(n.len());
+            let offset = " ".repeat(self.col.saturating_sub(1));
+            let width = self.len.max(1).min(
+                self.snippet
+                    .len()
+                    .saturating_sub(self.col.saturating_sub(1))
+                    .max(1),
+            );
+            let carets = "^".repeat(width);
+            out.push_str(&format!(
+                "\n  {n} | {}\n  {pad} | {offset}{carets}",
+                self.snippet
+            ));
+        }
+        out
     }
 
     fn to_json(&self) -> serde_json::Value {
-        serde_json::Value::Map(vec![
+        use serde_json::Value;
+        Value::Map(vec![
+            (Value::Str("rule".into()), Value::Str(self.rule.into())),
             (
-                serde_json::Value::Str("rule".into()),
-                serde_json::Value::Str(self.rule.into()),
+                Value::Str("severity".into()),
+                Value::Str(self.severity.label().into()),
             ),
+            (Value::Str("file".into()), Value::Str(self.file.clone())),
+            (Value::Str("line".into()), Value::U64(self.line as u64)),
+            (Value::Str("col".into()), Value::U64(self.col as u64)),
+            (Value::Str("len".into()), Value::U64(self.len as u64)),
             (
-                serde_json::Value::Str("file".into()),
-                serde_json::Value::Str(self.file.clone()),
-            ),
-            (
-                serde_json::Value::Str("line".into()),
-                serde_json::Value::U64(self.line as u64),
-            ),
-            (
-                serde_json::Value::Str("col".into()),
-                serde_json::Value::U64(self.col as u64),
-            ),
-            (
-                serde_json::Value::Str("message".into()),
-                serde_json::Value::Str(self.message.clone()),
+                Value::Str("message".into()),
+                Value::Str(self.message.clone()),
             ),
         ])
     }
@@ -79,6 +108,9 @@ struct AllowDirective {
     rules: Vec<RuleId>,
     /// The line the directive suppresses findings on.
     effective_line: usize,
+    /// Whether the comment stood alone on its line (candidates for
+    /// item-level scoping).
+    standalone: bool,
 }
 
 /// Parses allow directives out of the token stream. A directive whose
@@ -103,14 +135,23 @@ fn collect_allows(toks: &[lexer::Tok]) -> Vec<AllowDirective> {
         let Some(rules) = parse_allow_comment(&t.text) else {
             continue;
         };
-        let effective_line = if code_lines.contains(&t.line) {
-            t.line
+        let standalone = !code_lines.contains(&t.line);
+        // A standalone directive binds to the next line that holds code,
+        // stepping over doc comments and blank lines between it and the
+        // item or statement it covers.
+        let effective_line = if standalone {
+            code_lines
+                .range(t.line + 1..)
+                .next()
+                .copied()
+                .unwrap_or(t.line + 1)
         } else {
-            t.line + 1
+            t.line
         };
         out.push(AllowDirective {
             rules,
             effective_line,
+            standalone,
         });
     }
     out
@@ -137,6 +178,35 @@ fn parse_allow_comment(comment: &str) -> Option<Vec<RuleId>> {
     }
 }
 
+/// Line ranges covered by item-level allow directives: a standalone
+/// directive whose effective line is the first line of an item widens to
+/// the item's whole line range.
+fn item_allow_ranges(
+    file: &ast::File,
+    allows: &[AllowDirective],
+) -> Vec<(Vec<RuleId>, (usize, usize))> {
+    use ast::ItemKind;
+    let mut out = Vec::new();
+    for a in allows.iter().filter(|a| a.standalone) {
+        file.walk(&mut |item, _| {
+            let scopable = matches!(
+                item.kind,
+                ItemKind::Fn
+                    | ItemKind::Impl { .. }
+                    | ItemKind::Mod { .. }
+                    | ItemKind::Struct
+                    | ItemKind::Enum
+                    | ItemKind::Union
+                    | ItemKind::Trait
+            );
+            if scopable && item.lines.0 == a.effective_line {
+                out.push((a.rules.clone(), item.lines));
+            }
+        });
+    }
+    out
+}
+
 /// Lints one file's source text. `rel` is the workspace-relative path
 /// used both for scope classification and in diagnostics.
 pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
@@ -145,19 +215,32 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     };
     let toks = lexer::lex(src);
     let allows = collect_allows(&toks);
-    let mut out: Vec<Diagnostic> = rules::check(&toks, &scope)
+    let file = parser::parse(&toks);
+    let item_allows = item_allow_ranges(&file, &allows);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut out: Vec<Diagnostic> = rules::check(&file, &scope)
         .into_iter()
         .filter(|f| {
-            !allows
+            let line_allowed = allows
                 .iter()
-                .any(|a| a.effective_line == f.line && a.rules.contains(&f.rule))
+                .any(|a| a.effective_line == f.span.line && a.rules.contains(&f.rule));
+            let item_allowed = item_allows.iter().any(|(rules, (lo, hi))| {
+                (*lo..=*hi).contains(&f.span.line) && rules.contains(&f.rule)
+            });
+            !line_allowed && !item_allowed
         })
         .map(|f| Diagnostic {
             rule: f.rule.code(),
+            severity: f.rule.severity(),
             file: rel.to_string(),
-            line: f.line,
-            col: f.col,
+            line: f.span.line,
+            col: f.span.col,
+            len: f.span.hi.saturating_sub(f.span.lo),
             message: f.message,
+            snippet: src_lines
+                .get(f.span.line.saturating_sub(1))
+                .map(|l| l.trim_end().to_string())
+                .unwrap_or_default(),
         })
         .collect();
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
@@ -187,8 +270,8 @@ fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`. Returns diagnostics sorted
-/// by (file, line, col).
+/// Lints the whole workspace rooted at `root`. Returns every diagnostic
+/// (baseline not applied) sorted by (file, line, col).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     if !root.is_dir() {
         return Err(std::io::Error::new(
@@ -209,26 +292,85 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         let src = std::fs::read_to_string(&path)?;
         out.extend(lint_source(&rel, &src));
     }
-    out.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
-    });
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(out)
+}
+
+/// A lint run's findings split by baseline suppression.
+pub struct LintReport {
+    /// Findings not covered by the baseline, sorted by (file, line, col).
+    pub active: Vec<Diagnostic>,
+    /// Findings suppressed by the baseline, in the same order.
+    pub suppressed: Vec<Diagnostic>,
+    /// Baseline entries that matched no finding (stale suppressions),
+    /// rendered as `file:line:col [RULE]`.
+    pub stale: Vec<String>,
+}
+
+impl LintReport {
+    /// Active findings at deny severity.
+    pub fn deny_count(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Active findings at warn severity.
+    pub fn warn_count(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+}
+
+/// Splits findings by a baseline (`None` means everything is active).
+pub fn apply_baseline(all: Vec<Diagnostic>, base: Option<&baseline::Baseline>) -> LintReport {
+    let Some(base) = base else {
+        return LintReport {
+            active: all,
+            suppressed: Vec::new(),
+            stale: Vec::new(),
+        };
+    };
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in all {
+        if base.covers(&d) {
+            suppressed.push(d);
+        } else {
+            active.push(d);
+        }
+    }
+    let stale = base.stale(&suppressed);
+    LintReport {
+        active,
+        suppressed,
+        stale,
+    }
 }
 
 /// Renders the full run as a JSON report.
 pub fn json_report(diags: &[Diagnostic]) -> String {
-    let report = serde_json::Value::Map(vec![
+    use serde_json::Value;
+    let report = Value::Map(vec![
         (
-            serde_json::Value::Str("violations".into()),
-            serde_json::Value::U64(diags.len() as u64),
+            Value::Str("violations".into()),
+            Value::U64(diags.len() as u64),
+        ),
+        (Value::Str("clean".into()), Value::Bool(diags.is_empty())),
+        (
+            Value::Str("deny".into()),
+            Value::U64(diags.iter().filter(|d| d.severity == Severity::Deny).count() as u64),
         ),
         (
-            serde_json::Value::Str("clean".into()),
-            serde_json::Value::Bool(diags.is_empty()),
+            Value::Str("warn".into()),
+            Value::U64(diags.iter().filter(|d| d.severity == Severity::Warn).count() as u64),
         ),
         (
-            serde_json::Value::Str("diagnostics".into()),
-            serde_json::Value::Seq(diags.iter().map(|d| d.to_json()).collect()),
+            Value::Str("diagnostics".into()),
+            Value::Seq(diags.iter().map(|d| d.to_json()).collect()),
         ),
     ]);
     // The report tree contains no floats, so printing cannot fail.
@@ -237,15 +379,45 @@ pub fn json_report(diags: &[Diagnostic]) -> String {
 
 /// Renders the lint catalogue as an aligned text table.
 pub fn catalogue() -> String {
-    let mut out = String::from("RULE   SUMMARY\n");
+    let mut out = String::from("RULE   SEVERITY  SUMMARY\n");
     for rule in RuleId::all() {
-        out.push_str(&format!("{:<6} {}\n", rule.code(), rule.summary()));
+        out.push_str(&format!(
+            "{:<6} {:<9} {}\n",
+            rule.code(),
+            rule.severity().label(),
+            rule.summary()
+        ));
     }
     out.push_str(
         "\nSuppress a finding with `// netaware-lint: allow(<RULE>) <justification>` on the \
-         offending line,\nor alone on the line directly above it.\n",
+         offending line,\nalone on the line directly above it, or alone on the line above an \
+         item header to cover the whole item.\nPre-existing warn-level findings are recorded in \
+         lint-baseline.json (regenerate with --write-baseline).\n",
     );
     out
+}
+
+/// Renders the lint catalogue as JSON: `{"rules":[{id,severity,summary}]}`.
+pub fn catalogue_json() -> String {
+    use serde_json::Value;
+    let rules: Vec<Value> = RuleId::all()
+        .into_iter()
+        .map(|r| {
+            Value::Map(vec![
+                (Value::Str("id".into()), Value::Str(r.code().into())),
+                (
+                    Value::Str("severity".into()),
+                    Value::Str(r.severity().label().into()),
+                ),
+                (
+                    Value::Str("summary".into()),
+                    Value::Str(r.summary().into()),
+                ),
+            ])
+        })
+        .collect();
+    let report = Value::Map(vec![(Value::Str("rules".into()), Value::Seq(rules))]);
+    serde_json::to_string_pretty(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"))
 }
 
 #[cfg(test)]
@@ -287,6 +459,45 @@ mod tests {
     }
 
     #[test]
+    fn item_level_allow_covers_the_whole_fn() {
+        let src = "//! Docs.\n\n// netaware-lint: allow(PA01) prototype helper\npub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = y.expect(\"y\");\n    a + b\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(
+            diags.iter().all(|d| d.rule != "PA01"),
+            "item-level allow must cover line 5 and 6: {diags:?}"
+        );
+        // DOC01 still applies: the item-level allow names PA01 only.
+        assert!(diags.iter().any(|d| d.rule == "DOC01"), "{diags:?}");
+    }
+
+    #[test]
+    fn item_level_allow_stops_at_the_item_end() {
+        let src = "//! Docs.\n\n// netaware-lint: allow(PA01)\n/// One.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\n/// Two.\npub fn g(y: Option<u32>) -> u32 {\n    y.unwrap()\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        let pa: Vec<_> = diags.iter().filter(|d| d.rule == "PA01").collect();
+        assert_eq!(pa.len(), 1, "{diags:?}");
+        assert_eq!(pa[0].line, 11);
+    }
+
+    #[test]
+    fn item_level_allow_covers_an_impl_block() {
+        let src = "//! Docs.\n\npub struct S;\n\n// netaware-lint: allow(PA01) invariants hold by construction\nimpl S {\n    fn a(x: Option<u32>) -> u32 { x.unwrap() }\n    fn b(y: Option<u32>) -> u32 { y.unwrap() }\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        assert!(diags.iter().all(|d| d.rule != "PA01"), "{diags:?}");
+    }
+
+    #[test]
+    fn standalone_allow_does_not_scope_to_statements_below_items() {
+        // Standalone directive above a *statement* keeps next-line-only
+        // behaviour: the second unwrap two lines down still fires.
+        let src = "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    // netaware-lint: allow(PA01)\n    let a = x.unwrap();\n    let b = y.unwrap();\n    a + b\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        let pa: Vec<_> = diags.iter().filter(|d| d.rule == "PA01").collect();
+        assert_eq!(pa.len(), 1, "{diags:?}");
+        assert_eq!(pa[0].line, 4);
+    }
+
+    #[test]
     fn out_of_scope_files_are_skipped() {
         let src = "pub fn f() { std::collections::HashMap::<u8, u8>::new(); }";
         assert!(lint_source("crates/net/tests/it.rs", src).is_empty());
@@ -305,12 +516,19 @@ mod tests {
     fn diagnostics_carry_spans() {
         let src = "//! Docs.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
         let diags = lint_source("crates/net/src/demo.rs", src);
-        let pa = diags
-            .iter()
-            .find(|d| d.rule == "PA01")
-            .expect("PA01 fires");
+        let pa = diags.iter().find(|d| d.rule == "PA01").expect("PA01 fires");
         assert_eq!((pa.line, pa.col), (3, 7));
         assert!(pa.render().starts_with("crates/net/src/demo.rs:3:7: [PA01]"));
+    }
+
+    #[test]
+    fn render_underlines_the_offending_token() {
+        let src = "//! Docs.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_source("crates/net/src/demo.rs", src);
+        let pa = diags.iter().find(|d| d.rule == "PA01").expect("PA01 fires");
+        let rendered = pa.render();
+        assert!(rendered.contains("3 |     x.unwrap()"), "{rendered}");
+        assert!(rendered.contains("|       ^^^^^^"), "{rendered}");
     }
 
     #[test]
@@ -325,7 +543,9 @@ mod tests {
         let src = "//! Mod docs.\npub fn naked() {}\n";
         let diags = lint_source("crates/net/src/demo.rs", src);
         assert!(
-            diags.iter().any(|d| d.rule == "DOC01" && d.message.contains("naked")),
+            diags
+                .iter()
+                .any(|d| d.rule == "DOC01" && d.message.contains("naked")),
             "{diags:?}"
         );
     }

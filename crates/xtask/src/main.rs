@@ -1,7 +1,10 @@
-//! CLI entry point: `cargo run -p netaware-xtask -- lint [--json]`.
+//! CLI entry point: `cargo run -p netaware-xtask -- lint [--format sarif]`.
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! Exit codes: 0 = clean (or warn-only without `--deny-warnings`),
+//! 1 = unsuppressed deny findings (or any finding under
+//! `--deny-warnings`), 2 = usage or I/O error.
 
+use netaware_xtask::{apply_baseline, baseline, sarif, LintReport};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,10 +18,26 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: netaware-xtask <command>\n\n\
          commands:\n  \
-         lint [--json] [--root <dir>]   run the workspace lint pass\n  \
-         rules                          print the lint catalogue"
+         lint [options]   run the workspace lint pass\n  \
+         rules [--json]   print the lint catalogue\n\n\
+         lint options:\n  \
+         --format <text|json|sarif>  output format (default text)\n  \
+         --json                      shorthand for --format json\n  \
+         --out <file>                write the report to a file instead of stdout\n  \
+         --root <dir>                workspace root (default: two above the xtask crate)\n  \
+         --baseline <file>           suppression baseline (default: <root>/lint-baseline.json)\n  \
+         --no-baseline               ignore any baseline file\n  \
+         --write-baseline [<file>]   record all current findings as the new baseline\n  \
+         --deny-warnings             treat warn-level findings as failures (CI mode)"
     );
     ExitCode::from(2)
+}
+
+/// Output formats for `lint`.
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -26,7 +45,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("rules") => {
-            let _ = write!(std::io::stdout(), "{}", netaware_xtask::catalogue());
+            let json = args[1..].iter().any(|a| a == "--json");
+            if json {
+                out(format_args!("{}", netaware_xtask::catalogue_json()));
+            } else {
+                let _ = write!(std::io::stdout(), "{}", netaware_xtask::catalogue());
+            }
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -34,14 +58,47 @@ fn main() -> ExitCode {
 }
 
 fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
-    let mut it = args.iter();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline: Option<Option<PathBuf>> = None;
+    let mut deny_warnings = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                _ => return usage(),
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => {
+                // Optional file operand: consume the next arg unless it
+                // looks like another flag.
+                let file = it
+                    .peek()
+                    .filter(|n| !n.starts_with("--"))
+                    .map(|n| PathBuf::from(n.as_str()));
+                if file.is_some() {
+                    it.next();
+                }
+                write_baseline = Some(file);
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             _ => return usage(),
@@ -51,26 +108,116 @@ fn lint(args: &[String]) -> ExitCode {
     let diags = match netaware_xtask::lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("netaware-xtask: cannot walk workspace at {}: {e}", root.display());
+            eprintln!(
+                "netaware-xtask: cannot walk workspace at {}: {e}",
+                root.display()
+            );
             return ExitCode::from(2);
         }
     };
-    if json {
-        out(format_args!("{}", netaware_xtask::json_report(&diags)));
-    } else {
-        for d in &diags {
-            out(format_args!("{}", d.render()));
+
+    if let Some(file) = write_baseline {
+        let path = file.unwrap_or_else(|| root.join("lint-baseline.json"));
+        let text = baseline::render(&diags);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("netaware-xtask: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        if diags.is_empty() {
-            out(format_args!("netaware-xtask lint: clean"));
-        } else {
-            out(format_args!("netaware-xtask lint: {} violation(s)", diags.len()));
-        }
+        out(format_args!(
+            "netaware-xtask lint: wrote {} suppression(s) to {}",
+            diags.len(),
+            path.display()
+        ));
+        return ExitCode::SUCCESS;
     }
-    if diags.is_empty() {
+
+    let base = if no_baseline {
+        None
+    } else {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+        if path.exists() {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match baseline::Baseline::parse(&text) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        eprintln!("netaware-xtask: {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("netaware-xtask: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else if baseline_path_was_explicit(args) {
+            eprintln!("netaware-xtask: baseline {} not found", path.display());
+            return ExitCode::from(2);
+        } else {
+            None
+        }
+    };
+    let report = apply_baseline(diags, base.as_ref());
+
+    let rendered = match format {
+        Format::Text => None,
+        Format::Json => Some(netaware_xtask::json_report(&report.active)),
+        Format::Sarif => Some(sarif::report(&report.active, &report.suppressed)),
+    };
+    match (rendered, &out_path) {
+        (Some(text), Some(path)) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("netaware-xtask: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        (Some(text), None) => {
+            let _ = write!(std::io::stdout(), "{text}");
+            if !text.ends_with('\n') {
+                out(format_args!(""));
+            }
+        }
+        (None, _) => render_text(&report),
+    }
+
+    let failing = report.deny_count() + if deny_warnings { report.warn_count() } else { 0 };
+    if failing == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
+    }
+}
+
+/// Whether `--baseline` appeared explicitly (a missing default baseline
+/// is fine; a missing explicit one is an error).
+fn baseline_path_was_explicit(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--baseline")
+}
+
+fn render_text(report: &LintReport) {
+    for d in &report.active {
+        out(format_args!("{}", d.render()));
+    }
+    for stale in &report.stale {
+        out(format_args!(
+            "netaware-xtask lint: stale baseline entry {stale} — regenerate with --write-baseline"
+        ));
+    }
+    let deny = report.deny_count();
+    let warn = report.warn_count();
+    if deny == 0 && warn == 0 {
+        if report.suppressed.is_empty() {
+            out(format_args!("netaware-xtask lint: clean"));
+        } else {
+            out(format_args!(
+                "netaware-xtask lint: clean ({} baselined finding(s))",
+                report.suppressed.len()
+            ));
+        }
+    } else {
+        out(format_args!(
+            "netaware-xtask lint: {deny} deny, {warn} warn ({} baselined)",
+            report.suppressed.len()
+        ));
     }
 }
 

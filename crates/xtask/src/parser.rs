@@ -1,0 +1,876 @@
+//! Hand-rolled recursive-descent parser: token stream → [`ast::File`].
+//!
+//! `syn` is unavailable offline, so the analyzer carries its own parser.
+//! It is tolerant by construction: it never panics, always makes
+//! progress, and degrades unparseable runs into [`ItemKind::Unknown`]
+//! nodes whose token range is still scanned by the rules — a file the
+//! parser cannot fully understand is over-scanned, never silently
+//! skipped. The grammar subset covers what the rules need: item
+//! structure with nesting (so `#[cfg(test)]` pruning and `impl Drop`
+//! detection are scope-accurate), visibility and attributes (DOC01),
+//! struct fields, `use` trees, and per-item code-token scan ranges that
+//! the expression extractors in [`crate::ast`] work over.
+
+use crate::ast::{Attr, Field, File, Item, ItemKind, Span, Vis};
+use crate::lexer::{Tok, TokKind};
+
+/// Parses a full token stream (comments included) into a [`File`].
+pub fn parse(toks: &[Tok]) -> File {
+    let mut code = Vec::new();
+    let mut full_idx = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(
+            t.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        ) {
+            code.push(t.clone());
+            full_idx.push(i);
+        }
+    }
+    let mut p = Parser {
+        full: toks,
+        code: &code,
+        full_idx: &full_idx,
+        pos: 0,
+    };
+    let items = p.parse_items(false);
+    File { items, code }
+}
+
+struct Parser<'a> {
+    full: &'a [Tok],
+    code: &'a [Tok],
+    full_idx: &'a [usize],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, k: usize) -> Option<&'a Tok> {
+        self.code.get(self.pos + k)
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.peek(0).is_some_and(|t| t.is_ident(s))
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn bump(&mut self) {
+        if self.pos < self.code.len() {
+            self.pos += 1;
+        }
+    }
+
+    fn span_at(&self, idx: usize) -> Span {
+        self.code
+            .get(idx)
+            .map(Span::of)
+            .unwrap_or(Span {
+                lo: 0,
+                hi: 0,
+                line: 1,
+                col: 1,
+            })
+    }
+
+    /// Span covering code tokens `[lo, hi)`.
+    fn span_range(&self, lo: usize, hi: usize) -> Span {
+        let a = self.span_at(lo.min(self.code.len().saturating_sub(1)));
+        let b = self.span_at(hi.saturating_sub(1).min(self.code.len().saturating_sub(1)));
+        a.to(b)
+    }
+
+    /// Skips a balanced `()`/`[]`/`{}` group with the cursor on the
+    /// opening delimiter.
+    fn skip_group(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a balanced generic-argument list with the cursor on `<`.
+    /// `->` inside (`Fn(u32) -> u32` bounds) does not close the list.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                let arrow = self.pos > 0
+                    && self
+                        .code
+                        .get(self.pos - 1)
+                        .is_some_and(|p| p.is_punct('-'));
+                if !arrow {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                continue;
+            } else if t.is_punct('{') || t.is_punct(';') {
+                return; // malformed; bail without consuming
+            }
+            self.bump();
+        }
+    }
+
+    /// Advances to the first `{` or `;` at delimiter depth 0, without
+    /// consuming it. Used for signature tails, where clauses, and enum
+    /// headers.
+    fn skip_to_body_or_semi(&mut self) {
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct('{') || t.is_punct(';') || t.is_punct('}') {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Advances past the next `;` at delimiter depth 0, stepping over
+    /// balanced groups. A brace group at depth 0 (a brace-bodied
+    /// initializer, or an unclassified block during recovery) ends the
+    /// run after an optional trailing `;`, so recovery never swallows
+    /// the items that follow it.
+    fn skip_past_semi(&mut self) {
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct('{') {
+                self.skip_group();
+                if self.at_punct(';') {
+                    self.bump();
+                }
+                return;
+            }
+            if t.is_punct('}') {
+                return; // enclosing block closed without a `;`
+            }
+            let semi = t.is_punct(';');
+            self.bump();
+            if semi {
+                return;
+            }
+        }
+    }
+
+    /// Whether an outer doc comment (`///` / `/** */`) or nothing but
+    /// attributes/plain comments precedes the code token at `code_idx`
+    /// in the full stream.
+    fn doc_before(&self, code_idx: usize) -> bool {
+        let Some(&full_at) = self.full_idx.get(code_idx) else {
+            return false;
+        };
+        let mut j = full_at;
+        while j > 0 {
+            let prev = &self.full[j - 1];
+            match prev.kind {
+                TokKind::DocComment => {
+                    return prev.text.starts_with("///") || prev.text.starts_with("/**");
+                }
+                TokKind::LineComment | TokKind::BlockComment => j -= 1,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn parse_items(&mut self, stop_at_close: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if stop_at_close && t.is_punct('}') {
+                break;
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // always make progress
+            }
+        }
+        items
+    }
+
+    /// Consumes outer (`#[…]`) and inner (`#![…]`) attributes; returns
+    /// the outer ones.
+    fn parse_attrs(&mut self) -> Vec<Attr> {
+        let mut out = Vec::new();
+        while self.at_punct('#') {
+            let start = self.pos;
+            let inner = self.peek(1).is_some_and(|t| t.is_punct('!'));
+            self.bump(); // #
+            if inner {
+                self.bump(); // !
+            }
+            if !self.at_punct('[') {
+                self.pos = start;
+                break;
+            }
+            let body_lo = self.pos + 1;
+            self.skip_group();
+            if !inner {
+                let text = crate::ast::flatten(self.code, body_lo, self.pos.saturating_sub(1));
+                out.push(Attr {
+                    text,
+                    span: self.span_range(start, self.pos),
+                });
+            }
+        }
+        out
+    }
+
+    fn parse_vis(&mut self) -> Vis {
+        if !self.at_ident("pub") {
+            return Vis::Private;
+        }
+        if self.peek(1).is_some_and(|t| t.is_punct('(')) {
+            self.bump();
+            self.skip_group();
+            Vis::Restricted
+        } else {
+            self.bump();
+            Vis::Pub
+        }
+    }
+
+    fn parse_item(&mut self) -> Option<Item> {
+        let start = self.pos;
+        let attrs = self.parse_attrs();
+        let after_attrs = self.pos;
+        let vis_tok = self.pos;
+        let vis = self.parse_vis();
+        // Qualifiers before the defining keyword. `const` is a qualifier
+        // only when a further keyword follows (`const fn`); `extern` only
+        // with an ABI string (`extern "C" fn`).
+        loop {
+            let const_qual = self.at_ident("const")
+                && self
+                    .peek(1)
+                    .is_some_and(|t| matches!(t.text.as_str(), "fn" | "unsafe" | "async" | "extern"));
+            if self.at_ident("default")
+                || self.at_ident("unsafe")
+                || self.at_ident("async")
+                || const_qual
+            {
+                self.bump();
+            } else if self.at_ident("extern")
+                && self.peek(1).is_some_and(|t| t.kind == TokKind::Str)
+            {
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kw = self.pos;
+        let head = if vis == Vis::Pub {
+            self.span_at(vis_tok)
+        } else {
+            self.span_at(kw)
+        };
+        let t = self.peek(0)?;
+        let (kind, name, body, fields, children, scan_kind) = match t.text.as_str() {
+            "fn" if t.kind == TokKind::Ident => self.parse_fn()?,
+            "struct" | "union" if t.kind == TokKind::Ident => self.parse_struct()?,
+            "enum" if t.kind == TokKind::Ident => self.parse_enum()?,
+            "trait" if t.kind == TokKind::Ident => self.parse_trait()?,
+            "impl" if t.kind == TokKind::Ident => self.parse_impl()?,
+            "mod" if t.kind == TokKind::Ident => self.parse_mod()?,
+            "use" if t.kind == TokKind::Ident => {
+                self.bump();
+                let tree_lo = self.pos;
+                self.skip_past_semi();
+                let tree =
+                    crate::ast::flatten(self.code, tree_lo, self.pos.saturating_sub(1));
+                (ItemKind::Use { tree }, String::new(), None, vec![], vec![], ScanKind::Whole)
+            }
+            "const" | "static" if t.kind == TokKind::Ident => {
+                let is_const = t.text == "const";
+                self.bump();
+                if self.at_ident("mut") {
+                    self.bump();
+                }
+                let name = self.ident_name();
+                self.skip_past_semi();
+                (
+                    if is_const { ItemKind::Const } else { ItemKind::Static },
+                    name,
+                    None,
+                    vec![],
+                    vec![],
+                    ScanKind::Whole,
+                )
+            }
+            "type" if t.kind == TokKind::Ident => {
+                self.bump();
+                let name = self.ident_name();
+                self.skip_past_semi();
+                (ItemKind::TypeAlias, name, None, vec![], vec![], ScanKind::Whole)
+            }
+            "extern" if t.kind == TokKind::Ident => {
+                // `extern crate name;` (ABI-qualified fns were consumed
+                // above as qualifiers).
+                self.bump();
+                if self.at_ident("crate") {
+                    self.bump();
+                }
+                let name = self.ident_name();
+                self.skip_past_semi();
+                (ItemKind::ExternCrate, name, None, vec![], vec![], ScanKind::Whole)
+            }
+            "macro_rules" if t.kind == TokKind::Ident => {
+                self.bump();
+                if self.at_punct('!') {
+                    self.bump();
+                }
+                let name = self.ident_name();
+                if self
+                    .peek(0)
+                    .is_some_and(|t| t.is_punct('{') || t.is_punct('(') || t.is_punct('['))
+                {
+                    self.skip_group();
+                }
+                if self.at_punct(';') {
+                    self.bump();
+                }
+                (ItemKind::MacroDef, name, None, vec![], vec![], ScanKind::Whole)
+            }
+            _ if t.kind == TokKind::Ident && self.peek(1).is_some_and(|n| n.is_punct('!')) => {
+                let mac = t.text.clone();
+                self.bump();
+                self.bump();
+                if self
+                    .peek(0)
+                    .is_some_and(|t| t.is_punct('{') || t.is_punct('(') || t.is_punct('['))
+                {
+                    self.skip_group();
+                }
+                if self.at_punct(';') {
+                    self.bump();
+                }
+                (
+                    ItemKind::MacroCall { mac: mac.clone() },
+                    mac,
+                    None,
+                    vec![],
+                    vec![],
+                    ScanKind::Whole,
+                )
+            }
+            _ => {
+                // Recovery: consume to the next statement boundary and
+                // keep the run scannable.
+                self.skip_past_semi();
+                if self.pos == start {
+                    return None;
+                }
+                (ItemKind::Unknown, String::new(), None, vec![], vec![], ScanKind::Whole)
+            }
+        };
+        let end = self.pos.max(start + 1);
+        let span = self.span_range(start, end);
+        let end_span = self.span_range(end.saturating_sub(1), end);
+        let has_doc = attrs.iter().any(Attr::is_doc)
+            || self.doc_before(start)
+            || (after_attrs > start && self.doc_before(after_attrs));
+        let cfg_test = attrs.iter().any(Attr::is_test_gate);
+        let scan = match scan_kind {
+            ScanKind::Whole => vec![(start, end)],
+            ScanKind::Header(body_lo) => vec![(start, body_lo)],
+        };
+        Some(Item {
+            kind,
+            name,
+            vis,
+            attrs,
+            cfg_test,
+            has_doc,
+            span,
+            head,
+            lines: (span.line, end_span_line(end_span, span)),
+            scan,
+            body,
+            fields,
+            children,
+        })
+    }
+
+    /// Consumes and returns the current identifier, or `""`.
+    fn ident_name(&mut self) -> String {
+        match self.peek(0) {
+            Some(t) if t.kind == TokKind::Ident => {
+                let name = t.text.clone();
+                self.bump();
+                name
+            }
+            _ => String::new(),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_fn(&mut self) -> Option<ParsedItem> {
+        self.bump(); // fn
+        let name = self.ident_name();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        if self.at_punct('(') {
+            self.skip_group();
+        }
+        self.skip_to_body_or_semi();
+        let mut body = None;
+        if self.at_punct('{') {
+            let open = self.pos;
+            self.skip_group();
+            body = Some((open + 1, self.pos.saturating_sub(1)));
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        Some((ItemKind::Fn, name, body, vec![], vec![], ScanKind::Whole))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_struct(&mut self) -> Option<ParsedItem> {
+        let is_union = self.at_ident("union");
+        self.bump(); // struct | union
+        let name = self.ident_name();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // Tuple struct body, if any, then where clause.
+        if self.at_punct('(') {
+            self.skip_group();
+        }
+        self.skip_to_body_or_semi();
+        let mut fields = Vec::new();
+        if self.at_punct('{') {
+            self.bump();
+            while let Some(t) = self.peek(0) {
+                if t.is_punct('}') {
+                    self.bump();
+                    break;
+                }
+                let f_start = self.pos;
+                let f_attrs = self.parse_attrs();
+                let f_after = self.pos;
+                let f_vis = self.parse_vis();
+                let Some(nt) = self.peek(0) else { break };
+                if nt.kind != TokKind::Ident {
+                    self.bump();
+                    continue;
+                }
+                let f_name = nt.text.clone();
+                let name_idx = self.pos;
+                self.bump();
+                if !self.at_punct(':') {
+                    // Not a field shape; resynchronize at the next comma.
+                    self.field_resync();
+                    continue;
+                }
+                self.bump(); // :
+                let ty_lo = self.pos;
+                self.field_resync();
+                let ty_hi = if self.pos > ty_lo && self.code.get(self.pos - 1).is_some_and(|t| t.is_punct(',')) {
+                    self.pos - 1
+                } else {
+                    self.pos
+                };
+                let has_doc = f_attrs.iter().any(Attr::is_doc)
+                    || self.doc_before(f_start)
+                    || (f_after > f_start && self.doc_before(f_after));
+                fields.push(Field {
+                    name: f_name,
+                    vis: f_vis,
+                    has_doc,
+                    span: self.span_at(name_idx),
+                    ty: crate::ast::flatten(self.code, ty_lo, ty_hi),
+                });
+            }
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        Some((
+            if is_union {
+                ItemKind::Union
+            } else {
+                ItemKind::Struct
+            },
+            name,
+            None,
+            fields,
+            vec![],
+            ScanKind::Whole,
+        ))
+    }
+
+    /// Advances past the next `,` at delimiter depth 0 (angle brackets
+    /// tracked), or to the closing `}` of the field block.
+    fn field_resync(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek(0) {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                self.skip_group();
+                continue;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                let arrow = self.pos > 0
+                    && self
+                        .code
+                        .get(self.pos - 1)
+                        .is_some_and(|p| p.is_punct('-'));
+                if !arrow {
+                    angle -= 1;
+                }
+            } else if t.is_punct('}') && angle <= 0 {
+                return;
+            } else if t.is_punct(',') && angle <= 0 {
+                self.bump();
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_enum(&mut self) -> Option<ParsedItem> {
+        self.bump(); // enum
+        let name = self.ident_name();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        self.skip_to_body_or_semi();
+        if self.at_punct('{') {
+            self.skip_group();
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        Some((ItemKind::Enum, name, None, vec![], vec![], ScanKind::Whole))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_trait(&mut self) -> Option<ParsedItem> {
+        self.bump(); // trait
+        let name = self.ident_name();
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        self.skip_to_body_or_semi();
+        let mut children = Vec::new();
+        let mut body_lo = self.pos;
+        if self.at_punct('{') {
+            self.bump();
+            body_lo = self.pos;
+            children = self.parse_items(true);
+            if self.at_punct('}') {
+                self.bump();
+            }
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        Some((
+            ItemKind::Trait,
+            name,
+            None,
+            vec![],
+            children,
+            ScanKind::Header(body_lo),
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_impl(&mut self) -> Option<ParsedItem> {
+        self.bump(); // impl
+        if self.at_punct('<') {
+            self.skip_angles();
+        }
+        // Header: `[!] [Trait for] Type [where …]` up to the body.
+        let header_lo = self.pos;
+        self.skip_to_body_or_semi();
+        let header_hi = self.pos;
+        let mut trait_name = None;
+        let mut for_at = None;
+        let mut angle = 0i32;
+        for i in header_lo..header_hi {
+            let Some(t) = self.code.get(i) else { break };
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                angle -= 1;
+            } else if angle <= 0 && t.is_ident("for") {
+                for_at = Some(i);
+                break;
+            }
+        }
+        if let Some(f) = for_at {
+            let mut angle = 0i32;
+            for i in header_lo..f {
+                let Some(t) = self.code.get(i) else { break };
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if angle <= 0 && t.kind == TokKind::Ident {
+                    trait_name = Some(t.text.clone());
+                }
+            }
+        }
+        let mut children = Vec::new();
+        let mut body_lo = self.pos;
+        if self.at_punct('{') {
+            self.bump();
+            body_lo = self.pos;
+            children = self.parse_items(true);
+            if self.at_punct('}') {
+                self.bump();
+            }
+        } else if self.at_punct(';') {
+            self.bump();
+        }
+        Some((
+            ItemKind::Impl { trait_name },
+            String::new(),
+            None,
+            vec![],
+            children,
+            ScanKind::Header(body_lo),
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_mod(&mut self) -> Option<ParsedItem> {
+        self.bump(); // mod
+        let name = self.ident_name();
+        if self.at_punct(';') {
+            self.bump();
+            return Some((
+                ItemKind::Mod { inline: false },
+                name,
+                None,
+                vec![],
+                vec![],
+                ScanKind::Whole,
+            ));
+        }
+        let mut children = Vec::new();
+        let mut body_lo = self.pos;
+        if self.at_punct('{') {
+            self.bump();
+            body_lo = self.pos;
+            children = self.parse_items(true);
+            if self.at_punct('}') {
+                self.bump();
+            }
+        }
+        Some((
+            ItemKind::Mod { inline: true },
+            name,
+            None,
+            vec![],
+            children,
+            ScanKind::Header(body_lo),
+        ))
+    }
+}
+
+/// How an item's scan ranges are derived.
+enum ScanKind {
+    /// Scan the whole item token range (leaf items).
+    Whole,
+    /// Scan only up to the body opening (containers whose children own
+    /// their own ranges).
+    Header(usize),
+}
+
+type ParsedItem = (
+    ItemKind,
+    String,
+    Option<(usize, usize)>,
+    Vec<Field>,
+    Vec<Item>,
+    ScanKind,
+);
+
+fn end_span_line(end_span: Span, span: Span) -> usize {
+    // The span of the last token starts on the item's last line (tokens
+    // never span lines except comments/strings, which close the item
+    // only in degenerate cases).
+    end_span.line.max(span.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> File {
+        parse(&lex(src))
+    }
+
+    fn kinds(items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|i| format!("{:?}", std::mem::discriminant(&i.kind)))
+            .collect()
+    }
+
+    #[test]
+    fn items_nest() {
+        let f = parse_src(
+            "pub mod outer {\n    pub fn f() {}\n    mod inner { pub struct S { pub x: u32 } }\n}\n",
+        );
+        assert_eq!(f.items.len(), 1);
+        let outer = &f.items[0];
+        assert!(matches!(outer.kind, ItemKind::Mod { inline: true }));
+        assert_eq!(outer.children.len(), 2);
+        let inner = &outer.children[1];
+        assert_eq!(inner.children.len(), 1);
+        assert_eq!(inner.children[0].fields.len(), 1);
+        assert_eq!(inner.children[0].fields[0].name, "x");
+    }
+
+    #[test]
+    fn impl_trait_names_are_captured() {
+        let f = parse_src(
+            "impl Drop for Guard { fn drop(&mut self) {} }\nimpl From<u32> for Guard { fn from(x: u32) -> Self { Guard } }\nimpl Guard { fn plain(&self) {} }\n",
+        );
+        let names: Vec<Option<&str>> = f
+            .items
+            .iter()
+            .map(|i| match &i.kind {
+                ItemKind::Impl { trait_name } => trait_name.as_deref(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, [Some("Drop"), Some("From"), None]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let f = parse_src(
+            "#[cfg(test)]\nmod tests { fn t() {} }\n#[test]\nfn unit() {}\nfn real() {}\n",
+        );
+        assert_eq!(f.items.len(), 3, "{:?}", kinds(&f.items));
+        assert!(f.items[0].cfg_test);
+        assert!(f.items[1].cfg_test);
+        assert!(!f.items[2].cfg_test);
+    }
+
+    #[test]
+    fn docs_are_detected_in_both_orders() {
+        let f = parse_src(
+            "/// Documented.\npub fn a() {}\n\n/// Doc first.\n#[derive(Debug)]\npub struct B;\n\n#[derive(Debug)]\n/// Doc after attr.\npub struct C;\n\npub fn naked() {}\n",
+        );
+        let docs: Vec<bool> = f.items.iter().map(|i| i.has_doc).collect();
+        assert_eq!(docs, [true, true, true, false]);
+    }
+
+    #[test]
+    fn fn_bodies_and_signatures_are_scannable() {
+        let f = parse_src("pub fn f(m: &HashMap<u32, u32>) -> u32 {\n    m.len() as u32\n}\n");
+        let item = &f.items[0];
+        assert!(matches!(item.kind, ItemKind::Fn));
+        let body = item.body.expect("body range");
+        let body_text = crate::ast::flatten(&f.code, body.0, body.1);
+        assert!(body_text.contains("m.len()"));
+        // The signature is inside the scan range even though the body
+        // starts later.
+        let (lo, hi) = item.scan[0];
+        assert!(crate::ast::flatten(&f.code, lo, hi).contains("HashMap"));
+    }
+
+    #[test]
+    fn use_trees_are_flattened() {
+        let f = parse_src("use std::sync::{Arc, Mutex};\n");
+        match &f.items[0].kind {
+            ItemKind::Use { tree } => assert_eq!(tree, "std::sync::{Arc,Mutex}"),
+            k => panic!("expected use, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn visibility_classes() {
+        let f = parse_src("pub fn a() {}\npub(crate) fn b() {}\nfn c() {}\n");
+        let vis: Vec<Vis> = f.items.iter().map(|i| i.vis).collect();
+        assert_eq!(vis, [Vis::Pub, Vis::Restricted, Vis::Private]);
+    }
+
+    #[test]
+    fn out_of_line_mod_is_not_inline() {
+        let f = parse_src("pub mod x;\npub mod y { }\n");
+        assert!(matches!(f.items[0].kind, ItemKind::Mod { inline: false }));
+        assert!(matches!(f.items[1].kind, ItemKind::Mod { inline: true }));
+    }
+
+    #[test]
+    fn generic_fn_with_fn_bound_parses() {
+        let f = parse_src(
+            "pub fn apply<F: Fn(u32) -> u32>(f: F) -> u32 { f(1) }\npub fn after() {}\n",
+        );
+        assert_eq!(f.items.len(), 2, "{:?}", kinds(&f.items));
+        assert_eq!(f.items[1].name, "after");
+    }
+
+    #[test]
+    fn const_and_static_and_type_items() {
+        let f = parse_src(
+            "pub const N: usize = 4;\npub static S: &str = \"x\";\npub type Pair = (u32, u32);\n",
+        );
+        assert!(matches!(f.items[0].kind, ItemKind::Const));
+        assert!(matches!(f.items[1].kind, ItemKind::Static));
+        assert!(matches!(f.items[2].kind, ItemKind::TypeAlias));
+        assert_eq!(f.items[0].name, "N");
+    }
+
+    #[test]
+    fn macro_items_parse() {
+        let f = parse_src("macro_rules! ev { () => {}; }\nthread_local! { static X: u32 = 0; }\n");
+        assert!(matches!(f.items[0].kind, ItemKind::MacroDef));
+        assert!(matches!(f.items[1].kind, ItemKind::MacroCall { .. }));
+    }
+
+    #[test]
+    fn unparseable_runs_become_unknown_but_progress() {
+        let f = parse_src("???; pub fn ok() {}\n");
+        assert!(f.items.iter().any(|i| i.name == "ok"));
+    }
+
+    #[test]
+    fn item_line_ranges_cover_attrs_and_body() {
+        let src = "#[derive(Debug)]\npub struct S {\n    pub x: u32,\n}\n";
+        let f = parse_src(src);
+        assert_eq!(f.items[0].lines, (1, 4));
+    }
+
+    #[test]
+    fn trait_children_include_default_methods() {
+        let f = parse_src(
+            "pub trait T {\n    fn sig(&self);\n    fn with_default(&self) -> u32 { 1 }\n}\n",
+        );
+        assert_eq!(f.items[0].children.len(), 2);
+        assert!(f.items[0].children[1].body.is_some());
+    }
+}

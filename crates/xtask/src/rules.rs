@@ -1,11 +1,19 @@
-//! The lint catalogue: rule IDs, scopes, and per-rule token checks.
+//! The lint catalogue: rule IDs, severities, scopes, and per-rule checks
+//! over the syntax tree.
 //!
 //! Every rule has an ID (used in diagnostics and in
-//! `// netaware-lint: allow(<ID>)` escape hatches), a scope (which crates
-//! it patrols), and a rationale tied to the determinism & reproducibility
-//! contract in DESIGN.md.
+//! `// netaware-lint: allow(<ID>)` escape hatches), a severity (`deny`
+//! rules gate CI; `warn` rules land baseline-first), a scope (which
+//! crates it patrols), and a rationale tied to the determinism &
+//! reproducibility contract in DESIGN.md. Checks run over the
+//! [`crate::ast`] tree built by [`crate::parser`], so string literals,
+//! comments, and `#[cfg(test)]` items at any nesting depth can never
+//! fire a rule, and context-sensitive rules (draws inside `Drop` impls,
+//! sanctioned concurrency modules) see real item structure.
 
+use crate::ast::{self, Chain, File, Item, ItemKind, Span, Vis};
 use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
 
 /// A lint rule identifier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -18,12 +26,49 @@ pub enum RuleId {
     Nd03,
     /// No full-trace materialisation in analysis hot paths.
     Nd04,
+    /// No hash-ordered iteration flowing into sinks or reductions.
+    Nd05,
+    /// No bare thread/lock primitives outside the sanctioned parallel core.
+    Cc01,
+    /// No relaxed atomic orderings outside audited commutative metrics.
+    Cc02,
+    /// Every RNG draw must reach a named stream; no draws in `Drop`.
+    Rs01,
     /// No `unwrap`/`expect`/`panic!` in non-test library code.
     Pa01,
     /// Public items must be documented.
     Doc01,
     /// No `println!`/`eprintln!`/`dbg!` in library crates.
     Ob01,
+}
+
+/// How severely a rule's findings are treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the lint run (exit code 1) when unsuppressed.
+    Deny,
+    /// Reported, but only fails under `--deny-warnings`. New rules land
+    /// at this level with pre-existing findings captured in
+    /// `lint-baseline.json`.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label (`"deny"` / `"warn"`), as printed and serialized.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// SARIF 2.1.0 result level.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        }
+    }
 }
 
 impl RuleId {
@@ -34,6 +79,10 @@ impl RuleId {
             RuleId::Nd02 => "ND02",
             RuleId::Nd03 => "ND03",
             RuleId::Nd04 => "ND04",
+            RuleId::Nd05 => "ND05",
+            RuleId::Cc01 => "CC01",
+            RuleId::Cc02 => "CC02",
+            RuleId::Rs01 => "RS01",
             RuleId::Pa01 => "PA01",
             RuleId::Doc01 => "DOC01",
             RuleId::Ob01 => "OB01",
@@ -42,29 +91,35 @@ impl RuleId {
 
     /// Parses a textual ID (`"ND01"` → `Nd01`).
     pub fn parse(s: &str) -> Option<RuleId> {
-        match s {
-            "ND01" => Some(RuleId::Nd01),
-            "ND02" => Some(RuleId::Nd02),
-            "ND03" => Some(RuleId::Nd03),
-            "ND04" => Some(RuleId::Nd04),
-            "PA01" => Some(RuleId::Pa01),
-            "DOC01" => Some(RuleId::Doc01),
-            "OB01" => Some(RuleId::Ob01),
-            _ => None,
-        }
+        RuleId::all().into_iter().find(|r| r.code() == s)
     }
 
     /// All rules, in catalogue order.
-    pub fn all() -> [RuleId; 7] {
+    pub fn all() -> [RuleId; 11] {
         [
             RuleId::Nd01,
             RuleId::Nd02,
             RuleId::Nd03,
             RuleId::Nd04,
+            RuleId::Nd05,
+            RuleId::Cc01,
+            RuleId::Cc02,
+            RuleId::Rs01,
             RuleId::Pa01,
             RuleId::Doc01,
             RuleId::Ob01,
         ]
+    }
+
+    /// The rule's default severity. The original catalogue is deny
+    /// (the workspace is clean under it); the concurrency/RNG-stream
+    /// rules added ahead of the parallel core land warn-first with
+    /// pre-existing findings baselined.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::Nd05 | RuleId::Cc01 | RuleId::Cc02 | RuleId::Rs01 => Severity::Warn,
+            _ => Severity::Deny,
+        }
     }
 
     /// One-line summary for the catalogue table.
@@ -85,6 +140,22 @@ impl RuleId {
                 "no full-trace materialisation (into_records(), records()…collect) in analysis \
                  hot paths; stream records through AnalysisPass accumulators"
             }
+            RuleId::Nd05 => {
+                "no iteration over hash-ordered collections flowing into event sinks, report \
+                 serialisation, or reduce calls (collect/fold/sum); order the collection first"
+            }
+            RuleId::Cc01 => {
+                "no bare std::thread::spawn/Mutex/RwLock outside the sanctioned parallel-core \
+                 modules (sim::par); cross-shard state goes through audited primitives"
+            }
+            RuleId::Cc02 => {
+                "no Ordering::Relaxed/AcqRel atomics outside the audited commutative-metrics \
+                 modules in crates/obs; merge-visible atomics must be SeqCst"
+            }
+            RuleId::Rs01 => {
+                "every DetRng draw must reach a named stream: no fresh DetRng::new/from_entropy \
+                 outside the stream registry, and no draws inside Drop impls"
+            }
             RuleId::Pa01 => "no unwrap()/expect()/panic! in non-test library code",
             RuleId::Doc01 => "public items must carry doc comments",
             RuleId::Ob01 => {
@@ -93,6 +164,24 @@ impl RuleId {
             }
         }
     }
+}
+
+/// Modules sanctioned to hold bare thread/lock primitives (CC01): the
+/// sharded parallel simulation core. Everything else goes through it.
+const CC01_SANCTIONED: &[&str] = &["crates/sim/src/par.rs", "crates/sim/src/par/"];
+
+/// Modules sanctioned to use relaxed atomic orderings (CC02): the
+/// commutative metrics registry in `crates/obs`, audited to tolerate
+/// reordering (counter adds commute; snapshots order by key).
+const CC02_SANCTIONED: &[&str] = &["crates/obs/src/metrics.rs"];
+
+/// The RNG stream registry (RS01): the one module allowed to construct
+/// generators from raw seeds.
+const RS01_REGISTRY: &[&str] = &["crates/sim/src/rng.rs"];
+
+fn sanctioned(rel: &str, list: &[&str]) -> bool {
+    list.iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)))
 }
 
 /// Which rules patrol a file, derived from its workspace-relative path.
@@ -105,6 +194,14 @@ pub struct FileScope {
     pub nd03: bool,
     /// ND04 applies (analysis record-streaming discipline).
     pub nd04: bool,
+    /// ND05 applies (hash-ordered iteration into sinks).
+    pub nd05: bool,
+    /// CC01 applies (not a sanctioned parallel-core module).
+    pub cc01: bool,
+    /// CC02 applies (not an audited commutative-metrics module).
+    pub cc02: bool,
+    /// RS01 applies (not the stream registry).
+    pub rs01: bool,
     /// PA01/DOC01 apply (library source).
     pub library: bool,
     /// OB01 applies (library crates other than the linter itself, whose
@@ -162,466 +259,596 @@ impl FileScope {
             nd02,
             nd03,
             nd04,
+            nd05: !is_xtask,
+            cc01: !is_xtask && !sanctioned(&rel, CC01_SANCTIONED),
+            cc02: !is_xtask && !sanctioned(&rel, CC02_SANCTIONED),
+            rs01: !is_xtask && !sanctioned(&rel, RS01_REGISTRY),
             library: true,
             ob01: !is_xtask,
         })
     }
 }
 
-/// A rule match before allow-directive filtering.
+/// A rule match before allow-directive and baseline filtering.
 pub struct RawFinding {
     /// Which rule fired.
     pub rule: RuleId,
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based column.
-    pub col: usize,
+    /// Source span of the offending tokens.
+    pub span: Span,
     /// Human-readable explanation.
     pub message: String,
 }
 
-fn finding(rule: RuleId, t: &Tok, message: String) -> RawFinding {
+fn tok_finding(rule: RuleId, t: &Tok, message: String) -> RawFinding {
     RawFinding {
         rule,
-        line: t.line,
-        col: t.col,
+        span: Span::of(t),
         message,
     }
 }
 
-/// A code token paired with its index in the full (comment-bearing)
-/// token stream, so DOC01 can look back across doc comments.
-struct CodeTok<'a> {
-    tok: &'a Tok,
-    full_idx: usize,
-}
-
-fn code_tokens(toks: &[Tok]) -> Vec<CodeTok<'_>> {
-    toks.iter()
-        .enumerate()
-        .filter(|(_, t)| {
-            !matches!(
-                t.kind,
-                TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
-            )
-        })
-        .map(|(full_idx, tok)| CodeTok { tok, full_idx })
-        .collect()
-}
-
-/// Marks which code tokens sit inside `#[cfg(test)] mod … { … }` blocks.
-fn test_block_mask(code: &[CodeTok<'_>]) -> Vec<bool> {
-    let mut mask = vec![false; code.len()];
-    let at = |i: usize| code.get(i).map(|c| c.tok);
-    let mut i = 0;
-    while i < code.len() {
-        if code[i].tok.is_punct('#')
-            && at(i + 1).is_some_and(|t| t.is_punct('['))
-            && at(i + 2).is_some_and(|t| t.is_ident("cfg"))
-            && at(i + 3).is_some_and(|t| t.is_punct('('))
-            && at(i + 4).is_some_and(|t| t.is_ident("test"))
-        {
-            // Find the `mod` that follows this attribute (skipping any
-            // further attributes) and mask to its closing brace.
-            let mut j = i + 5;
-            while j < code.len() && !code[j].tok.is_ident("mod") {
-                // Stop if this cfg(test) gates something other than an
-                // inline module (e.g. a `use` or an out-of-line `mod x;`).
-                if code[j].tok.is_punct(';') || code[j].tok.is_punct('{') {
-                    break;
-                }
-                j += 1;
-            }
-            if j < code.len() && code[j].tok.is_ident("mod") {
-                // Scan to the opening brace (an out-of-line `mod x;` ends
-                // at `;` first and masks nothing).
-                let mut k = j;
-                while k < code.len() && !code[k].tok.is_punct('{') && !code[k].tok.is_punct(';') {
-                    k += 1;
-                }
-                if k < code.len() && code[k].tok.is_punct('{') {
-                    let mut depth = 0usize;
-                    let mask_from = i;
-                    while k < code.len() {
-                        if code[k].tok.is_punct('{') {
-                            depth += 1;
-                        } else if code[k].tok.is_punct('}') {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        k += 1;
-                    }
-                    let mask_to = k.min(code.len() - 1);
-                    for slot in &mut mask[mask_from..=mask_to] {
-                        *slot = true;
-                    }
-                    i = mask_to + 1;
-                    continue;
-                }
+/// Runs every in-scope rule over a parsed file.
+pub fn check(file: &File, scope: &FileScope) -> Vec<RawFinding> {
+    let code = &file.code;
+    // Field names whose declared type is hash-ordered, visible file-wide
+    // (`self.counts.iter()…` in another item of the same file).
+    let mut hash_fields: BTreeSet<String> = BTreeSet::new();
+    file.walk(&mut |item, _| {
+        for f in &item.fields {
+            if mentions_hash(&f.ty) {
+                hash_fields.insert(f.name.clone());
             }
         }
-        i += 1;
-    }
-    mask
-}
-
-/// Runs every in-scope rule over the token stream.
-pub fn check(toks: &[Tok], scope: &FileScope) -> Vec<RawFinding> {
-    let code = code_tokens(toks);
-    let in_test = test_block_mask(&code);
+    });
     let mut out = Vec::new();
-
-    for (i, c) in code.iter().enumerate() {
-        if in_test[i] {
-            continue;
-        }
-        let t = c.tok;
-        if scope.nd01 {
-            nd01_at(&code, i, &mut out);
-        }
-        if scope.nd02 && t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
-            out.push(finding(
-                RuleId::Nd02,
-                t,
-                format!(
-                    "`{}` iteration order is nondeterministic; use BTreeMap/BTreeSet or a sorted \
-                     collect in simulation/report paths",
-                    t.text
-                ),
-            ));
-        }
-        if scope.nd03 {
-            nd03_at(&code, i, &mut out);
-        }
-        if scope.nd04 {
-            nd04_at(&code, i, &mut out);
+    file.walk(&mut |item, ancestors| {
+        if item.cfg_test || ancestors.iter().any(|a| a.cfg_test) {
+            return;
         }
         if scope.library {
-            pa01_at(&code, i, &mut out);
-            doc01_at(toks, &code, i, &mut out);
+            doc01_item(item, &mut out);
         }
-        if scope.ob01 {
-            ob01_at(&code, i, &mut out);
+        let in_drop = matches!(item.kind, ItemKind::Fn)
+            && ancestors.iter().any(|a| {
+                matches!(&a.kind, ItemKind::Impl { trait_name: Some(t) } if t == "Drop")
+            });
+        for &(lo, hi) in &item.scan {
+            scan_range(code, lo, hi, scope, in_drop, &hash_fields, &mut out);
         }
-    }
+    });
     out
 }
 
-fn tok_at<'a>(code: &'a [CodeTok<'_>], i: usize) -> Option<&'a Tok> {
-    code.get(i).map(|c| c.tok)
+fn mentions_hash(ty: &str) -> bool {
+    ty.contains("HashMap") || ty.contains("HashSet")
 }
 
-fn nd01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if t.kind != TokKind::Ident {
-        return;
+// ---------------------------------------------------------------- DOC01
+
+fn doc01_item(item: &Item, out: &mut Vec<RawFinding>) {
+    let what = match &item.kind {
+        ItemKind::Fn => "fn",
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Union => "union",
+        ItemKind::Trait => "trait",
+        ItemKind::Mod { inline: true } => "mod",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::TypeAlias => "type",
+        // Out-of-line `pub mod name;` is documented by the `//!` header
+        // of its own file; `use`/`impl`/macros carry no outer API docs.
+        _ => "",
+    };
+    if !what.is_empty() && item.vis == Vis::Pub && !item.has_doc {
+        out.push(RawFinding {
+            rule: RuleId::Doc01,
+            span: item.head,
+            message: format!("public {what} `{}` has no doc comment", item.name),
+        });
     }
-    match t.text.as_str() {
-        "SystemTime" | "UNIX_EPOCH" => out.push(finding(
-            RuleId::Nd01,
-            t,
-            "wall-clock time is nondeterministic; derive timestamps from SimTime".into(),
-        )),
-        "Instant" => out.push(finding(
-            RuleId::Nd01,
-            t,
-            "monotonic-clock reads are nondeterministic; use SimTime for simulated time".into(),
-        )),
-        "thread_rng" | "OsRng" if looks_like_call_or_path(code, i) => out.push(finding(
-            RuleId::Nd01,
-            t,
-            "ambient entropy breaks (seed, config) reproducibility; use DetRng streams".into(),
-        )),
-        "env" => {
-            // `std::env` / `core::env` path use (env::var, env::args, …).
-            let prefixed = i >= 3
-                && code[i - 1].tok.is_punct(':')
-                && code[i - 2].tok.is_punct(':')
-                && matches!(code[i - 3].tok.text.as_str(), "std" | "core");
-            let bare_env_call = tok_at(code, i + 1).is_some_and(|t| t.is_punct(':'))
-                && tok_at(code, i + 2).is_some_and(|t| t.is_punct(':'))
-                && tok_at(code, i + 3).is_some_and(|t| {
-                    matches!(
-                        t.text.as_str(),
-                        "var" | "vars" | "var_os" | "args" | "args_os" | "temp_dir"
-                    )
-                });
-            if prefixed || bare_env_call {
-                out.push(finding(
-                    RuleId::Nd01,
+    for f in &item.fields {
+        if f.vis == Vis::Pub && !f.has_doc {
+            out.push(RawFinding {
+                rule: RuleId::Doc01,
+                span: f.span,
+                message: format!("public field `{}` has no doc comment", f.name),
+            });
+        }
+    }
+}
+
+// ------------------------------------------------------- range scanning
+
+fn scan_range(
+    code: &[Tok],
+    lo: usize,
+    hi: usize,
+    scope: &FileScope,
+    in_drop: bool,
+    hash_fields: &BTreeSet<String>,
+    out: &mut Vec<RawFinding>,
+) {
+    let paths = ast::paths(code, lo, hi);
+    let chains = ast::chains(code, lo, hi);
+    let macros = ast::macro_bangs(code, lo, hi);
+
+    if scope.nd01 {
+        nd01(code, &paths, out);
+    }
+    if scope.nd02 {
+        for t in code.get(lo..hi.min(code.len())).unwrap_or(&[]) {
+            if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+                out.push(tok_finding(
+                    RuleId::Nd02,
                     t,
-                    "process environment is ambient configuration; thread it through explicit \
-                     config structs"
-                        .into(),
+                    format!(
+                        "`{}` iteration order is nondeterministic; use BTreeMap/BTreeSet or a \
+                         sorted collect in simulation/report paths",
+                        t.text
+                    ),
                 ));
             }
         }
-        _ => {}
     }
-}
-
-fn looks_like_call_or_path(code: &[CodeTok<'_>], i: usize) -> bool {
-    tok_at(code, i + 1).is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
-}
-
-/// Flags `par_iter`/`into_par_iter` pipelines that end in an unordered
-/// reduction (`sum`, `reduce`, `fold`, `product`) before the statement
-/// ends.
-fn nd03_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if !(t.is_ident("par_iter") || t.is_ident("into_par_iter") || t.is_ident("par_iter_mut")) {
-        return;
+    if scope.nd03 {
+        nd03(code, &chains, out);
     }
-    let mut depth = 0i32;
-    for j in (i + 1)..code.len() {
-        let c = code[j].tok;
-        if c.is_punct('(') || c.is_punct('{') || c.is_punct('[') {
-            depth += 1;
-        } else if c.is_punct(')') || c.is_punct('}') || c.is_punct(']') {
-            depth -= 1;
-            if depth < 0 {
-                return; // pipeline ended inside an enclosing call
+    if scope.nd04 {
+        nd04(code, &chains, out);
+    }
+    if scope.nd05 {
+        nd05(code, lo, hi, &chains, hash_fields, out);
+    }
+    if scope.cc01 {
+        cc01(code, lo, hi, &paths, out);
+    }
+    if scope.cc02 {
+        cc02(code, &paths, out);
+    }
+    if scope.rs01 {
+        rs01(code, &paths, &chains, in_drop, out);
+    }
+    if scope.library {
+        for c in &chains {
+            for call in &c.calls {
+                if call.name == "unwrap" || call.name == "expect" {
+                    if let Some(t) = code.get(call.idx) {
+                        out.push(tok_finding(
+                            RuleId::Pa01,
+                            t,
+                            format!(
+                                "`.{}()` panics on the error path; return a Result, handle the \
+                                 None, or justify with `// netaware-lint: allow(PA01)`",
+                                call.name
+                            ),
+                        ));
+                    }
+                }
             }
-        } else if c.is_punct(';') && depth == 0 {
-            return;
-        } else if depth == 0
-            && c.kind == TokKind::Ident
-            && matches!(c.text.as_str(), "sum" | "reduce" | "fold" | "product")
-            && code[j - 1].tok.is_punct('.')
-        {
-            out.push(finding(
-                RuleId::Nd03,
-                c,
-                format!(
-                    "unordered parallel `{}` makes float results depend on thread scheduling; \
-                     collect in input order and reduce sequentially",
-                    c.text
-                ),
-            ));
-            return;
         }
-    }
-}
-
-/// Flags analysis code that materialises a whole trace instead of
-/// streaming it: any `.into_records()` call, and `.records()` /
-/// `.records_unsorted()` pipelines that `.collect` the records before the
-/// statement ends. Borrowing the slice to iterate (`for r in t.records()`,
-/// `run_pass(t.records(), …)`) is the intended idiom and stays clean.
-fn nd04_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if t.kind != TokKind::Ident
-        || i == 0
-        || !code[i - 1].tok.is_punct('.')
-        || !tok_at(code, i + 1).is_some_and(|n| n.is_punct('('))
-    {
-        return;
-    }
-    if t.text == "into_records" {
-        out.push(finding(
-            RuleId::Nd04,
-            t,
-            "`.into_records()` materialises the whole trace; stream it through an \
-             AnalysisPass instead"
-                .into(),
-        ));
-        return;
-    }
-    if t.text != "records" && t.text != "records_unsorted" {
-        return;
-    }
-    let mut depth = 0i32;
-    for j in (i + 1)..code.len() {
-        let c = code[j].tok;
-        if c.is_punct('(') || c.is_punct('[') {
-            depth += 1;
-        } else if c.is_punct(')') || c.is_punct(']') {
-            depth -= 1;
-            if depth < 0 {
-                return; // the records call was an argument; caller borrows
+        for m in &macros {
+            if m.name == "panic" {
+                if let Some(t) = code.get(m.idx) {
+                    out.push(tok_finding(
+                        RuleId::Pa01,
+                        t,
+                        "`panic!` in library code aborts callers; return an error or justify \
+                         with `// netaware-lint: allow(PA01)`"
+                            .into(),
+                    ));
+                }
             }
-        } else if depth == 0 && (c.is_punct(';') || c.is_punct('{')) {
-            return; // statement (or loop body) ends without collecting
-        } else if depth == 0
-            && c.is_ident("collect")
-            && code[j - 1].tok.is_punct('.')
+        }
+    }
+    if scope.ob01 {
+        for m in &macros {
+            if matches!(
+                m.name.as_str(),
+                "println" | "eprintln" | "print" | "eprint" | "dbg"
+            ) {
+                if let Some(t) = code.get(m.idx) {
+                    out.push(tok_finding(
+                        RuleId::Ob01,
+                        t,
+                        format!(
+                            "`{}!` writes to the console from library code; emit a \
+                             `netaware_obs::event!` (or return the data) and let the binary \
+                             decide what to print",
+                            m.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- ND01
+
+fn nd01(code: &[Tok], paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
+    for p in paths {
+        for (k, seg) in p.segs.iter().enumerate() {
+            let Some(&idx) = p.seg_idx.get(k) else { continue };
+            let Some(t) = code.get(idx) else { continue };
+            match seg.as_str() {
+                "SystemTime" | "UNIX_EPOCH" => out.push(tok_finding(
+                    RuleId::Nd01,
+                    t,
+                    "wall-clock time is nondeterministic; derive timestamps from SimTime".into(),
+                )),
+                "Instant" => out.push(tok_finding(
+                    RuleId::Nd01,
+                    t,
+                    "monotonic-clock reads are nondeterministic; use SimTime for simulated time"
+                        .into(),
+                )),
+                "thread_rng" | "OsRng" => {
+                    let continues = k + 1 < p.segs.len();
+                    let called = code.get(idx + 1).is_some_and(|n| n.is_punct('('));
+                    if continues || called {
+                        out.push(tok_finding(
+                            RuleId::Nd01,
+                            t,
+                            "ambient entropy breaks (seed, config) reproducibility; use DetRng \
+                             streams"
+                                .into(),
+                        ));
+                    }
+                }
+                "env" => {
+                    let prefixed = p.has_pair("std", "env") || p.has_pair("core", "env");
+                    let bare_call = k == 0
+                        && p.segs.get(1).is_some_and(|n| {
+                            matches!(
+                                n.as_str(),
+                                "var" | "vars" | "var_os" | "args" | "args_os" | "temp_dir"
+                            )
+                        });
+                    if prefixed || bare_call {
+                        out.push(tok_finding(
+                            RuleId::Nd01,
+                            t,
+                            "process environment is ambient configuration; thread it through \
+                             explicit config structs"
+                                .into(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- ND03
+
+fn nd03(code: &[Tok], chains: &[Chain], out: &mut Vec<RawFinding>) {
+    for c in chains {
+        let Some(par) = c.calls.iter().position(|call| {
+            matches!(
+                call.name.as_str(),
+                "par_iter" | "into_par_iter" | "par_iter_mut"
+            )
+        }) else {
+            continue;
+        };
+        if let Some(red) = c.calls[par + 1..]
+            .iter()
+            .find(|call| matches!(call.name.as_str(), "sum" | "reduce" | "fold" | "product"))
         {
-            out.push(finding(
-                RuleId::Nd04,
-                c,
-                format!(
-                    "collecting `.{}()` copies the whole trace; feed the records through an \
-                     AnalysisPass accumulator instead",
-                    t.text
-                ),
-            ));
-            return;
+            if let Some(t) = code.get(red.idx) {
+                out.push(tok_finding(
+                    RuleId::Nd03,
+                    t,
+                    format!(
+                        "unordered parallel `{}` makes float results depend on thread \
+                         scheduling; collect in input order and reduce sequentially",
+                        red.name
+                    ),
+                ));
+            }
         }
     }
 }
 
-fn pa01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if t.kind != TokKind::Ident {
-        return;
-    }
-    match t.text.as_str() {
-        "unwrap" | "expect"
-            if i >= 1
-                && code[i - 1].tok.is_punct('.')
-                && tok_at(code, i + 1).is_some_and(|t| t.is_punct('(')) =>
-        {
-            out.push(finding(
-                RuleId::Pa01,
-                t,
-                format!(
-                    "`.{}()` panics on the error path; return a Result, handle the None, or \
-                     justify with `// netaware-lint: allow(PA01)`",
-                    t.text
-                ),
-            ));
+// ----------------------------------------------------------------- ND04
+
+fn nd04(code: &[Tok], chains: &[Chain], out: &mut Vec<RawFinding>) {
+    for c in chains {
+        for call in &c.calls {
+            if call.name == "into_records" {
+                if let Some(t) = code.get(call.idx) {
+                    out.push(tok_finding(
+                        RuleId::Nd04,
+                        t,
+                        "`.into_records()` materialises the whole trace; stream it through an \
+                         AnalysisPass instead"
+                            .into(),
+                    ));
+                }
+            }
         }
-        "panic" if tok_at(code, i + 1).is_some_and(|t| t.is_punct('!')) => {
-            out.push(finding(
-                RuleId::Pa01,
-                t,
-                "`panic!` in library code aborts callers; return an error or justify with \
-                 `// netaware-lint: allow(PA01)`"
-                    .into(),
-            ));
+        let Some(rec) = c
+            .calls
+            .iter()
+            .position(|call| call.name == "records" || call.name == "records_unsorted")
+        else {
+            continue;
+        };
+        if let Some(col) = c.calls[rec + 1..].iter().find(|call| call.name == "collect") {
+            if let (Some(t), Some(rec_name)) = (code.get(col.idx), c.calls.get(rec)) {
+                out.push(tok_finding(
+                    RuleId::Nd04,
+                    t,
+                    format!(
+                        "collecting `.{}()` copies the whole trace; feed the records through \
+                         an AnalysisPass accumulator instead",
+                        rec_name.name
+                    ),
+                ));
+            }
         }
-        _ => {}
     }
 }
 
-/// Flags direct console printing in library crates: `println!`,
-/// `eprintln!`, `print!`, `eprint!` and `dbg!`. Libraries should emit
-/// structured `netaware_obs::event!`s (filterable, sim-time-stamped,
-/// deterministic) and let binaries own the console.
-fn ob01_at(code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if t.kind != TokKind::Ident
-        || !matches!(
-            t.text.as_str(),
-            "println" | "eprintln" | "print" | "eprint" | "dbg"
-        )
-        || !tok_at(code, i + 1).is_some_and(|n| n.is_punct('!'))
-    {
-        return;
-    }
-    out.push(finding(
-        RuleId::Ob01,
-        t,
-        format!(
-            "`{}!` writes to the console from library code; emit a `netaware_obs::event!` \
-             (or return the data) and let the binary decide what to print",
-            t.text
-        ),
-    ));
-}
+// ----------------------------------------------------------------- ND05
 
-/// Items after `pub` that require a doc comment.
-const DOC_ITEM_KEYWORDS: [&str; 8] = [
-    "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+/// Iteration methods whose order is the receiver's iteration order.
+const ND05_ITER: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
 ];
 
-fn doc01_at(toks: &[Tok], code: &[CodeTok<'_>], i: usize, out: &mut Vec<RawFinding>) {
-    let t = code[i].tok;
-    if !t.is_ident("pub") {
-        return;
+/// Chain continuations that materialise or reduce in iteration order.
+const ND05_REDUCE: &[&str] = &["collect", "fold", "sum", "reduce", "product", "for_each"];
+
+/// Callees whose arguments reach event sinks or serialized reports.
+const ND05_SINKS: &[&str] = &[
+    "emit",
+    "extend",
+    "push_event",
+    "serialize",
+    "to_json",
+    "to_string",
+    "to_writer",
+    "write",
+    "write_all",
+];
+
+fn nd05(
+    code: &[Tok],
+    lo: usize,
+    hi: usize,
+    chains: &[Chain],
+    hash_fields: &BTreeSet<String>,
+    out: &mut Vec<RawFinding>,
+) {
+    // Hash-typed names in this range: annotated/constructed `let`s, plus
+    // `name: …HashMap…` parameter/field patterns.
+    let mut hashy: BTreeSet<String> = hash_fields.clone();
+    for l in ast::lets(code, lo, hi) {
+        let ty_hash = l.ty.as_deref().is_some_and(mentions_hash);
+        let init_hash = l
+            .init_path
+            .as_deref()
+            .is_some_and(|p| p.starts_with("HashMap") || p.starts_with("HashSet"));
+        if ty_hash || init_hash {
+            hashy.insert(l.name);
+        }
     }
-    // `pub(crate)` and friends are not public API.
-    if tok_at(code, i + 1).is_some_and(|t| t.is_punct('(')) {
-        return;
+    let hi = hi.min(code.len());
+    for i in lo..hi {
+        let t = &code[i];
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            // Walk back over a `std::collections::` qualifier, then over
+            // `& mut 'a` sigils, to the `name:` the type annotates.
+            let mut j = i;
+            while j >= lo + 3
+                && code[j - 1].is_punct(':')
+                && code[j - 2].is_punct(':')
+                && code[j - 3].kind == TokKind::Ident
+            {
+                j -= 3;
+            }
+            while j > lo
+                && code.get(j - 1).is_some_and(|p| {
+                    p.is_punct('&') || p.is_ident("mut") || p.kind == TokKind::Lifetime
+                })
+            {
+                j -= 1;
+            }
+            if j >= lo + 2
+                && code.get(j - 1).is_some_and(|p| p.is_punct(':'))
+                && !code.get(j - 2).is_some_and(|p| p.is_punct(':'))
+            {
+                if let Some(name) = code.get(j - 2).filter(|n| n.kind == TokKind::Ident) {
+                    hashy.insert(name.text.clone());
+                }
+            }
+        }
     }
-    let mut j = i + 1;
-    while tok_at(code, j).is_some_and(|t| matches!(t.text.as_str(), "unsafe" | "async" | "extern"))
-    {
-        j += 1;
+    for c in chains {
+        let Some(root) = c.root.as_deref() else {
+            continue;
+        };
+        if !hashy.contains(root) {
+            continue;
+        }
+        let Some(it) = c
+            .calls
+            .iter()
+            .position(|call| ND05_ITER.contains(&call.name.as_str()))
+        else {
+            continue;
+        };
+        let reduces = c.calls[it + 1..]
+            .iter()
+            .any(|call| ND05_REDUCE.contains(&call.name.as_str()));
+        let sinks = c
+            .arg_of
+            .as_deref()
+            .is_some_and(|f| ND05_SINKS.contains(&f));
+        if reduces || sinks {
+            if let Some(t) = code.get(c.calls[it].idx) {
+                out.push(tok_finding(
+                    RuleId::Nd05,
+                    t,
+                    format!(
+                        "iterating hash-ordered `{root}` into an ordered sink; iteration order \
+                         is nondeterministic — use a BTree collection or sort before emitting"
+                    ),
+                ));
+            }
+        }
     }
-    let Some(kw) = tok_at(code, j) else { return };
-    let is_item = kw.kind == TokKind::Ident && DOC_ITEM_KEYWORDS.contains(&kw.text.as_str());
-    // `pub name: Type` — a public struct field (but not `pub name::…`).
-    let is_field = kw.kind == TokKind::Ident
-        && !is_item
-        && kw.text != "use"
-        && kw.text != "impl"
-        && tok_at(code, j + 1).is_some_and(|t| t.is_punct(':'))
-        && !tok_at(code, j + 2).is_some_and(|t| t.is_punct(':'));
-    if !is_item && !is_field {
-        return;
-    }
-    // An out-of-line `pub mod name;` is documented by the `//!` header of
-    // its own file; requiring an outer comment here would double it.
-    if kw.is_ident("mod") && tok_at(code, j + 2).is_some_and(|t| t.is_punct(';')) {
-        return;
-    }
-    if has_preceding_doc(toks, code[i].full_idx) {
-        return;
-    }
-    let (what, name) = if is_field {
-        ("field".to_string(), kw.text.clone())
-    } else {
-        (
-            kw.text.clone(),
-            tok_at(code, j + 1)
-                .map(|t| t.text.clone())
-                .unwrap_or_default(),
-        )
-    };
-    out.push(finding(
-        RuleId::Doc01,
-        t,
-        format!("public {what} `{name}` has no doc comment"),
-    ));
 }
 
-/// Looks backwards in the full token stream from the `pub` at `full_idx`,
-/// skipping outer attributes `#[…]` and non-doc comments, for an attached
-/// doc comment.
-fn has_preceding_doc(toks: &[Tok], full_idx: usize) -> bool {
-    let mut j = full_idx;
-    loop {
-        if j == 0 {
-            return false;
+// ----------------------------------------------------------------- CC01
+
+fn cc01(code: &[Tok], lo: usize, hi: usize, paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
+    for p in paths {
+        for pair in [
+            ("thread", "spawn"),
+            ("thread", "scope"),
+            ("thread", "Builder"),
+        ] {
+            if p.has_pair(pair.0, pair.1) {
+                if let Some(&idx) = p
+                    .segs
+                    .iter()
+                    .position(|s| s.as_str() == pair.1)
+                    .and_then(|k| p.seg_idx.get(k))
+                {
+                    if let Some(t) = code.get(idx) {
+                        out.push(tok_finding(
+                            RuleId::Cc01,
+                            t,
+                            format!(
+                                "bare `thread::{}` outside the sanctioned parallel core; shard \
+                                 work through `sim::par` so cross-shard order stays \
+                                 deterministic",
+                                pair.1
+                            ),
+                        ));
+                    }
+                }
+            }
         }
-        let prev = &toks[j - 1];
-        match prev.kind {
-            // Only *outer* doc comments attach to the following item;
-            // `//!`/`/*!` document the enclosing module.
-            TokKind::DocComment => {
-                return prev.text.starts_with("///") || prev.text.starts_with("/**");
-            }
-            TokKind::LineComment | TokKind::BlockComment => j -= 1,
-            TokKind::Punct if prev.text == "]" => {
-                // Skip backwards over a (possibly nested) `#[…]` attribute.
-                let mut depth = 0usize;
-                let mut k = j - 1;
-                loop {
-                    match toks[k].kind {
-                        TokKind::Punct if toks[k].text == "]" => depth += 1,
-                        TokKind::Punct if toks[k].text == "[" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
+    }
+    for t in code.get(lo..hi.min(code.len())).unwrap_or(&[]) {
+        if t.kind == TokKind::Ident && (t.text == "Mutex" || t.text == "RwLock") {
+            out.push(tok_finding(
+                RuleId::Cc01,
+                t,
+                format!(
+                    "bare `{}` outside the sanctioned parallel core; lock-ordering bugs break \
+                     byte-stable merges — use `sim::par` primitives or add the module to the \
+                     audited list",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- CC02
+
+fn cc02(code: &[Tok], paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
+    for p in paths {
+        for variant in ["Relaxed", "AcqRel"] {
+            if p.has_pair("Ordering", variant) {
+                if let Some(&idx) = p
+                    .segs
+                    .iter()
+                    .position(|s| s.as_str() == variant)
+                    .and_then(|k| p.seg_idx.get(k))
+                {
+                    if let Some(t) = code.get(idx) {
+                        out.push(tok_finding(
+                            RuleId::Cc02,
+                            t,
+                            format!(
+                                "`Ordering::{variant}` outside the audited commutative-metrics \
+                                 modules; non-SeqCst updates can reorder across shard merges — \
+                                 use SeqCst or move the counter into `crates/obs` metrics"
+                            ),
+                        ));
                     }
-                    if k == 0 {
-                        return false;
-                    }
-                    k -= 1;
-                }
-                if k >= 1 && toks[k - 1].is_punct('#') {
-                    j = k - 1;
-                } else {
-                    return false;
                 }
             }
-            _ => return false,
+        }
+    }
+}
+
+// ----------------------------------------------------------------- RS01
+
+/// `DetRng` draw methods (kept in sync with `crates/sim/src/rng.rs`).
+const RS01_DRAWS: &[&str] = &[
+    "next_u64",
+    "unit",
+    "chance",
+    "range",
+    "exp",
+    "pareto",
+    "pick",
+    "pick_weighted",
+    "shuffle",
+];
+
+fn rs01(
+    code: &[Tok],
+    paths: &[ast::PathMention],
+    chains: &[Chain],
+    in_drop: bool,
+    out: &mut Vec<RawFinding>,
+) {
+    for p in paths {
+        for ctor in ["new", "from_entropy", "from_os_entropy", "seed_from_u64"] {
+            if p.has_pair("DetRng", ctor) {
+                if let Some(&idx) = p
+                    .segs
+                    .iter()
+                    .position(|s| s.as_str() == ctor)
+                    .and_then(|k| p.seg_idx.get(k))
+                {
+                    if let Some(t) = code.get(idx) {
+                        out.push(tok_finding(
+                            RuleId::Rs01,
+                            t,
+                            format!(
+                                "fresh `DetRng::{ctor}` outside the stream registry; derive \
+                                 generators from named `DetRng::stream`/`substream` so every \
+                                 draw is attributable to a seeded stream"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if in_drop {
+        for c in chains {
+            for call in &c.calls {
+                if RS01_DRAWS.contains(&call.name.as_str()) {
+                    if let Some(t) = code.get(call.idx) {
+                        out.push(tok_finding(
+                            RuleId::Rs01,
+                            t,
+                            format!(
+                                "RNG draw `.{}()` inside a `Drop` impl; drop order is not part \
+                                 of the determinism contract — draw before teardown",
+                                call.name
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 }

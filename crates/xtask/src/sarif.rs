@@ -1,0 +1,175 @@
+//! SARIF 2.1.0 output for the lint run.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the exchange
+//! format code-scanning UIs ingest; emitting it lets CI annotate pull
+//! requests with lint findings in place. The report is built on the
+//! vendored JSON shim and is byte-stable: rules appear in catalogue
+//! order, results in (file, line, col, rule) order, and
+//! baseline-suppressed findings are carried with an `external`
+//! suppression rather than dropped, so reviewers can see the debt.
+
+use crate::rules::RuleId;
+use crate::Diagnostic;
+use serde_json::Value;
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Map(fields.into_iter().map(|(k, v)| (s(k), v)).collect())
+}
+
+fn rule_descriptor(rule: RuleId) -> Value {
+    obj(vec![
+        ("id", s(rule.code())),
+        ("shortDescription", obj(vec![("text", s(rule.summary()))])),
+        (
+            "defaultConfiguration",
+            obj(vec![("level", s(rule.severity().sarif_level()))]),
+        ),
+    ])
+}
+
+fn result(d: &Diagnostic, suppressed: bool) -> Value {
+    let mut region = vec![
+        ("startLine", Value::U64(d.line as u64)),
+        ("startColumn", Value::U64(d.col as u64)),
+        ("endLine", Value::U64(d.line as u64)),
+        (
+            "endColumn",
+            Value::U64((d.col + d.len.max(1)) as u64),
+        ),
+    ];
+    if !d.snippet.is_empty() {
+        region.push(("snippet", obj(vec![("text", s(&d.snippet))])));
+    }
+    let mut fields = vec![
+        ("ruleId", s(d.rule)),
+        ("level", s(d.severity.sarif_level())),
+        ("message", obj(vec![("text", s(&d.message))])),
+        (
+            "locations",
+            Value::Seq(vec![obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    ("artifactLocation", obj(vec![("uri", s(&d.file))])),
+                    ("region", obj(region)),
+                ]),
+            )])]),
+        ),
+    ];
+    if suppressed {
+        fields.push((
+            "suppressions",
+            Value::Seq(vec![obj(vec![
+                ("kind", s("external")),
+                (
+                    "justification",
+                    s("recorded in lint-baseline.json; burn down with --write-baseline"),
+                ),
+            ])]),
+        ));
+    }
+    obj(fields)
+}
+
+/// Renders a SARIF 2.1.0 report. `active` findings become plain results;
+/// `suppressed` findings (covered by the baseline) carry an `external`
+/// suppression. Both lists are expected pre-sorted by (file, line, col).
+pub fn report(active: &[Diagnostic], suppressed: &[Diagnostic]) -> String {
+    let mut merged: Vec<(&Diagnostic, bool)> = active
+        .iter()
+        .map(|d| (d, false))
+        .chain(suppressed.iter().map(|d| (d, true)))
+        .collect();
+    merged.sort_by(|(a, _), (b, _)| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    let run = obj(vec![
+        (
+            "tool",
+            obj(vec![(
+                "driver",
+                obj(vec![
+                    ("name", s("netaware-xtask")),
+                    (
+                        "rules",
+                        Value::Seq(RuleId::all().into_iter().map(rule_descriptor).collect()),
+                    ),
+                ]),
+            )]),
+        ),
+        (
+            "results",
+            Value::Seq(merged.into_iter().map(|(d, sup)| result(d, sup)).collect()),
+        ),
+    ]);
+    let root = obj(vec![
+        (
+            "$schema",
+            s("https://json.schemastore.org/sarif-2.1.0.json"),
+        ),
+        ("version", s("2.1.0")),
+        ("runs", Value::Seq(vec![run])),
+    ]);
+    // No floats in the tree, so printing cannot fail.
+    let mut text =
+        serde_json::to_string_pretty(&root).unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"));
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn diag(rule: &'static str, sev: Severity, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: sev,
+            file: file.into(),
+            line,
+            col: 3,
+            len: 5,
+            message: format!("{rule} fired"),
+            snippet: "let x = y;".into(),
+        }
+    }
+
+    #[test]
+    fn report_carries_schema_rules_and_results() {
+        let active = vec![diag("PA01", Severity::Deny, "crates/net/src/lib.rs", 7)];
+        let suppressed = vec![diag("CC01", Severity::Warn, "crates/obs/src/sink.rs", 14)];
+        let text = report(&active, &suppressed);
+        let root = serde_json::parse_value(&text).expect("valid JSON");
+        let fields = root.as_map().expect("object");
+        assert_eq!(
+            serde_json::value::field(fields, "version").as_str(),
+            Some("2.1.0")
+        );
+        let runs = serde_json::value::field(fields, "runs")
+            .as_seq()
+            .expect("runs");
+        let run = runs[0].as_map().expect("run object");
+        let results = serde_json::value::field(run, "results")
+            .as_seq()
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        // Every rule is described exactly once in catalogue order.
+        assert_eq!(text.matches("\"shortDescription\"").count(), 11);
+        // The suppressed finding carries the external suppression marker.
+        assert!(text.contains("\"suppressions\""));
+        assert!(text.contains("\"external\""));
+    }
+
+    #[test]
+    fn output_is_byte_stable() {
+        let active = vec![
+            diag("PA01", Severity::Deny, "crates/net/src/lib.rs", 7),
+            diag("OB01", Severity::Deny, "crates/net/src/lib.rs", 2),
+        ];
+        assert_eq!(report(&active, &[]), report(&active, &[]));
+    }
+}

@@ -1,0 +1,75 @@
+//! Tests for the `rules` catalogue command: every rule appears exactly
+//! once in both the text table and the JSON form, and the JSON
+//! round-trips through the vendored serde_json shim.
+
+use netaware_xtask::{catalogue, catalogue_json, RuleId};
+
+#[test]
+fn text_catalogue_lists_every_rule_exactly_once() {
+    let table = catalogue();
+    for rule in RuleId::all() {
+        assert_eq!(
+            table.matches(rule.code()).count(),
+            1,
+            "{} must appear exactly once in:\n{table}",
+            rule.code()
+        );
+    }
+}
+
+#[test]
+fn text_catalogue_shows_severities() {
+    let table = catalogue();
+    let header = table.lines().next().expect("header line");
+    assert!(header.contains("SEVERITY"), "{header}");
+    for line in table.lines().skip(1) {
+        let Some(rule) = RuleId::all().into_iter().find(|r| line.starts_with(r.code())) else {
+            continue;
+        };
+        assert!(
+            line.contains(rule.severity().label()),
+            "row for {} must show `{}`: {line}",
+            rule.code(),
+            rule.severity().label()
+        );
+    }
+}
+
+#[test]
+fn json_catalogue_lists_every_rule_exactly_once() {
+    let text = catalogue_json();
+    let root = serde_json::parse_value(&text).expect("catalogue JSON parses");
+    let fields = root.as_map().expect("root object");
+    let rules = serde_json::value::field(fields, "rules")
+        .as_seq()
+        .expect("rules array");
+    assert_eq!(rules.len(), RuleId::all().len());
+    for rule in RuleId::all() {
+        let matching: Vec<_> = rules
+            .iter()
+            .filter(|entry| {
+                let fields = entry.as_map().expect("rule object");
+                serde_json::value::field(fields, "id").as_str() == Some(rule.code())
+            })
+            .collect();
+        assert_eq!(matching.len(), 1, "{} appears once", rule.code());
+        let fields = matching[0].as_map().expect("rule object");
+        assert_eq!(
+            serde_json::value::field(fields, "severity").as_str(),
+            Some(rule.severity().label())
+        );
+        let summary = serde_json::value::field(fields, "summary")
+            .as_str()
+            .expect("summary string");
+        assert!(!summary.is_empty());
+    }
+}
+
+#[test]
+fn json_catalogue_round_trips() {
+    let text = catalogue_json();
+    let first = serde_json::parse_value(&text).expect("parses");
+    let reprinted = serde_json::to_string(&first).expect("prints");
+    let second = serde_json::parse_value(&reprinted).expect("reparses");
+    assert_eq!(first, second, "catalogue JSON must round-trip losslessly");
+}

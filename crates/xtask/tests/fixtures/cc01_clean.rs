@@ -1,0 +1,18 @@
+//! CC01-clean fixture: sequential sharding and SeqCst atomics; no bare
+//! locks, no direct thread spawns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Merges shard results in shard-index order.
+pub fn merge(shards: &[Vec<u64>]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for shard in shards {
+        out.extend_from_slice(shard);
+    }
+    out
+}
+
+/// Counter bumped with sequentially consistent ordering.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,13 @@
+//! CC02-clean fixture: sequentially consistent orderings only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// SeqCst fetch-add.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+/// SeqCst load.
+pub fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::SeqCst)
+}

@@ -1,0 +1,14 @@
+//! ND05-clean fixture: ordered collections at the sink boundary, hash
+//! collections only for point lookups.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Emits in key order from an ordered map.
+pub fn emit_counts(counts: &BTreeMap<u64, u64>, out: &mut Vec<(u64, u64)>) {
+    out.extend(counts.iter().map(|(k, v)| (*k, *v)));
+}
+
+/// Point lookups on a hash map never observe iteration order.
+pub fn lookup(index: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    index.get(&key).copied()
+}

@@ -1,0 +1,20 @@
+//! ND05 fixture: hash-ordered iteration flowing into sinks and reduces.
+
+use std::collections::HashMap;
+
+/// Extends an output buffer in hash order (nondeterministic).
+pub fn emit_counts(counts: &HashMap<u64, u64>, out: &mut Vec<(u64, u64)>) {
+    out.extend(counts.iter().map(|(k, v)| (*k, *v)));
+}
+
+/// Collects a hash-ordered snapshot.
+pub fn snapshot(scores: &HashMap<String, u64>) -> Vec<(&String, &u64)> {
+    scores.iter().collect()
+}
+
+/// Serializes keys straight out of a locally built hash set.
+pub fn report(serialize: fn(Vec<u64>)) {
+    let mut seen: HashMap<u64, bool> = HashMap::new();
+    seen.insert(7, true);
+    serialize(seen.keys().copied().collect());
+}

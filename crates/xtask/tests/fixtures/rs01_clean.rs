@@ -1,0 +1,14 @@
+//! RS01-clean fixture: named streams from the registry, draws outside
+//! teardown paths.
+
+use netaware_sim::rng::DetRng;
+
+/// Derives the per-purpose generator from a named stream.
+pub fn stream_for(seed: u64, label: &str) -> DetRng {
+    DetRng::stream(seed, label)
+}
+
+/// Draws happen in ordinary control flow, attributable to the stream.
+pub fn jitter_us(rng: &mut DetRng) -> u64 {
+    rng.range(0, 250)
+}

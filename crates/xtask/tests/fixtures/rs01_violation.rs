@@ -1,0 +1,21 @@
+//! RS01 fixture: unattributable generator construction and draws during
+//! teardown.
+
+use netaware_sim::rng::DetRng;
+
+/// Builds a generator from a raw seed, bypassing the stream registry.
+pub fn fresh(seed: u64) -> DetRng {
+    DetRng::new(seed)
+}
+
+/// Guard that spends randomness at drop time.
+pub struct NoisyGuard {
+    /// Stream consumed during teardown.
+    rng: DetRng,
+}
+
+impl Drop for NoisyGuard {
+    fn drop(&mut self) {
+        let _ = self.rng.next_u64();
+    }
+}

@@ -119,6 +119,120 @@ fn nd04_allow_directive_suppresses() {
     ));
 }
 
+// ---- ND05: hash-ordered iteration into sinks ----------------------------
+
+#[test]
+fn nd05_fixture_flags_hash_iteration_into_sinks() {
+    let diags = lint_as("crates/obs/src/fixture.rs", "nd05_violation.rs");
+    assert_all_rule(&diags, "ND05");
+    assert_eq!(diags.len(), 3, "extend sink + collect + keys…collect");
+}
+
+#[test]
+fn nd05_fixture_clean_passes() {
+    // BTree iteration at the sink boundary and hash point-lookups are
+    // both fine.
+    assert_clean(&lint_as("crates/obs/src/fixture.rs", "nd05_clean.rs"));
+}
+
+#[test]
+fn nd05_allow_directive_suppresses() {
+    let src = "/// Emits counters; order irrelevant to the consumer.\n\
+               pub fn emit(counts: &std::collections::HashMap<u64, u64>, out: &mut Vec<u64>) {\n\
+               \x20   // netaware-lint: allow(ND05) consumer sorts before comparing\n\
+               \x20   out.extend(counts.values().copied());\n\
+               }\n";
+    let diags = netaware_xtask::lint_source("crates/obs/src/fixture.rs", src);
+    assert_clean(&diags);
+}
+
+// ---- CC01: bare thread/lock primitives ----------------------------------
+
+#[test]
+fn cc01_fixture_flags_locks_and_spawns() {
+    let diags = lint_as("crates/sim/src/fixture.rs", "cc01_violation.rs");
+    assert_all_rule(&diags, "CC01");
+    assert_eq!(diags.len(), 3, "two Mutex mentions + one thread::spawn");
+}
+
+#[test]
+fn cc01_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/sim/src/fixture.rs", "cc01_clean.rs"));
+}
+
+#[test]
+fn cc01_sanctioned_parallel_core_is_exempt() {
+    // The sharded parallel core owns these primitives.
+    let diags = lint_as("crates/sim/src/par.rs", "cc01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "CC01"),
+        "CC01 fired in the sanctioned module: {diags:?}"
+    );
+}
+
+// ---- CC02: relaxed atomic orderings -------------------------------------
+
+#[test]
+fn cc02_fixture_flags_relaxed_and_acqrel() {
+    let diags = lint_as("crates/sim/src/fixture.rs", "cc02_violation.rs");
+    assert_all_rule(&diags, "CC02");
+    assert_eq!(diags.len(), 2, "Relaxed + AcqRel");
+}
+
+#[test]
+fn cc02_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/sim/src/fixture.rs", "cc02_clean.rs"));
+}
+
+#[test]
+fn cc02_audited_metrics_module_is_exempt() {
+    let diags = lint_as("crates/obs/src/metrics.rs", "cc02_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "CC02"),
+        "CC02 fired in the audited module: {diags:?}"
+    );
+}
+
+// ---- RS01: RNG stream discipline ----------------------------------------
+
+#[test]
+fn rs01_fixture_flags_raw_ctor_and_drop_draw() {
+    let diags = lint_as("crates/net/src/fixture.rs", "rs01_violation.rs");
+    assert_all_rule(&diags, "RS01");
+    assert_eq!(diags.len(), 2, "DetRng::new + draw inside Drop");
+}
+
+#[test]
+fn rs01_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/net/src/fixture.rs", "rs01_clean.rs"));
+}
+
+#[test]
+fn rs01_stream_registry_is_exempt() {
+    let diags = lint_as("crates/sim/src/rng.rs", "rs01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "RS01"),
+        "RS01 fired in the registry: {diags:?}"
+    );
+}
+
+// ---- Severities ---------------------------------------------------------
+
+#[test]
+fn new_rules_land_at_warn_severity() {
+    use netaware_xtask::Severity;
+    let diags = lint_as("crates/sim/src/fixture.rs", "cc01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Warn),
+        "{diags:?}"
+    );
+    let diags = lint_as("crates/net/src/fixture.rs", "pa01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Deny),
+        "{diags:?}"
+    );
+}
+
 // ---- PA01: panicking escape hatches ------------------------------------
 
 #[test]
