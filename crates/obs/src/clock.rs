@@ -63,18 +63,18 @@ impl ManualClock {
 
     /// Advances the clock by `us` microseconds.
     pub fn advance(&self, us: u64) {
-        self.now_us.fetch_add(us, Ordering::Relaxed);
+        self.now_us.fetch_add(us, Ordering::SeqCst);
     }
 
     /// Sets the absolute elapsed time.
     pub fn set(&self, us: u64) {
-        self.now_us.store(us, Ordering::Relaxed);
+        self.now_us.store(us, Ordering::SeqCst);
     }
 }
 
 impl Clock for ManualClock {
     fn elapsed_us(&self) -> u64 {
-        self.now_us.load(Ordering::Relaxed)
+        self.now_us.load(Ordering::SeqCst)
     }
 }
 

@@ -134,7 +134,7 @@ impl FieldValue {
 /// One structured log record.
 ///
 /// `target` names the subsystem and decision point with a
-/// `<layer>.<aspect>` convention (`swarm.handshake`, `swarm.chunk_sched`,
+/// `<layer>.<aspect>` convention (`swarm.discovery.handshake`, `swarm.scheduling.chunk_sched`,
 /// `stream.error`, `pass.flow`, …); it is `&'static str` so emitting an
 /// event never allocates for the routing key and filtering is a pointer-
 /// and-prefix affair.

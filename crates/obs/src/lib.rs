@@ -4,7 +4,7 @@
 //!
 //! * a **structured event log** — [`Event`] records keyed by
 //!   [`SimTime`](netaware_sim::SimTime) with a static `<layer>.<aspect>`
-//!   target (`swarm.handshake`, `swarm.chunk_sched`, `stream.error`,
+//!   target (`swarm.discovery.handshake`, `swarm.scheduling.chunk_sched`, `stream.error`,
 //!   `pass.flow`, …), collected by a pluggable [`EventSink`] (ring
 //!   buffer, JSONL writer, counting null sink) behind a per-target
 //!   [`Filter`]. Timestamps are simulation time, so two runs with the

@@ -48,13 +48,13 @@ impl NullSink {
 
     /// How many events were recorded.
     pub fn events_seen(&self) -> u64 {
-        self.seen.load(Ordering::Relaxed)
+        self.seen.load(Ordering::SeqCst)
     }
 }
 
 impl EventSink for NullSink {
     fn record(&self, _event: &Event) {
-        self.seen.fetch_add(1, Ordering::Relaxed);
+        self.seen.fetch_add(1, Ordering::SeqCst);
     }
 }
 

@@ -128,10 +128,15 @@ impl LogSummary {
         self.last_us.saturating_sub(self.first_us) as f64 / 1e6
     }
 
-    /// Chunk-scheduler decision rate: `swarm.chunk_sched` events per
-    /// sim-second over the covered span (0 when the span is empty).
+    /// Chunk-scheduler decision rate: `swarm.scheduling.chunk_sched`
+    /// events per sim-second over the covered span (0 when the span is
+    /// empty).
     pub fn chunk_sched_rate_hz(&self) -> f64 {
-        let n = self.by_target.get("swarm.chunk_sched").copied().unwrap_or(0);
+        let n = self
+            .by_target
+            .get("swarm.scheduling.chunk_sched")
+            .copied()
+            .unwrap_or(0);
         let span = self.span_secs();
         if span <= 0.0 {
             0.0
@@ -205,9 +210,9 @@ mod tests {
     const LOG: &str = concat!(
         r#"{"t":0,"target":"testbed.run","level":"info","app":"sopcast"}"#,
         "\n",
-        r#"{"t":1000000,"target":"swarm.chunk_sched","level":"debug","chunk":1}"#,
+        r#"{"t":1000000,"target":"swarm.scheduling.chunk_sched","level":"debug","chunk":1}"#,
         "\n",
-        r#"{"t":2000000,"target":"swarm.chunk_sched","level":"debug","chunk":2}"#,
+        r#"{"t":2000000,"target":"swarm.scheduling.chunk_sched","level":"debug","chunk":2}"#,
         "\n",
         r#"{"t":3000000,"target":"stream.error","level":"error","kind":"truncated"}"#,
         "\n",
@@ -223,7 +228,7 @@ mod tests {
     fn summarises_counts_span_and_rate() {
         let s = LogSummary::from_reader(BufReader::new(LOG.as_bytes())).expect("parse");
         assert_eq!(s.events, 7);
-        assert_eq!(s.by_target["swarm.chunk_sched"], 2);
+        assert_eq!(s.by_target["swarm.scheduling.chunk_sched"], 2);
         assert_eq!(s.error_count, 1);
         assert_eq!(s.errors.len(), 1);
         assert_eq!(s.first_us, 0);
@@ -235,7 +240,7 @@ mod tests {
         let text = s.render();
         assert!(text.contains("events: 7"));
         assert!(text.contains("continuity: mean 0.900, worst probe 0.850 (2 probes)"));
-        assert!(text.contains("swarm.chunk_sched"));
+        assert!(text.contains("swarm.scheduling.chunk_sched"));
         assert!(text.contains("errors: 1"));
         assert!(text.contains("chunk-scheduler decisions: 0.5/s"));
     }

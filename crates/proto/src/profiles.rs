@@ -298,6 +298,18 @@ impl AppProfile {
         let turnover = duration_us as f64 / self.neighbor_lifetime_us as f64;
         self.max_neighbors as f64 * (1.0 + turnover)
     }
+
+    /// Builds the behaviour stack this profile composes: the profile is
+    /// a *behaviour-stack constructor* — each concern module reads its
+    /// own parameter slice and the swarm wires them to one dispatcher.
+    pub fn stack(&self) -> crate::swarm::BehaviourStack {
+        crate::swarm::BehaviourStack::new(
+            crate::swarm::discovery::Discovery::from_profile(self),
+            crate::swarm::announce::Announce::from_profile(self),
+            crate::swarm::churn_recovery::ChurnRecovery::default(),
+            crate::swarm::scheduling::Scheduling::from_profile(self),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! Announce behaviour: periodic buffer-map exchange.
+//!
+//! Owns the gossip side of the mesh-pull protocol: each tick a probe
+//! sends buffer-map announcements to random neighbors and receives them
+//! from random *external* neighbors (probe neighbors announce on their
+//! own tick). The RX side is the dominant signalling overhead the paper
+//! measures — PPLive's announce traffic alone exceeds the stream rate.
+
+use super::behaviour::{Behaviour, Ctx};
+use crate::message::Signal;
+use crate::peer::{PeerId, PeerRole};
+use crate::profiles::AppProfile;
+use netaware_sim::PacketFate;
+use netaware_trace::PayloadKind;
+
+/// The announce behaviour and its profile-derived parameters.
+pub(crate) struct Announce {
+    /// Buffer maps (sent, received) per tick.
+    tx_n: u32,
+    rx_n: u32,
+    tick_us: u64,
+}
+
+impl Announce {
+    pub(crate) fn from_profile(p: &AppProfile) -> Self {
+        Announce {
+            tx_n: p.announces_per_tick.0,
+            rx_n: p.announces_per_tick.1,
+            tick_us: p.tick_us,
+        }
+    }
+}
+
+impl Behaviour for Announce {
+    /// Buffer-map announcements: TX to random neighbors, RX from random
+    /// external neighbors.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, '_>, i: usize) {
+        let now = ctx.now();
+        let pid = PeerId((1 + i) as u32);
+        let core = &mut *ctx.core;
+        let (tx_n, rx_n) = (self.tx_n, self.rx_n);
+        let n_neigh = core.probe_states[i].disc.neighbors.len();
+        if n_neigh == 0 {
+            return;
+        }
+        // Gossip fan-out: how many neighbors this tick's announcements
+        // could reach, and how many buffer maps actually go out.
+        core.m.gossip_fanout.record(n_neigh);
+        core.m.gossip_announcements.add(tx_n as u64);
+        let tick = self.tick_us;
+        for k in 0..tx_n {
+            let pick = core.probe_states[i].rng.range(0..n_neigh);
+            let to = core.probe_states[i].disc.neighbors[pick].id;
+            let at = now + (k as u64 * tick) / (tx_n.max(1) as u64 * 2);
+            core.send_signal(at, pid, to, Signal::BufferMap);
+        }
+        // RX: sample external neighbors only.
+        let ext_neighbors: Vec<PeerId> = core.probe_states[i]
+            .disc
+            .neighbors
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| core.peers[id.0 as usize].role == PeerRole::External)
+            .collect();
+        if ext_neighbors.is_empty() {
+            return;
+        }
+        for k in 0..rx_n {
+            let pick = core.probe_states[i].rng.range(0..ext_neighbors.len());
+            let from = ext_neighbors[pick];
+            let at = now + (k as u64 * tick) / (rx_n.max(1) as u64);
+            // Incoming announces cross this probe's access link; a
+            // faulty link silently eats some of them.
+            let at = match core.link_fate(i, at.as_us()) {
+                PacketFate::Dropped => continue,
+                PacketFate::Pass { extra_delay_us } => at + extra_delay_us,
+            };
+            let ttl = core.ttl_to(from, pid);
+            core.capture(
+                i,
+                at,
+                from,
+                pid,
+                Signal::BufferMap.wire_size(),
+                ttl,
+                PayloadKind::Signaling,
+            );
+            core.report.signal_packets += 1;
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Churn-recovery behaviour: peer arrival/departure, dead-peer
+//! eviction, stranded-request re-queue, and request-timeout backoff.
+//!
+//! Absorbs what used to live in `swarm/faults.rs`: the churn process
+//! rides the dedicated `"fault.churn"` RNG stream, so enabling it never
+//! shifts a protocol stream, and with no churn plan the hooks return
+//! before touching anything — the structural guarantee behind
+//! "fault-disabled runs are byte-identical to pre-fault baselines".
+//! The request-timeout expiry (the other half of the retry machinery,
+//! whose attempt counters live in this behaviour's
+//! [`RecoveryState`](super::state::RecoveryState) slice) runs on every
+//! tick regardless of faults.
+//!
+//! ## Fidelity boundary
+//!
+//! Churn applies to the *external* population only: probes are
+//! persistent vantage points and the source never leaves.
+
+use super::behaviour::{Behaviour, Ctx};
+use super::state::Event;
+use super::SwarmCore;
+use crate::chunk::ChunkId;
+use crate::peer::{PeerId, PeerRole};
+use netaware_faults::ChurnPlan;
+use netaware_obs::Level;
+use netaware_sim::{DetRng, SimTime};
+
+/// Estimate recorded for a provider that timed out (punitive, keeps it
+/// classified as "tried" while making re-selection unlikely).
+const TIMEOUT_EST_BPS: u64 = 200_000;
+
+/// Churn process state: the configured plan and the stream that decides
+/// session/offline durations (who is offline lives in the core, where
+/// discovery and scheduling consult it).
+pub(crate) struct ChurnState {
+    plan: ChurnPlan,
+    rng: DetRng,
+}
+
+impl ChurnState {
+    /// Draws an online session length, µs (exponential, ≥ 1).
+    fn session_us(&mut self) -> u64 {
+        (self.rng.exp(self.plan.session_mean_us as f64) as u64).max(1)
+    }
+
+    /// Draws an offline period length, µs (exponential, ≥ 1).
+    fn offline_us(&mut self) -> u64 {
+        (self.rng.exp(self.plan.offline_mean_us as f64) as u64).max(1)
+    }
+}
+
+/// The churn-recovery behaviour.
+#[derive(Default)]
+pub(crate) struct ChurnRecovery {
+    /// Churn process, when a fault plan enables it.
+    churn: Option<ChurnState>,
+}
+
+impl ChurnRecovery {
+    /// Installs (or clears) the churn process; called by `set_faults`.
+    pub(crate) fn set_churn(&mut self, plan: Option<ChurnPlan>, seed: u64) {
+        self.churn = plan.map(|plan| ChurnState {
+            plan,
+            rng: DetRng::stream(seed, "fault.churn"),
+        });
+    }
+
+    /// Scrubs a departed peer from every probe's protocol state and
+    /// re-queues the chunk requests that were pending on it (the
+    /// mid-transfer-crash recovery path). Returns the probes that lost
+    /// a neighbor entry.
+    fn evict_peer(core: &mut SwarmCore<'_>, id: PeerId, now: SimTime) -> Vec<usize> {
+        core.ext_dyn.remove(&id);
+        let mut touched = Vec::new();
+        let mut requeued_total = 0u64;
+        for (i, s) in core.probe_states.iter_mut().enumerate() {
+            let had = s.disc.neighbors.len();
+            s.disc.neighbors.retain(|n| n.id != id);
+            if s.disc.neighbors.len() != had {
+                touched.push(i);
+            }
+            s.sched.active_requesters.retain(|r| *r != id);
+            s.link.last_rx_from.remove(&id);
+            if s.sched.last_provider == Some(id) {
+                s.sched.last_provider = None;
+            }
+            // Requests in flight to the departed peer will never be
+            // answered: move them to the prompt re-request queue instead
+            // of letting them ride out the full request timeout.
+            let mut requeued: Vec<ChunkId> = Vec::new();
+            s.sched.pending.retain(|p| {
+                if p.provider == id {
+                    requeued.push(p.chunk);
+                    false
+                } else {
+                    true
+                }
+            });
+            requeued_total += requeued.len() as u64;
+            for c in requeued {
+                if !s.rec.requeue.contains(&c) {
+                    s.rec.requeue.push(c);
+                }
+            }
+        }
+        if requeued_total > 0 {
+            core.report.requests_requeued += requeued_total;
+            core.m.requests_requeued.add(requeued_total);
+            netaware_obs::event!(
+                core.obs,
+                Level::Debug,
+                "swarm.churn.requests_requeued",
+                now,
+                "peer" = id.0,
+                "requests" = requeued_total,
+            );
+        }
+        touched
+    }
+}
+
+impl Behaviour for ChurnRecovery {
+    /// Seeds the churn process at the start of the event loop: every
+    /// external either starts offline (evicted from the bootstrap
+    /// neighbor tables, arriving later) or gets a departure scheduled
+    /// at the end of its first session.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, '_>) {
+        let Some(churn) = self.churn.as_mut() else {
+            return;
+        };
+        let ids: Vec<PeerId> = ctx.core.external_ids();
+        let mut start_offline = Vec::new();
+        for id in ids {
+            let begins_offline =
+                churn.plan.initial_offline > 0.0 && churn.rng.chance(churn.plan.initial_offline);
+            if begins_offline {
+                let back_at = churn.offline_us();
+                ctx.core.offline.insert(id);
+                ctx.schedule(SimTime::from_us(back_at), Event::Arrive(id));
+                start_offline.push(id);
+            } else {
+                let gone_at = churn.session_us();
+                ctx.schedule(SimTime::from_us(gone_at), Event::Depart(id));
+            }
+        }
+        // Initially-offline externals may have been handed out by the
+        // tracker bootstrap before the plan was attached: evict them.
+        for id in start_offline {
+            Self::evict_peer(ctx.core, id, SimTime::ZERO);
+        }
+    }
+
+    /// Expire timed-out requests, punishing the slow provider (the
+    /// scheduling tick that runs after this one sees the freed budget).
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, '_>, i: usize) {
+        let now_us = ctx.now().as_us();
+        let core = &mut *ctx.core;
+        let s = &mut core.probe_states[i];
+        let mut timed_out = Vec::new();
+        s.sched.pending.retain(|p| {
+            if p.deadline_us <= now_us {
+                timed_out.push(p.provider);
+                false
+            } else {
+                true
+            }
+        });
+        core.m.requests_timed_out.add(timed_out.len() as u64);
+        let s = &mut core.probe_states[i];
+        for prov in timed_out {
+            let e = s.sched.est_bps.entry(prov).or_insert(TIMEOUT_EST_BPS);
+            *e = (*e).min(TIMEOUT_EST_BPS);
+        }
+    }
+
+    /// Retry bookkeeping of a completed delivery: the chunk is no longer
+    /// missing, so its backoff counter and any re-queue entry go away.
+    fn on_delivered(
+        &mut self,
+        ctx: &mut Ctx<'_, '_>,
+        to: PeerId,
+        _from: PeerId,
+        chunk: ChunkId,
+        _est_bps: u64,
+    ) {
+        let Some(ti) = ctx.core.probe_index(to) else {
+            return;
+        };
+        let s = &mut ctx.core.probe_states[ti];
+        s.rec.attempts.remove(&chunk);
+        s.rec.requeue.retain(|c| *c != chunk);
+    }
+
+    /// An external's session ends: it vanishes mid-whatever-it-was-doing.
+    fn on_depart(&mut self, ctx: &mut Ctx<'_, '_>, id: PeerId) {
+        let now = ctx.now();
+        debug_assert_eq!(ctx.core.peers[id.0 as usize].role, PeerRole::External);
+        let back_at = {
+            let Some(churn) = self.churn.as_mut() else {
+                return;
+            };
+            if !ctx.core.offline.insert(id) {
+                return; // already gone (stale event)
+            }
+            now + churn.offline_us()
+        };
+        ctx.schedule(back_at, Event::Arrive(id));
+        ctx.core.report.peers_departed += 1;
+        ctx.core.m.peers_departed.inc();
+        netaware_obs::event!(
+            ctx.core.obs,
+            Level::Debug,
+            "swarm.churn.peer_departed",
+            now,
+            "peer" = id.0,
+        );
+        let touched = Self::evict_peer(ctx.core, id, now);
+        // Dead-peer replacement: each probe that lost this neighbor
+        // immediately asks the gossip/tracker view for a substitute
+        // (which fails during tracker outages — then the next tick's
+        // discovery top-up retries).
+        for i in touched {
+            ctx.request_discovery(i);
+        }
+    }
+
+    /// A departed external rejoins the overlay and becomes discoverable
+    /// again; its next departure is scheduled.
+    fn on_arrive(&mut self, ctx: &mut Ctx<'_, '_>, id: PeerId) {
+        let now = ctx.now();
+        let Some(churn) = self.churn.as_mut() else {
+            return;
+        };
+        if !ctx.core.offline.remove(&id) {
+            return; // was never marked offline (stale event)
+        }
+        let gone_at = now + churn.session_us();
+        ctx.schedule(gone_at, Event::Depart(id));
+        ctx.core.report.peers_arrived += 1;
+        ctx.core.m.peers_arrived.inc();
+        netaware_obs::event!(
+            ctx.core.obs,
+            Level::Debug,
+            "swarm.churn.peer_arrived",
+            now,
+            "peer" = id.0,
+        );
+    }
+}

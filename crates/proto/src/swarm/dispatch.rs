@@ -1,0 +1,202 @@
+//! The deterministic dispatcher: the **only** module that matches raw
+//! simulation [`Event`]s or touches the scheduler (lint rule BH01
+//! holds everywhere else in `crates/proto`).
+//!
+//! For every popped event the dispatcher runs the behaviour hooks in
+//! fixed stack order — discovery, announce, churn-recovery, scheduling,
+//! then custom behaviours in push order — and only then drains the
+//! action queue FIFO into the scheduler. Because the scheduler breaks
+//! timestamp ties by insertion sequence, this two-phase scheme inserts
+//! events in exactly the order the monolithic handler did, which is
+//! what keeps same-seed runs byte-identical across the decomposition
+//! (ND01–ND05; pinned by `tests/golden_behaviours.rs`).
+
+use super::behaviour::{Actions, Behaviour, BehaviourAction, BehaviourStack, Ctx};
+use super::state::Event;
+use super::SwarmCore;
+use netaware_sim::{Scheduler, SimTime};
+
+/// Runs the event loop from time zero to `horizon`: schedules the
+/// initial per-probe processes, fires the `on_start` hooks, and
+/// dispatches until the queue runs dry or passes the horizon.
+pub(crate) fn run(core: &mut SwarmCore<'_>, stack: &mut BehaviourStack, horizon: SimTime) {
+    let mut sched: Scheduler<Event> = Scheduler::new();
+
+    // Stagger initial ticks across one tick interval so probes do not
+    // act in lockstep.
+    let tick = core.cfg.profile.tick_us;
+    for p in 0..core.n_probes {
+        let offset = core.rng.range(0..tick.max(1));
+        sched.push(SimTime::from_us(offset), Event::Tick(p as u32));
+        // Demand and halo processes start once the stream exists.
+        let warmup = core.cfg.stream.chunk_interval_us()
+            * (core.cfg.profile.buffer_delay_chunks as u64 + 2);
+        let d0 = warmup + core.rng.range(0..1_000_000);
+        sched.push(SimTime::from_us(d0), Event::Demand(p as u32));
+        if core.cfg.profile.halo_contacts_per_sec > 0.0 {
+            let h0 = core.rng.range(0..2_000_000);
+            sched.push(SimTime::from_us(h0), Event::Halo(p as u32));
+        }
+    }
+
+    // Start-of-run hooks (churn seeding lives here), then drain their
+    // actions so the seeded departures/arrivals enter the queue in
+    // emission order.
+    let mut actions = Actions::default();
+    {
+        let mut ctx = Ctx {
+            core: &mut *core,
+            actions: &mut actions,
+            now: SimTime::ZERO,
+        };
+        stack.discovery.on_start(&mut ctx);
+        stack.announce.on_start(&mut ctx);
+        stack.recovery.on_start(&mut ctx);
+        stack.scheduling.on_start(&mut ctx);
+        for b in &mut stack.custom {
+            b.on_start(&mut ctx);
+        }
+    }
+    drain(core, stack, &mut sched, &mut actions, SimTime::ZERO);
+
+    loop {
+        match sched.peek_time() {
+            Some(t) if t <= horizon => {}
+            _ => break,
+        }
+        let Some((now, ev)) = sched.pop() else { break };
+        deliver(core, stack, &mut sched, &mut actions, now, ev);
+    }
+    core.report.events_dispatched = sched.dispatched();
+}
+
+/// Dispatches one event: hooks in stack order, then the FIFO drain,
+/// then — for ticks — the next tick of the protocol clock (after the
+/// drained chunk serves, matching the legacy insertion order).
+pub(crate) fn deliver(
+    core: &mut SwarmCore<'_>,
+    stack: &mut BehaviourStack,
+    sched: &mut Scheduler<Event>,
+    actions: &mut Actions,
+    now: SimTime,
+    ev: Event,
+) {
+    debug_assert!(actions.queue.is_empty(), "scratch action queue not drained");
+    {
+        let mut ctx = Ctx {
+            core: &mut *core,
+            actions: &mut *actions,
+            now,
+        };
+        match ev {
+            Event::Tick(i) => {
+                let i = i as usize;
+                stack.discovery.on_tick(&mut ctx, i);
+                stack.announce.on_tick(&mut ctx, i);
+                stack.recovery.on_tick(&mut ctx, i);
+                stack.scheduling.on_tick(&mut ctx, i);
+                for b in &mut stack.custom {
+                    b.on_tick(&mut ctx, i);
+                }
+            }
+            Event::Demand(i) => {
+                let i = i as usize;
+                stack.discovery.on_demand(&mut ctx, i);
+                stack.announce.on_demand(&mut ctx, i);
+                stack.recovery.on_demand(&mut ctx, i);
+                stack.scheduling.on_demand(&mut ctx, i);
+                for b in &mut stack.custom {
+                    b.on_demand(&mut ctx, i);
+                }
+            }
+            Event::Halo(i) => {
+                let i = i as usize;
+                stack.discovery.on_halo(&mut ctx, i);
+                stack.announce.on_halo(&mut ctx, i);
+                stack.recovery.on_halo(&mut ctx, i);
+                stack.scheduling.on_halo(&mut ctx, i);
+                for b in &mut stack.custom {
+                    b.on_halo(&mut ctx, i);
+                }
+            }
+            Event::Serve {
+                provider,
+                to,
+                chunk,
+            } => {
+                stack.discovery.on_serve(&mut ctx, provider, to, chunk);
+                stack.announce.on_serve(&mut ctx, provider, to, chunk);
+                stack.recovery.on_serve(&mut ctx, provider, to, chunk);
+                stack.scheduling.on_serve(&mut ctx, provider, to, chunk);
+                for b in &mut stack.custom {
+                    b.on_serve(&mut ctx, provider, to, chunk);
+                }
+            }
+            Event::Delivered {
+                to,
+                from,
+                chunk,
+                est_bps,
+            } => {
+                stack.discovery.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                stack.announce.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                stack.recovery.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                stack.scheduling.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                for b in &mut stack.custom {
+                    b.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                }
+            }
+            Event::Depart(id) => {
+                stack.discovery.on_depart(&mut ctx, id);
+                stack.announce.on_depart(&mut ctx, id);
+                stack.recovery.on_depart(&mut ctx, id);
+                stack.scheduling.on_depart(&mut ctx, id);
+                for b in &mut stack.custom {
+                    b.on_depart(&mut ctx, id);
+                }
+            }
+            Event::Arrive(id) => {
+                stack.discovery.on_arrive(&mut ctx, id);
+                stack.announce.on_arrive(&mut ctx, id);
+                stack.recovery.on_arrive(&mut ctx, id);
+                stack.scheduling.on_arrive(&mut ctx, id);
+                for b in &mut stack.custom {
+                    b.on_arrive(&mut ctx, id);
+                }
+            }
+        }
+    }
+    drain(core, stack, sched, actions, now);
+    // The dispatcher owns the protocol clock: one tick reschedules the
+    // next, inserted after the drained actions (the monolithic handler
+    // pushed the chunk serves first, then the tick).
+    if let Event::Tick(i) = ev {
+        sched.push(now + core.cfg.profile.tick_us, Event::Tick(i));
+    }
+}
+
+/// Drains the action queue FIFO. `Schedule` actions become scheduler
+/// insertions in emission order; `Discover` actions re-enter the
+/// discovery behaviour (which may emit further actions — the loop runs
+/// until the queue is dry).
+fn drain(
+    core: &mut SwarmCore<'_>,
+    stack: &mut BehaviourStack,
+    sched: &mut Scheduler<Event>,
+    actions: &mut Actions,
+    now: SimTime,
+) {
+    while let Some(action) = actions.queue.pop_front() {
+        match action {
+            BehaviourAction::Schedule { at, ev } => sched.push(at, ev),
+            BehaviourAction::Discover { probe } => {
+                let mut ctx = Ctx {
+                    core: &mut *core,
+                    actions: &mut *actions,
+                    now,
+                };
+                stack.discovery.try_discover(&mut ctx, probe, now.as_us());
+            }
+        }
+    }
+}

@@ -7,6 +7,17 @@
 //! NAPA-WINE partners got from tcpdump — plus a ground-truth
 //! [`SwarmReport`] for validation.
 //!
+//! ## Architecture: core + behaviour stack
+//!
+//! The protocol itself is a composition of typed, per-concern
+//! [`Behaviour`] modules (discovery, announce, churn-recovery,
+//! scheduling — see `behaviour.rs`), constructed from the profile by
+//! [`AppProfile::stack`](crate::profiles::AppProfile::stack) and driven
+//! by the deterministic dispatcher in `dispatch.rs`. The [`SwarmCore`]
+//! underneath holds what every concern shares: peer tables, per-probe
+//! state slices, the transfer machinery (`transfer.rs`), traces, and
+//! observability.
+//!
 //! ## Fidelity boundary
 //!
 //! Probes run the full protocol: buffer maps, provider selection, chunk
@@ -20,24 +31,29 @@
 //! probe-observable quantity (packet timing, TTLs, byte shares, peer
 //! counts) behaviourally faithful.
 
-mod faults;
-mod handlers;
+pub(crate) mod announce;
+pub(crate) mod behaviour;
+pub(crate) mod churn_recovery;
+pub(crate) mod discovery;
+pub(crate) mod dispatch;
 mod report;
+pub(crate) mod scheduling;
 mod state;
-mod transfer;
+pub(crate) mod transfer;
 
+pub use behaviour::{Behaviour, BehaviourAction, BehaviourStack, Ctx};
 pub use report::{ProbePerf, SwarmReport};
-pub use state::{ExternalSpec, NetworkEnv, PeerSetup, ProbeSpec};
+pub use state::{Event, ExternalSpec, NetworkEnv, PeerSetup, ProbeSpec};
 
 use crate::chunk::StreamParams;
 use crate::peer::{PeerId, PeerInfo, PeerRole};
 use crate::profiles::AppProfile;
 use netaware_faults::FaultPlan;
 use netaware_obs::{Counter, Gauge, HistogramMetric, Level, Obs};
-use netaware_sim::{DetRng, Scheduler, SimTime};
+use netaware_sim::{DetRng, LinkFaults, PacketFate, SimTime};
 use netaware_trace::{MemorySink, ProbeTrace, RecordSink, TraceError, TraceSet};
-use state::{Event, ExtDynamic, PeerMeta, ProbeState};
-use std::collections::BTreeMap;
+use state::{ExtDynamic, PeerMeta, ProbeState};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Experiment-level configuration of one swarm run.
 #[derive(Clone, Debug)]
@@ -97,8 +113,11 @@ impl SwarmMetrics {
     }
 }
 
-/// A fully wired simulation, ready to run.
-pub struct Swarm<'a> {
+/// Everything the behaviours share: peer tables, per-probe state
+/// slices, trace capture, observability, and the fault substrate (link
+/// impairment machines and the offline set — the *consequences* of
+/// churn; the churn *process* lives in the churn-recovery behaviour).
+pub(crate) struct SwarmCore<'a> {
     pub(crate) cfg: SwarmConfig,
     pub(crate) env: NetworkEnv<'a>,
     /// Index 0 is the source, `1..=n_probes` the probes, the rest
@@ -111,17 +130,63 @@ pub struct Swarm<'a> {
     pub(crate) traces: Vec<ProbeTrace>,
     pub(crate) rng: DetRng,
     pub(crate) report: SwarmReport,
-    /// Alias buckets for discovery sampling: same-AS shortlists per probe
-    /// plus the global bandwidth-weighted candidate list.
-    pub(crate) discovery: state::DiscoveryTables,
     /// Observability handle; events it emits are keyed by sim time, so
     /// they ride the same determinism contract as the traces.
     pub(crate) obs: Obs,
     /// Pre-registered metric handles derived from `obs`.
     pub(crate) m: SwarmMetrics,
-    /// Compiled fault-injection state; `None` (the default) means no
-    /// fault machinery runs and no fault stream is ever consulted.
-    pub(crate) faults: Option<faults::FaultRuntime>,
+    /// One impairment machine per probe access link (empty without link
+    /// faults, so fault-free runs draw no link fates).
+    pub(crate) links: Vec<LinkFaults>,
+    /// Externals currently offline (written by churn recovery, read by
+    /// discovery and scheduling).
+    pub(crate) offline: BTreeSet<PeerId>,
+}
+
+impl SwarmCore<'_> {
+    pub(crate) fn is_probe(&self, id: PeerId) -> bool {
+        self.peers[id.0 as usize].role == PeerRole::Probe
+    }
+
+    pub(crate) fn probe_index(&self, id: PeerId) -> Option<usize> {
+        self.is_probe(id).then(|| id.0 as usize - 1)
+    }
+
+    /// Fate of one packet crossing probe `idx`'s access link at `at_us`.
+    /// Without link faults every packet passes undelayed, and no RNG is
+    /// consulted.
+    pub(crate) fn link_fate(&mut self, idx: usize, at_us: u64) -> PacketFate {
+        if self.links.is_empty() {
+            return PacketFate::Pass { extra_delay_us: 0 };
+        }
+        let fate = self.links[idx].packet_fate(at_us);
+        if fate.is_dropped() {
+            self.report.packets_dropped += 1;
+            self.m.packets_dropped.inc();
+        }
+        fate
+    }
+
+    /// Whether `id` is currently offline (churned away).
+    pub(crate) fn is_offline(&self, id: PeerId) -> bool {
+        self.offline.contains(&id)
+    }
+
+    /// All external peers, in id order (the churn process's population).
+    pub(crate) fn external_ids(&self) -> Vec<PeerId> {
+        self.peers
+            .iter()
+            .filter(|p| p.role == PeerRole::External)
+            .map(|p| p.id)
+            .collect()
+    }
+}
+
+/// A fully wired simulation, ready to run: the shared core plus the
+/// behaviour stack that *is* the protocol.
+pub struct Swarm<'a> {
+    pub(crate) core: SwarmCore<'a>,
+    pub(crate) stack: BehaviourStack,
 }
 
 impl<'a> Swarm<'a> {
@@ -132,28 +197,64 @@ impl<'a> Swarm<'a> {
 
     /// Number of probe vantage points.
     pub fn n_probes(&self) -> usize {
-        self.n_probes
+        self.core.n_probes
     }
 
-    /// Attaches an observability handle: protocol events (`swarm.*`
-    /// targets) and `proto.*` metrics flow into it from here on. The
-    /// default handle is disabled, making all instrumentation no-ops.
+    /// Attaches an observability handle: protocol events
+    /// (`swarm.<behaviour>.*` targets) and `proto.*` metrics flow into
+    /// it from here on. The default handle is disabled, making all
+    /// instrumentation no-ops.
     pub fn set_obs(&mut self, obs: Obs) {
-        self.m = SwarmMetrics::register(&obs);
-        self.obs = obs;
+        self.core.m = SwarmMetrics::register(&obs);
+        self.core.obs = obs;
     }
 
     /// Attaches a fault-injection plan. A no-op plan (the default)
     /// installs nothing: the run stays byte-identical to one on a swarm
     /// that never heard of faults. Fault draws ride dedicated RNG
     /// streams, so attaching a plan never perturbs protocol streams.
+    /// The pieces land where they are consumed: link machines and the
+    /// offline set in the core, the churn process in the churn-recovery
+    /// behaviour, tracker outages in the discovery behaviour.
     pub fn set_faults(&mut self, plan: &FaultPlan) {
-        self.faults = faults::FaultRuntime::new(plan, self.cfg.seed, self.n_probes);
+        let seed = self.core.cfg.seed;
+        self.core.offline.clear();
+        if plan.is_noop() {
+            self.core.links = Vec::new();
+            self.stack.recovery.set_churn(None, seed);
+            self.stack.discovery.outages = Vec::new();
+            return;
+        }
+        self.core.links = if plan.link.is_noop() {
+            Vec::new()
+        } else {
+            (0..self.core.n_probes)
+                .map(|i| {
+                    LinkFaults::new(
+                        plan.link.params(),
+                        DetRng::substream(seed, "fault.link", i as u64),
+                    )
+                })
+                .collect()
+        };
+        self.stack.recovery.set_churn(plan.churn.clone(), seed);
+        self.stack.discovery.outages = plan
+            .churn
+            .as_ref()
+            .map(|c| c.tracker_outages.clone())
+            .unwrap_or_default();
     }
 
     /// The peer table (source, probes, externals).
     pub fn peers(&self) -> &[PeerInfo] {
-        &self.peers
+        &self.core.peers
+    }
+
+    /// Appends a custom [`Behaviour`] to the stack. It runs after the
+    /// built-in behaviours on every event, in push order — no dispatcher
+    /// or state-core change needed.
+    pub fn push_behaviour(&mut self, behaviour: Box<dyn Behaviour>) {
+        self.stack.push(behaviour);
     }
 
     /// Runs the experiment and returns the captured traces plus the
@@ -175,113 +276,77 @@ impl<'a> Swarm<'a> {
         mut sink: S,
     ) -> Result<(S::Output, SwarmReport), TraceError> {
         self.execute();
-        for mut trace in std::mem::take(&mut self.traces) {
+        for mut trace in std::mem::take(&mut self.core.traces) {
             trace.finalize();
             sink.sink_probe(trace)?;
         }
-        let out = sink.finish(&self.cfg.profile.name, self.cfg.duration_us)?;
-        Ok((out, self.report))
+        let out = sink.finish(&self.core.cfg.profile.name, self.core.cfg.duration_us)?;
+        Ok((out, self.core.report))
     }
 
-    /// The event loop: schedules the initial processes, dispatches until
-    /// the horizon, and fills the ground-truth report. Captured records
-    /// accumulate in `self.traces`, unsorted (transfers push
-    /// future-timestamped receiver records).
+    /// Runs the dispatcher's event loop and fills the ground-truth
+    /// report. Captured records accumulate in `core.traces`, unsorted
+    /// (transfers push future-timestamped receiver records).
     fn execute(&mut self) {
-        let mut sched: Scheduler<Event> = Scheduler::new();
-        let horizon = SimTime::from_us(self.cfg.duration_us);
+        let horizon = SimTime::from_us(self.core.cfg.duration_us);
         netaware_obs::event!(
-            self.obs,
+            self.core.obs,
             Level::Info,
             "swarm.run",
             SimTime::ZERO,
-            "app" = self.cfg.profile.name.as_str(),
-            "probes" = self.n_probes,
-            "peers" = self.peers.len(),
-            "duration_us" = self.cfg.duration_us,
+            "app" = self.core.cfg.profile.name.as_str(),
+            "probes" = self.core.n_probes,
+            "peers" = self.core.peers.len(),
+            "duration_us" = self.core.cfg.duration_us,
         );
 
-        // Stagger initial ticks across one tick interval so probes do not
-        // act in lockstep.
-        let tick = self.cfg.profile.tick_us;
-        for p in 0..self.n_probes {
-            let offset = self.rng.range(0..tick.max(1));
-            sched.push(SimTime::from_us(offset), Event::Tick(p as u32));
-            // Demand and halo processes start once the stream exists.
-            let warmup = self.cfg.stream.chunk_interval_us()
-                * (self.cfg.profile.buffer_delay_chunks as u64 + 2);
-            let d0 = warmup + self.rng.range(0..1_000_000);
-            sched.push(SimTime::from_us(d0), Event::Demand(p as u32));
-            if self.cfg.profile.halo_contacts_per_sec > 0.0 {
-                let h0 = self.rng.range(0..2_000_000);
-                sched.push(SimTime::from_us(h0), Event::Halo(p as u32));
-            }
-        }
-        // Churn processes (no-op without a fault plan): every external
-        // gets its first departure or arrival scheduled.
-        self.init_churn(&mut sched);
+        let Swarm { core, stack } = self;
+        dispatch::run(core, stack, horizon);
 
-        loop {
-            match sched.peek_time() {
-                Some(t) if t <= horizon => {}
-                _ => break,
-            }
-            let Some((now, ev)) = sched.pop() else { break };
-            self.handle(&mut sched, now, ev);
-        }
-        self.report.events_dispatched = sched.dispatched();
         let mut min_permille: i64 = 1000;
-        for (i, s) in self.probe_states.iter().enumerate() {
-            self.report.chunks_delivered += s.delivered;
-            self.report.chunks_lost += s.lost;
-            let total = s.delivered + s.lost;
+        for (i, s) in core.probe_states.iter().enumerate() {
+            core.report.chunks_delivered += s.sched.delivered;
+            core.report.chunks_lost += s.sched.lost;
+            let total = s.sched.delivered + s.sched.lost;
             let continuity = if total == 0 {
                 1.0
             } else {
-                s.delivered as f64 / total as f64
+                s.sched.delivered as f64 / total as f64
             };
             // Surface the per-probe continuity index (graceful-degradation
             // signal under faults) through the obs layer: stored as
             // permille so the integer metrics pipeline carries it intact.
             let permille = (continuity * 1000.0).round() as u64;
             min_permille = min_permille.min(permille as i64);
-            self.m.continuity_permille.record(permille as usize);
+            core.m.continuity_permille.record(permille as usize);
             netaware_obs::event!(
-                self.obs,
+                core.obs,
                 Level::Info,
                 "swarm.continuity",
                 horizon,
                 "probe" = i,
                 "permille" = permille,
-                "delivered" = s.delivered,
-                "lost" = s.lost,
+                "delivered" = s.sched.delivered,
+                "lost" = s.sched.lost,
             );
-            self.report.per_probe.push(report::ProbePerf {
-                probe: self.meta[1 + i].ip,
-                delivered: s.delivered,
-                lost: s.lost,
+            core.report.per_probe.push(report::ProbePerf {
+                probe: core.meta[1 + i].ip,
+                delivered: s.sched.delivered,
+                lost: s.sched.lost,
                 continuity,
             });
         }
-        self.m.continuity_min_permille.set(min_permille);
+        core.m.continuity_min_permille.set(min_permille);
         netaware_obs::event!(
-            self.obs,
+            core.obs,
             Level::Info,
             "swarm.done",
             horizon,
-            "delivered" = self.report.chunks_delivered,
-            "lost" = self.report.chunks_lost,
-            "refused" = self.report.chunks_refused,
-            "events" = self.report.events_dispatched,
+            "delivered" = core.report.chunks_delivered,
+            "lost" = core.report.chunks_lost,
+            "refused" = core.report.chunks_refused,
+            "events" = core.report.events_dispatched,
         );
-    }
-
-    pub(crate) fn is_probe(&self, id: PeerId) -> bool {
-        self.peers[id.0 as usize].role == PeerRole::Probe
-    }
-
-    pub(crate) fn probe_index(&self, id: PeerId) -> Option<usize> {
-        self.is_probe(id).then(|| id.0 as usize - 1)
     }
 }
 

@@ -1,6 +1,16 @@
 //! Swarm state: peer tables, probe protocol state, discovery tables.
+//!
+//! [`ProbeState`] is sliced by concern: each behaviour module primarily
+//! owns one slice ([`DiscoveryState`], [`SchedulingState`],
+//! [`RecoveryState`], plus the transfer machinery's [`LinkState`]),
+//! while the probe's private RNG stays shared — every concern draws
+//! from the *same* per-probe decision stream, in dispatch order, which
+//! is part of the byte-identity contract. Cross-slice touches exist
+//! where the protocol genuinely couples concerns (scheduling writes
+//! retry counters; recovery frees scheduling's pending slots) and are
+//! documented at the call sites.
 
-use super::{Swarm, SwarmConfig, SwarmReport};
+use super::{Swarm, SwarmConfig, SwarmCore, SwarmReport};
 use crate::chunk::{BufferMap, ChunkId};
 use crate::peer::{PeerId, PeerInfo, PeerRole};
 use netaware_net::{
@@ -106,10 +116,8 @@ pub struct ModemState {
     pub count: u32,
 }
 
-/// Full protocol state of one probe.
-pub struct ProbeState {
-    /// Chunks held in the playout buffer.
-    pub bufmap: BufferMap,
+/// Access-link state of one probe, owned by the transfer machinery.
+pub struct LinkState {
     /// Upload access-link queue.
     pub uplink: AccessSerializer,
     /// Download access-link queue.
@@ -118,36 +126,63 @@ pub struct ProbeState {
     pub modem: Option<ModemState>,
     /// Last downlink delivery per providing flow (per-flow pacing).
     pub last_rx_from: BTreeMap<PeerId, netaware_sim::SimTime>,
+}
+
+/// The discovery behaviour's slice of one probe's state.
+pub struct DiscoveryState {
+    /// Current neighbor table.
+    pub neighbors: Vec<Neighbor>,
+    /// Per-probe halo contact rate, Hz.
+    pub halo_rate_hz: f64,
+}
+
+/// The scheduling behaviour's slice of one probe's state.
+pub struct SchedulingState {
+    /// Chunks held in the playout buffer.
+    pub bufmap: BufferMap,
     /// How far behind the stream head this probe fetches, in chunks.
     /// Peers joining a live channel sit at different playout positions;
     /// the spread is what lets earlier peers serve later ones.
     pub fetch_lag_chunks: u32,
-    /// Current neighbor table.
-    pub neighbors: Vec<Neighbor>,
     /// Upstream estimate per remote, learned from chunk deliveries.
     pub est_bps: BTreeMap<PeerId, u64>,
     /// Most recent successful provider (download stickiness).
     pub last_provider: Option<PeerId>,
     /// In-flight chunk requests.
     pub pending: Vec<Pending>,
+    /// Requesters recently served (upload stickiness pool).
+    pub active_requesters: Vec<PeerId>,
+    /// Aggregate external demand rate on this probe, Hz.
+    pub demand_rate_hz: f64,
+    /// Chunks lost to playout deadline.
+    pub lost: u64,
+    /// Chunks successfully received.
+    pub delivered: u64,
+}
+
+/// The churn-recovery behaviour's slice of one probe's state.
+pub struct RecoveryState {
     /// Chunks to re-request promptly: their provider departed while the
     /// request was in flight (churn recovery path).
     pub requeue: Vec<ChunkId>,
     /// Request attempts per missing chunk, for exponential timeout
     /// backoff; pruned as the playout base advances.
     pub attempts: BTreeMap<ChunkId, u32>,
-    /// Requesters recently served (upload stickiness pool).
-    pub active_requesters: Vec<PeerId>,
-    /// Aggregate external demand rate on this probe, Hz.
-    pub demand_rate_hz: f64,
-    /// Per-probe halo contact rate, Hz.
-    pub halo_rate_hz: f64,
-    /// This probe's private decision stream.
+}
+
+/// Full protocol state of one probe, sliced by owning concern.
+pub struct ProbeState {
+    /// Access-link state (transfer machinery).
+    pub link: LinkState,
+    /// Discovery behaviour's slice.
+    pub disc: DiscoveryState,
+    /// Scheduling behaviour's slice.
+    pub sched: SchedulingState,
+    /// Churn-recovery behaviour's slice.
+    pub rec: RecoveryState,
+    /// This probe's private decision stream, shared by all concerns in
+    /// dispatch order (draw order is part of the determinism contract).
     pub rng: DetRng,
-    /// Chunks lost to playout deadline.
-    pub lost: u64,
-    /// Chunks successfully received.
-    pub delivered: u64,
 }
 
 /// Discovery sampling structures shared by all probes.
@@ -379,30 +414,46 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
         let halo_jitter = 0.6 + 0.8 * hash::unit(cfg.seed ^ (i as u64) << 7 ^ 0x4A10);
         let stagger = ((i as u32) * 5) % 12;
         probe_states.push(ProbeState {
-            bufmap: BufferMap::new(),
-            uplink: AccessSerializer::new(m.up_bps.max(1)),
-            downlink: AccessSerializer::new(m.down_bps.max(1)),
-            modem: (m.down_bps < 15_000_000).then(ModemState::default),
-            last_rx_from: BTreeMap::new(),
-            fetch_lag_chunks: stagger,
-            neighbors,
-            est_bps: BTreeMap::new(),
-            last_provider: None,
-            pending: Vec::new(),
-            requeue: Vec::new(),
-            attempts: BTreeMap::new(),
-            active_requesters: Vec::new(),
-            demand_rate_hz: demand_hz,
-            halo_rate_hz: cfg.profile.halo_contacts_per_sec * halo_jitter,
+            link: LinkState {
+                uplink: AccessSerializer::new(m.up_bps.max(1)),
+                downlink: AccessSerializer::new(m.down_bps.max(1)),
+                modem: (m.down_bps < 15_000_000).then(ModemState::default),
+                last_rx_from: BTreeMap::new(),
+            },
+            disc: DiscoveryState {
+                neighbors,
+                halo_rate_hz: cfg.profile.halo_contacts_per_sec * halo_jitter,
+            },
+            sched: SchedulingState {
+                bufmap: BufferMap::new(),
+                fetch_lag_chunks: stagger,
+                est_bps: BTreeMap::new(),
+                last_provider: None,
+                pending: Vec::new(),
+                active_requesters: Vec::new(),
+                demand_rate_hz: demand_hz,
+                lost: 0,
+                delivered: 0,
+            },
+            rec: RecoveryState {
+                requeue: Vec::new(),
+                attempts: BTreeMap::new(),
+            },
             rng: prng,
-            lost: 0,
-            delivered: 0,
         });
         traces.push(ProbeTrace::new(m.ip));
     }
 
-    // Tracker bootstrap: hand each probe its initial external neighbors.
-    let mut swarm = Swarm {
+    // The profile *is* the behaviour composition: build the stack from
+    // it, then install the discovery tables the sampler needs.
+    let mut stack = cfg.profile.stack();
+    stack.discovery.tables = DiscoveryTables {
+        ext_ids,
+        cum_weights,
+        by_as,
+    };
+
+    let mut core = SwarmCore {
         cfg,
         env,
         peers,
@@ -413,20 +464,28 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
         traces,
         rng,
         report: SwarmReport::default(),
-        discovery: DiscoveryTables {
-            ext_ids,
-            cum_weights,
-            by_as,
-        },
         obs: netaware_obs::Obs::default(),
         m: super::SwarmMetrics::default(),
-        faults: None,
+        links: Vec::new(),
+        offline: std::collections::BTreeSet::new(),
     };
+
+    // Tracker bootstrap: hand each probe its initial external neighbors
+    // through the discovery behaviour (no scheduler exists yet — the
+    // handshake emits no events, so the scratch queue stays empty).
+    let mut actions = super::behaviour::Actions::default();
     for i in 0..n_probes {
-        let want = swarm.cfg.profile.init_neighbors;
+        let want = stack.discovery.init_neighbors;
         for _ in 0..want {
-            super::handlers::try_discover_neighbor(&mut swarm, i, 0);
+            let mut ctx = super::behaviour::Ctx {
+                core: &mut core,
+                actions: &mut actions,
+                now: netaware_sim::SimTime::ZERO,
+            };
+            stack.discovery.try_discover(&mut ctx, i, 0);
         }
     }
-    swarm
+    debug_assert!(actions.queue.is_empty());
+
+    Swarm { core, stack }
 }

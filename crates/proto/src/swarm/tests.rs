@@ -337,19 +337,19 @@ fn deliver_to_probe_paces_per_flow() {
 
     // Flow a: two packets arriving "simultaneously" must be spaced by
     // the downlink tx time (probe 0 is a LAN probe: 100 µs for 1250 B).
-    let d1 = swarm.deliver_to_probe(0, a, t0, 1250);
-    let d2 = swarm.deliver_to_probe(0, a, t0, 1250);
+    let d1 = swarm.core.deliver_to_probe(0, a, t0, 1250);
+    let d2 = swarm.core.deliver_to_probe(0, a, t0, 1250);
     assert_eq!(d2 - d1, 100);
 
     // A different flow is NOT paced against flow a, even if its packet
     // arrives at the same instant.
-    let d3 = swarm.deliver_to_probe(0, b, t0, 1250);
+    let d3 = swarm.core.deliver_to_probe(0, b, t0, 1250);
     assert_eq!(d3, t0);
 
     // A far-future arrival on flow b must not delay later flow-a packets.
     let far = netaware_sim::SimTime::from_secs(500);
-    let _ = swarm.deliver_to_probe(0, b, far, 1250);
-    let d4 = swarm.deliver_to_probe(0, a, t0 + 10_000, 1250);
+    let _ = swarm.core.deliver_to_probe(0, b, far, 1250);
+    let d4 = swarm.core.deliver_to_probe(0, a, t0 + 10_000, 1250);
     assert!(d4 < netaware_sim::SimTime::from_secs(1), "poisoned by foreign flow: {d4:?}");
 }
 
@@ -369,15 +369,15 @@ fn modem_probe_coalesces_bursts() {
     };
     let mut swarm = Swarm::new(cfg, env, setup);
     // Probe 3 is the DSL home probe (6 Mb/s down): it has a modem.
-    assert!(swarm.probe_states[3].modem.is_some());
-    assert!(swarm.probe_states[0].modem.is_none());
+    assert!(swarm.core.probe_states[3].link.modem.is_some());
+    assert!(swarm.core.probe_states[0].link.modem.is_none());
     let a = crate::peer::PeerId(50);
     let t0 = netaware_sim::SimTime::from_ms(100);
     // Packets paced at the 6 Mb/s drain (1.67 ms apart) mostly land in
     // the same 10 ms interleave bucket and are delivered 100 µs apart;
     // a train of 6 is guaranteed to contain at least one such pair.
     let deliveries: Vec<_> = (0..6)
-        .map(|_| swarm.deliver_to_probe(3, a, t0, 1250))
+        .map(|_| swarm.core.deliver_to_probe(3, a, t0, 1250))
         .collect();
     let min_gap = deliveries
         .windows(2)
@@ -529,33 +529,45 @@ fn departed_provider_pending_requests_move_to_requeue() {
 
     // Pick an external neighbor of probe 0 (peers: source, 4 probes,
     // then externals — so any neighbor with id >= 5 is external).
-    let provider = swarm.probe_states[0]
+    let provider = swarm.core.probe_states[0]
+        .disc
         .neighbors
         .iter()
         .map(|n| n.id)
         .find(|id| id.0 >= 5)
         .expect("bootstrap gave probe 0 an external neighbor");
     let chunk = ChunkId(123);
-    swarm.probe_states[0].pending.push(state::Pending {
+    swarm.core.probe_states[0].sched.pending.push(state::Pending {
         chunk,
         provider,
         deadline_us: 10_000_000,
     });
-    let neighbors_before = swarm.probe_states[0].neighbors.len();
+    let neighbors_before = swarm.core.probe_states[0].disc.neighbors.len();
 
     let mut sched = netaware_sim::Scheduler::new();
-    swarm.on_depart(&mut sched, netaware_sim::SimTime::from_ms(100), provider);
+    let mut actions = behaviour::Actions::default();
+    {
+        let Swarm { core, stack } = &mut swarm;
+        dispatch::deliver(
+            core,
+            stack,
+            &mut sched,
+            &mut actions,
+            netaware_sim::SimTime::from_ms(100),
+            Event::Depart(provider),
+        );
+    }
 
-    let s = &swarm.probe_states[0];
+    let s = &swarm.core.probe_states[0];
     assert!(
-        s.pending.iter().all(|p| p.provider != provider),
+        s.sched.pending.iter().all(|p| p.provider != provider),
         "request still pending on a departed peer"
     );
-    assert_eq!(s.requeue, vec![chunk], "chunk must be promptly re-queued");
-    assert_eq!(s.neighbors.len(), neighbors_before - 1, "departed peer must be evicted");
-    assert!(s.neighbors.iter().all(|n| n.id != provider));
-    assert_eq!(swarm.report.requests_requeued, 1);
-    assert_eq!(swarm.report.peers_departed, 1);
+    assert_eq!(s.rec.requeue, vec![chunk], "chunk must be promptly re-queued");
+    assert_eq!(s.disc.neighbors.len(), neighbors_before - 1, "departed peer must be evicted");
+    assert!(s.disc.neighbors.iter().all(|n| n.id != provider));
+    assert_eq!(swarm.core.report.requests_requeued, 1);
+    assert_eq!(swarm.core.report.peers_departed, 1);
     // The departed peer's return trip is scheduled.
     assert!(!sched.is_empty());
 }
@@ -582,6 +594,175 @@ fn churned_swarm_recovers_and_reports() {
         "continuity collapsed: {}",
         report.continuity()
     );
+}
+
+// ---------- per-behaviour units (hand-built Ctx, no dispatcher) ----------
+
+#[test]
+fn discovery_tick_evicts_expired_neighbors() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(31),
+        latency: LatencyModel::new(31),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 31), env, mini_setup(40));
+    // Age out one external neighbor entry.
+    swarm.core.probe_states[0]
+        .disc
+        .neighbors
+        .iter_mut()
+        .find(|n| n.id.0 >= 5)
+        .expect("bootstrap gave probe 0 an external neighbor")
+        .expires_us = 1;
+    let now = netaware_sim::SimTime::from_secs(10);
+    let mut actions = behaviour::Actions::default();
+    {
+        let Swarm { core, stack } = &mut swarm;
+        let mut ctx = behaviour::Ctx {
+            core,
+            actions: &mut actions,
+            now,
+        };
+        stack.discovery.on_tick(&mut ctx, 0);
+    }
+    let s = &swarm.core.probe_states[0];
+    assert!(
+        s.disc.neighbors.iter().all(|n| n.expires_us > now.as_us()),
+        "expired entry survived the tick"
+    );
+    assert!(actions.queue.is_empty(), "discovery tick must not emit actions");
+}
+
+#[test]
+fn recovery_tick_times_out_overdue_requests() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(32),
+        latency: LatencyModel::new(32),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 32), env, mini_setup(20));
+    let provider = crate::peer::PeerId(6);
+    swarm.core.probe_states[0].sched.pending.push(state::Pending {
+        chunk: ChunkId(9),
+        provider,
+        deadline_us: 5_000,
+    });
+    let mut actions = behaviour::Actions::default();
+    {
+        let Swarm { core, stack } = &mut swarm;
+        let mut ctx = behaviour::Ctx {
+            core,
+            actions: &mut actions,
+            now: netaware_sim::SimTime::from_secs(1),
+        };
+        stack.recovery.on_tick(&mut ctx, 0);
+    }
+    let s = &swarm.core.probe_states[0];
+    assert!(s.sched.pending.is_empty(), "overdue request survived");
+    let est = s
+        .sched
+        .est_bps
+        .get(&provider)
+        .copied()
+        .expect("timed-out provider must get a punitive estimate");
+    assert!(est <= 200_000, "punitive estimate too generous: {est}");
+}
+
+#[test]
+fn scheduling_delivery_fills_buffer_once() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(33),
+        latency: LatencyModel::new(33),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 33), env, mini_setup(20));
+    let (to, from, chunk) = (crate::peer::PeerId(1), crate::peer::PeerId(0), ChunkId(5));
+    let mut actions = behaviour::Actions::default();
+    for _ in 0..2 {
+        let Swarm { core, stack } = &mut swarm;
+        let mut ctx = behaviour::Ctx {
+            core,
+            actions: &mut actions,
+            now: netaware_sim::SimTime::from_ms(500),
+        };
+        stack.scheduling.on_delivered(&mut ctx, to, from, chunk, 500_000);
+    }
+    let s = &swarm.core.probe_states[0];
+    assert!(s.sched.bufmap.contains(chunk));
+    assert_eq!(s.sched.delivered, 1, "duplicate delivery double-counted");
+    assert_eq!(s.sched.est_bps.get(&from), Some(&500_000));
+    assert_eq!(s.sched.last_provider, Some(from));
+}
+
+#[test]
+fn announce_tick_emits_buffer_maps() {
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(34),
+        latency: LatencyModel::new(34),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 34), env, mini_setup(40));
+    let before = swarm.core.report.signal_packets;
+    let mut actions = behaviour::Actions::default();
+    {
+        let Swarm { core, stack } = &mut swarm;
+        let mut ctx = behaviour::Ctx {
+            core,
+            actions: &mut actions,
+            now: netaware_sim::SimTime::from_secs(1),
+        };
+        stack.announce.on_tick(&mut ctx, 0);
+    }
+    assert!(
+        swarm.core.report.signal_packets > before,
+        "announce tick emitted no signalling"
+    );
+}
+
+/// The dispatcher must run custom behaviours (after the built-ins) on
+/// every event, without any dispatcher or state-core change.
+#[test]
+fn dispatcher_runs_custom_behaviours() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct TickSpy {
+        ticks: Rc<Cell<u64>>,
+    }
+    impl Behaviour for TickSpy {
+        fn on_tick(&mut self, _ctx: &mut Ctx<'_, '_>, _i: usize) {
+            self.ticks.set(self.ticks.get() + 1);
+        }
+    }
+
+    let reg = mini_registry();
+    let env = NetworkEnv {
+        registry: &reg,
+        paths: PathModel::new(35),
+        latency: LatencyModel::new(35),
+    };
+    let mut swarm = Swarm::new(mini_cfg(1, 35), env, mini_setup(20));
+    let ticks = Rc::new(Cell::new(0));
+    swarm.push_behaviour(Box::new(TickSpy { ticks: ticks.clone() }));
+
+    let mut sched = netaware_sim::Scheduler::new();
+    let mut actions = behaviour::Actions::default();
+    {
+        let Swarm { core, stack } = &mut swarm;
+        dispatch::deliver(
+            core,
+            stack,
+            &mut sched,
+            &mut actions,
+            netaware_sim::SimTime::from_ms(100),
+            Event::Tick(0),
+        );
+    }
+    assert_eq!(ticks.get(), 1, "custom behaviour hook not dispatched");
 }
 
 /// Attaching the no-op plan must leave the run byte-identical to never

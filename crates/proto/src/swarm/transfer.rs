@@ -8,12 +8,13 @@
 //! a probe records genuinely encode the path bottleneck, which is the
 //! signal the analysis' BW classifier extracts.
 
+use super::behaviour::{Actions, BehaviourAction};
 use super::state::{Event, ExtDynamic};
-use super::Swarm;
+use super::SwarmCore;
 use crate::message::Signal;
 use crate::peer::PeerId;
 use netaware_net::{ttl_at_receiver, DEFAULT_TTL};
-use netaware_sim::{AccessSerializer, PacketFate, Scheduler, SimTime};
+use netaware_sim::{AccessSerializer, PacketFate, SimTime};
 use netaware_trace::{PacketRecord, PayloadKind};
 
 /// ADSL interleave window: packets draining within the same window reach
@@ -25,7 +26,7 @@ const MODEM_BURST_GAP_US: u64 = 100;
 /// queue bound of real clients).
 const EXT_BACKLOG_CAP_US: u64 = 2_000_000;
 
-impl Swarm<'_> {
+impl SwarmCore<'_> {
     /// Delivers a packet through a probe's downlink.
     ///
     /// The downlink paces each *flow* at its bottleneck: a packet from
@@ -48,14 +49,15 @@ impl Swarm<'_> {
         size: u32,
     ) -> SimTime {
         let s = &mut self.probe_states[probe_idx];
-        let tx = s.downlink.tx_time_us(size);
+        let tx = s.link.downlink.tx_time_us(size);
         let floor = s
+            .link
             .last_rx_from
             .get(&from)
             .map_or(SimTime::ZERO, |&t| t + tx);
         let drain = reach.max(floor);
-        s.last_rx_from.insert(from, drain);
-        let Some(m) = &mut s.modem else {
+        s.link.last_rx_from.insert(from, drain);
+        let Some(m) = &mut s.link.modem else {
             return drain;
         };
         let bucket = drain.as_us().div_ceil(MODEM_BUCKET_US);
@@ -152,7 +154,7 @@ impl Swarm<'_> {
     /// probe too) captures RX records and schedules the delivery event.
     pub(crate) fn probe_serve_chunk(
         &mut self,
-        sched: &mut Scheduler<Event>,
+        actions: &mut Actions,
         now: SimTime,
         provider: PeerId,
         to: PeerId,
@@ -172,7 +174,7 @@ impl Swarm<'_> {
         let mut chunk_ok = true;
         for i in 0..n_pkts {
             let size = stream.packet_size(i) as u16;
-            let dep = self.probe_states[prov_idx].uplink.enqueue(now, size as u32);
+            let dep = self.probe_states[prov_idx].link.uplink.enqueue(now, size as u32);
             self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
             // The packet crosses the provider's access link at `dep` and
             // (when the requester is a probe) the requester's at `reach`;
@@ -210,22 +212,22 @@ impl Swarm<'_> {
         if to_probe_idx.is_some() && chunk_ok {
             let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
             let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
-            sched.push(
-                last_arrival,
-                Event::Delivered {
+            actions.queue.push_back(BehaviourAction::Schedule {
+                at: last_arrival,
+                ev: Event::Delivered {
                     to,
                     from: provider,
                     chunk,
                     est_bps: est,
                 },
-            );
+            });
         }
     }
 
     /// Serves one chunk from an external provider to a probe requester.
     pub(crate) fn external_serve_chunk(
         &mut self,
-        sched: &mut Scheduler<Event>,
+        actions: &mut Actions,
         now: SimTime,
         provider: PeerId,
         to: PeerId,
@@ -310,15 +312,15 @@ impl Swarm<'_> {
 
         let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
         let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
-        sched.push(
-            last_arrival,
-            Event::Delivered {
+        actions.queue.push_back(BehaviourAction::Schedule {
+            at: last_arrival,
+            ev: Event::Delivered {
                 to,
                 from: provider,
                 chunk,
                 est_bps: est,
             },
-        );
+        });
     }
 
     /// Serves one chunk from probe `prov_idx` to an external requester
@@ -332,7 +334,7 @@ impl Swarm<'_> {
         let prov_idx = self.probe_index(provider).expect("provider must be probe"); // netaware-lint: allow(PA01) halo path picks probe providers only
         // Refuse when the uplink backlog is past the cap — the real
         // clients stop accepting requests when saturated.
-        if self.probe_states[prov_idx].uplink.backlog_us(now)
+        if self.probe_states[prov_idx].link.uplink.backlog_us(now)
             > self.cfg.profile.upload_backlog_cap_us
         {
             self.report.chunks_refused += 1;
@@ -342,7 +344,7 @@ impl Swarm<'_> {
         let Some(chunk) = ({
             let s = &mut self.probe_states[prov_idx];
             let pick = s.rng.next_u64() as u32;
-            sample_held(&s.bufmap, pick)
+            sample_held(&s.sched.bufmap, pick)
         }) else {
             self.report.chunks_refused += 1;
             self.m.chunks_refused.inc();
@@ -352,7 +354,7 @@ impl Swarm<'_> {
         let stream = self.cfg.stream;
         for i in 0..stream.packets_per_chunk() {
             let size = stream.packet_size(i) as u16;
-            let dep = self.probe_states[prov_idx].uplink.enqueue(now, size as u32);
+            let dep = self.probe_states[prov_idx].link.uplink.enqueue(now, size as u32);
             self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
         }
         self.report.chunks_served_by_probes += 1;

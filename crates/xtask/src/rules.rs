@@ -40,6 +40,8 @@ pub enum RuleId {
     Doc01,
     /// No `println!`/`eprintln!`/`dbg!` in library crates.
     Ob01,
+    /// No raw `Event` matching or `Scheduler` access outside the dispatcher.
+    Bh01,
 }
 
 /// How severely a rule's findings are treated.
@@ -86,6 +88,7 @@ impl RuleId {
             RuleId::Pa01 => "PA01",
             RuleId::Doc01 => "DOC01",
             RuleId::Ob01 => "OB01",
+            RuleId::Bh01 => "BH01",
         }
     }
 
@@ -95,7 +98,7 @@ impl RuleId {
     }
 
     /// All rules, in catalogue order.
-    pub fn all() -> [RuleId; 11] {
+    pub fn all() -> [RuleId; 12] {
         [
             RuleId::Nd01,
             RuleId::Nd02,
@@ -108,13 +111,16 @@ impl RuleId {
             RuleId::Pa01,
             RuleId::Doc01,
             RuleId::Ob01,
+            RuleId::Bh01,
         ]
     }
 
     /// The rule's default severity. The original catalogue is deny
     /// (the workspace is clean under it); the concurrency/RNG-stream
     /// rules added ahead of the parallel core land warn-first with
-    /// pre-existing findings baselined.
+    /// pre-existing findings baselined. BH01 lands deny directly: it
+    /// shipped together with the behaviour decomposition it guards, so
+    /// there were zero pre-existing findings to baseline.
     pub fn severity(self) -> Severity {
         match self {
             RuleId::Nd05 | RuleId::Cc01 | RuleId::Cc02 | RuleId::Rs01 => Severity::Warn,
@@ -162,13 +168,29 @@ impl RuleId {
                 "no println!/eprintln!/dbg! in library crates; route diagnostics through the \
                  netaware-obs event log so they are filterable, structured, and deterministic"
             }
+            RuleId::Bh01 => {
+                "no raw `Event` pattern-matching or `Scheduler` access in crates/proto outside \
+                 the dispatcher module; behaviours receive decomposed hook arguments and emit \
+                 typed BehaviourActions through Ctx"
+            }
         }
     }
 }
 
 /// Modules sanctioned to hold bare thread/lock primitives (CC01): the
-/// sharded parallel simulation core. Everything else goes through it.
-const CC01_SANCTIONED: &[&str] = &["crates/sim/src/par.rs", "crates/sim/src/par/"];
+/// sharded parallel simulation core, plus the audited observability
+/// modules — each holds exactly one flat `Mutex` (no nested
+/// acquisition, so no lock-order coupling) and everything merge-visible
+/// serialises in `BTreeMap` order, so byte-stable merges cannot be
+/// broken by lock scheduling. Everything else goes through `sim::par`.
+const CC01_SANCTIONED: &[&str] = &[
+    "crates/sim/src/par.rs",
+    "crates/sim/src/par/",
+    "crates/obs/src/clock.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/sink.rs",
+];
 
 /// Modules sanctioned to use relaxed atomic orderings (CC02): the
 /// commutative metrics registry in `crates/obs`, audited to tolerate
@@ -178,6 +200,14 @@ const CC02_SANCTIONED: &[&str] = &["crates/obs/src/metrics.rs"];
 /// The RNG stream registry (RS01): the one module allowed to construct
 /// generators from raw seeds.
 const RS01_REGISTRY: &[&str] = &["crates/sim/src/rng.rs"];
+
+/// The behaviour dispatcher (BH01): the one proto module allowed to hold
+/// the scheduler and destructure raw `Event`s. Behaviour modules see
+/// decomposed hook arguments and return typed actions; matching events
+/// or pushing into the scheduler anywhere else would bypass the fixed
+/// hook order and FIFO action drain that keep same-seed runs
+/// byte-identical (see DESIGN.md, "Behaviour composition").
+const BH01_DISPATCH: &[&str] = &["crates/proto/src/swarm/dispatch.rs"];
 
 fn sanctioned(rel: &str, list: &[&str]) -> bool {
     list.iter()
@@ -207,6 +237,8 @@ pub struct FileScope {
     /// OB01 applies (library crates other than the linter itself, whose
     /// command-line reporting legitimately prints).
     pub ob01: bool,
+    /// BH01 applies (proto behaviour modules, not the dispatcher).
+    pub bh01: bool,
 }
 
 impl FileScope {
@@ -265,6 +297,7 @@ impl FileScope {
             rs01: !is_xtask && !sanctioned(&rel, RS01_REGISTRY),
             library: true,
             ob01: !is_xtask,
+            bh01: crate_name == Some("proto") && !sanctioned(&rel, BH01_DISPATCH),
         })
     }
 }
@@ -408,6 +441,9 @@ fn scan_range(
     }
     if scope.rs01 {
         rs01(code, &paths, &chains, in_drop, out);
+    }
+    if scope.bh01 {
+        bh01(code, lo, hi, out);
     }
     if scope.library {
         for c in &chains {
@@ -782,6 +818,87 @@ fn cc02(code: &[Tok], paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
                     }
                 }
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- BH01
+
+/// Skips one balanced `(…)`/`{…}` payload group starting at `j`, if one
+/// opens there, and returns the index of the first token past it.
+fn bh01_after_payload(code: &[Tok], mut j: usize, hi: usize) -> usize {
+    if !code
+        .get(j)
+        .is_some_and(|t| t.is_punct('(') || t.is_punct('{'))
+    {
+        return j;
+    }
+    let mut depth = 0usize;
+    while j < hi {
+        let t = &code[j];
+        if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct('}') || t.is_punct(']') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Behaviour modules must not see the scheduler or destructure raw
+/// events. Flags any `Scheduler` mention, and any `Event::Variant` in
+/// *pattern* position — after the variant's optional payload group comes
+/// `=>` or `|` (a match arm) or a single `=` (an `if let`/`let`
+/// binding). `Event::…` in expression position (constructing an event
+/// for `Ctx::schedule`) never matches: construction is the sanctioned
+/// way for a behaviour to reach the scheduler.
+fn bh01(code: &[Tok], lo: usize, hi: usize, out: &mut Vec<RawFinding>) {
+    let hi = hi.min(code.len());
+    for i in lo..hi {
+        let t = &code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Scheduler" {
+            out.push(tok_finding(
+                RuleId::Bh01,
+                t,
+                "`Scheduler` handled outside the dispatcher module; emit \
+                 `BehaviourAction::Schedule` through `Ctx::schedule` so the dispatcher's \
+                 FIFO drain keeps same-seed runs byte-identical"
+                    .into(),
+            ));
+            continue;
+        }
+        if t.text != "Event"
+            || !code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            || !code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            || !code.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            continue;
+        }
+        let j = bh01_after_payload(code, i + 4, hi);
+        let pattern_pos = match code.get(j) {
+            Some(n) if n.is_punct('|') => true,
+            // `=>` (arm) or a lone `=` (let binding); `==` compares a
+            // constructed event and is fine.
+            Some(n) if n.is_punct('=') => !code.get(j + 1).is_some_and(|m| m.is_punct('=')),
+            _ => false,
+        };
+        if pattern_pos {
+            out.push(tok_finding(
+                RuleId::Bh01,
+                t,
+                format!(
+                    "matching `Event::{}` outside the dispatcher module; add a `Behaviour` \
+                     hook (or extend one) instead of destructuring raw events",
+                    code[i + 3].text
+                ),
+            ));
         }
     }
 }

@@ -1,0 +1,17 @@
+//! BH01 clean fixture: a behaviour that *constructs* events for the
+//! dispatcher to schedule, without matching them or touching the
+//! scheduler. Construction in expression position must never fire.
+
+/// Reschedules its own halo process through the typed action queue.
+pub fn on_halo(ctx: &mut Ctx, i: u32, now: u64) {
+    ctx.schedule(now + 250_000, Event::Halo(i));
+    ctx.schedule(now + 500_000, super::state::Event::Demand(i));
+}
+
+/// Struct-variant construction is expression position too.
+pub fn requeue(ctx: &mut Ctx, from: PeerId, to: PeerId, chunk: ChunkId) {
+    let ev = Event::Serve { from, to, chunk };
+    ctx.emit(ev);
+    let eq = ev == Event::Serve { from, to, chunk };
+    assert!(eq || !eq);
+}

@@ -1,0 +1,25 @@
+//! BH01 violating fixture: a would-be behaviour module that grabs the
+//! scheduler and destructures raw events instead of using hooks.
+
+/// Pushes straight into the scheduler, bypassing the action drain.
+pub fn leak_scheduler(sched: &mut Scheduler<Event>) {
+    sched.clear();
+}
+
+/// Destructures events a behaviour should receive as hook arguments.
+pub fn peek(ev: &Event) -> u32 {
+    match ev {
+        Event::Tick(i) => *i,
+        Event::Demand(i) | Event::Halo(i) => *i,
+        Event::Serve { from, .. } => from.0,
+        _ => 0,
+    }
+}
+
+/// `if let` is pattern position too.
+pub fn is_tick(ev: Event) -> bool {
+    if let Event::Tick(_) = ev {
+        return true;
+    }
+    false
+}

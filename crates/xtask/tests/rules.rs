@@ -296,6 +296,64 @@ fn ob01_allow_directive_suppresses() {
     ));
 }
 
+// ---- BH01: behaviour-layer discipline -----------------------------------
+
+#[test]
+fn bh01_fixture_flags_scheduler_and_event_patterns() {
+    let diags = lint_as("crates/proto/src/swarm/announce.rs", "bh01_violation.rs");
+    assert_all_rule(&diags, "BH01");
+    assert_eq!(
+        diags.len(),
+        6,
+        "one Scheduler + four match-arm patterns + one if-let"
+    );
+}
+
+#[test]
+fn bh01_fixture_clean_passes() {
+    // Constructing events for Ctx::schedule is the sanctioned idiom.
+    assert_clean(&lint_as(
+        "crates/proto/src/swarm/announce.rs",
+        "bh01_clean.rs",
+    ));
+}
+
+#[test]
+fn bh01_dispatcher_module_is_exempt() {
+    // The dispatcher owns the scheduler and the event match by design.
+    let diags = lint_as("crates/proto/src/swarm/dispatch.rs", "bh01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "BH01"),
+        "BH01 fired in the dispatcher: {diags:?}"
+    );
+}
+
+#[test]
+fn bh01_out_of_scope_outside_proto() {
+    // The sim crate owns the Scheduler type itself.
+    let diags = lint_as("crates/sim/src/fixture.rs", "bh01_violation.rs");
+    assert!(
+        diags.iter().all(|d| d.rule != "BH01"),
+        "BH01 fired outside proto"
+    );
+}
+
+#[test]
+fn bh01_allow_directive_suppresses() {
+    let src = "/// Debug helper.\n\
+               pub fn tick_index(ev: &Event) -> Option<u32> {\n\
+               \x20   // netaware-lint: allow(BH01) read-only introspection for a trace dump\n\
+               \x20   if let Event::Tick(i) = ev {\n\
+               \x20       return Some(*i);\n\
+               \x20   }\n\
+               \x20   None\n\
+               }\n";
+    assert_clean(&netaware_xtask::lint_source(
+        "crates/proto/src/swarm/announce.rs",
+        src,
+    ));
+}
+
 // ---- Escape hatch -------------------------------------------------------
 
 #[test]

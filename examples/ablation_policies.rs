@@ -5,11 +5,18 @@
 //! cargo run --release --example ablation_policies [-- --scale 0.05 --secs 180 --seed 7]
 //! ```
 //!
-//! Each paper application runs twice: once with its native selection
-//! policy and once with every selection decision replaced by
-//! uniform-random (the `*-random` control arm). If the framework is
-//! sound, the native runs show the paper's biases and the uniform runs
-//! show none — on the *same* testbed, population, and traffic volumes.
+//! Each paper application runs twice: once with its native behaviour
+//! stack and once with every selection decision replaced by
+//! uniform-random (the `*-random` control arm). An application profile
+//! is just a parameterisation of the behaviour stack
+//! (`AppProfile::stack()` → discovery / announce / churn-recovery /
+//! scheduling modules); `uniform_selection()` keeps the stack shape —
+//! same hooks, same event order, same RNG streams — and neutralises
+//! only the selection weights: the discovery behaviour's BW/AS bias
+//! and the scheduling behaviour's provider-draft and upload policies.
+//! If the framework is sound, the native arms show the
+//! paper's biases and the uniform arms show none — on the *same*
+//! testbed, population, and traffic volumes.
 
 use netaware::testbed::{run_ablation, ExperimentOptions};
 
@@ -67,7 +74,8 @@ fn main() {
     }
     println!(
         "Every 'Collapsed'/'Reduced' verdict above is a bias that exists under the\n\
-         native policy and vanishes under uniform selection on the identical testbed —\n\
-         i.e. a property of the application, not of the population."
+         native behaviour stack and vanishes when its selection weights are\n\
+         neutralised on the identical testbed — i.e. a property of the application's\n\
+         behaviour parameterisation, not of the population."
     );
 }

@@ -105,7 +105,7 @@ fn run_obs_log_and_metrics_roundtrip() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("top targets:"));
-    assert!(s.contains("swarm.chunk_sched"));
+    assert!(s.contains("swarm.scheduling.chunk_sched"));
     assert!(s.contains("chunk-scheduler decisions:"));
 
     // A truncated log (mid-line cut) must fail loudly, not summarize

@@ -177,7 +177,7 @@ fn same_seed_fault_obs_artifacts_are_byte_identical() {
     assert_eq!(metrics_a, metrics_b, "same-seed fault metrics diverged");
     // Churn and continuity must be visible in the artifacts.
     assert!(
-        log_a.contains("\"target\":\"swarm.peer_departed\""),
+        log_a.contains("\"target\":\"swarm.churn.peer_departed\""),
         "no churn events in the log"
     );
     assert!(

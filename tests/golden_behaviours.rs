@@ -1,0 +1,197 @@
+//! Golden-artifact regression pin for the behaviour-layer refactor.
+//!
+//! The behaviour decomposition (DESIGN.md "Behaviour composition")
+//! promised that same-seed runs stay **byte-identical** to the
+//! pre-refactor monolithic handler. These tests pin that promise with
+//! checked-in fingerprints: the corpus bytes, the obs event log, and
+//! the metrics snapshot of all three paper profiles — plan-free and
+//! fault-armed — hashed and compared against constants generated from
+//! the last pre-refactor commit.
+//!
+//! The one sanctioned divergence is the per-behaviour event *naming*
+//! (`swarm.handshake` → `swarm.discovery.handshake`, …): the obs log is
+//! normalised back to the legacy names before hashing, so a rename is
+//! invisible here while any payload/ordering drift still trips the pin.
+//!
+//! To regenerate after an *intentional* trace-affecting change:
+//!
+//! ```text
+//! cargo test --test golden_behaviours -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN` below, saying why in the
+//! commit message.
+
+use netaware::analysis::AnalysisConfig;
+use netaware::obs::RingSink;
+use netaware::testbed::{run_experiment, ExperimentOptions};
+use netaware::trace::write_trace;
+use netaware::{AppProfile, FaultPlan, Obs};
+use std::sync::Arc;
+
+/// Behaviour-scoped target → legacy (pre-refactor) target. Applied to
+/// the obs log before hashing; corpus and metrics compare raw.
+const RENAMES: &[(&str, &str)] = &[
+    ("swarm.discovery.handshake", "swarm.handshake"),
+    ("swarm.scheduling.chunk_sched", "swarm.chunk_sched"),
+    ("swarm.scheduling.chunk_expired", "swarm.chunk_expired"),
+    ("swarm.scheduling.serve_refused", "swarm.serve_refused"),
+    ("swarm.churn.peer_departed", "swarm.peer_departed"),
+    ("swarm.churn.peer_arrived", "swarm.peer_arrived"),
+    ("swarm.churn.requests_requeued", "swarm.requests_requeued"),
+];
+
+fn normalize(log: &str) -> String {
+    let mut out = log.to_string();
+    for (new, old) in RENAMES {
+        out = out.replace(
+            &format!("\"target\":\"{new}\""),
+            &format!("\"target\":\"{old}\""),
+        );
+    }
+    out
+}
+
+/// FNV-1a 64-bit: dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn options(faults: FaultPlan, obs: Obs) -> ExperimentOptions {
+    ExperimentOptions {
+        seed: 777,
+        scale: 0.02,
+        duration_us: 20_000_000,
+        analysis: AnalysisConfig::default(),
+        keep_traces: true,
+        obs,
+        faults,
+    }
+}
+
+/// One observed run → (corpus hash, normalised obs-log hash, metrics hash).
+fn fingerprint(profile: AppProfile, faults: FaultPlan) -> (u64, u64, u64) {
+    let sink = Arc::new(RingSink::new(1 << 22));
+    let obs = Obs::new(sink.clone() as Arc<dyn netaware::obs::EventSink>);
+    let out = run_experiment(profile, &options(faults, obs.clone()));
+    let traces = out.traces.expect("keep_traces is set");
+    let mut corpus = Vec::new();
+    for t in &traces.traces {
+        write_trace(t, &mut corpus).expect("in-memory write");
+    }
+    let log: String = sink
+        .snapshot()
+        .iter()
+        .map(|e| {
+            let mut line = e.to_jsonl();
+            line.push('\n');
+            line
+        })
+        .collect();
+    assert!(log.lines().count() > 50, "suspiciously small event log");
+    let metrics = obs.metrics().expect("obs enabled").to_json();
+    (
+        fnv1a(&corpus),
+        fnv1a(normalize(&log).as_bytes()),
+        fnv1a(metrics.as_bytes()),
+    )
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::from_flags(Some(0.05), Some(2_000), true)
+}
+
+struct Golden {
+    app: &'static str,
+    faulted: bool,
+    corpus: u64,
+    obs_log: u64,
+    metrics: u64,
+}
+
+/// Fingerprints generated from the pre-refactor monolithic
+/// `swarm/handlers.rs` (seed 777, scale 0.02, 20 s).
+const GOLDEN: &[Golden] = &[
+    Golden { app: "PPLive", faulted: false, corpus: 0x2929a6032aff5e61, obs_log: 0x61767a9e8fe39a0f, metrics: 0x319b629598d2b3f7 },
+    Golden { app: "PPLive", faulted: true, corpus: 0x2e1754c6b587fa25, obs_log: 0x34f51cfda370f596, metrics: 0xb888e49489d9d265 },
+    Golden { app: "SopCast", faulted: false, corpus: 0x95a50c86d8fc85cd, obs_log: 0x35567907512025e3, metrics: 0x063ea61e4f7c3aca },
+    Golden { app: "SopCast", faulted: true, corpus: 0x967a3930b290611f, obs_log: 0xee6e7e5739ed9888, metrics: 0xfb070b41755c83db },
+    Golden { app: "TVAnts", faulted: false, corpus: 0x3bec69ff76b09218, obs_log: 0x0ab1fc7589c904f0, metrics: 0x4659b839220e24dc },
+    Golden { app: "TVAnts", faulted: true, corpus: 0x69e128f369097da2, obs_log: 0x45b869d6c2c0d967, metrics: 0x902942dcc41ce49f },
+];
+
+fn profile_by_name(name: &str) -> AppProfile {
+    match name {
+        "PPLive" => AppProfile::pplive(),
+        "SopCast" => AppProfile::sopcast(),
+        "TVAnts" => AppProfile::tvants(),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+fn check(g: &Golden) {
+    let faults = if g.faulted { fault_plan() } else { FaultPlan::none() };
+    let (corpus, obs_log, metrics) = fingerprint(profile_by_name(g.app), faults);
+    assert_eq!(
+        (corpus, obs_log, metrics),
+        (g.corpus, g.obs_log, g.metrics),
+        "{} (faulted={}) diverged from the pre-refactor golden artifacts",
+        g.app,
+        g.faulted
+    );
+}
+
+#[test]
+fn golden_covers_all_paper_profiles_both_ways() {
+    for app in ["PPLive", "SopCast", "TVAnts"] {
+        for faulted in [false, true] {
+            assert!(
+                GOLDEN.iter().any(|g| g.app == app && g.faulted == faulted),
+                "missing golden entry for {app} faulted={faulted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pplive_matches_pre_refactor_golden() {
+    for g in GOLDEN.iter().filter(|g| g.app == "PPLive") {
+        check(g);
+    }
+}
+
+#[test]
+fn sopcast_matches_pre_refactor_golden() {
+    for g in GOLDEN.iter().filter(|g| g.app == "SopCast") {
+        check(g);
+    }
+}
+
+#[test]
+fn tvants_matches_pre_refactor_golden() {
+    for g in GOLDEN.iter().filter(|g| g.app == "TVAnts") {
+        check(g);
+    }
+}
+
+/// Prints the golden table for the current tree. Run with
+/// `--ignored --nocapture` and paste the output over `GOLDEN`.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn print_golden_table() {
+    for app in ["PPLive", "SopCast", "TVAnts"] {
+        for faulted in [false, true] {
+            let faults = if faulted { fault_plan() } else { FaultPlan::none() };
+            let (corpus, obs_log, metrics) = fingerprint(profile_by_name(app), faults);
+            println!(
+                "    Golden {{ app: \"{app}\", faulted: {faulted}, corpus: \
+                 0x{corpus:016x}, obs_log: 0x{obs_log:016x}, metrics: 0x{metrics:016x} }},"
+            );
+        }
+    }
+}
