@@ -98,7 +98,9 @@ pub fn analyze_with_obs(
 ) -> ExperimentAnalysis {
     let outs: Vec<ProbeOutput> = {
         let _sweep = obs.span("analysis.sweep");
-        set.traces
+        let psweep = obs.pspan("analysis.sweep");
+        let outs: Vec<ProbeOutput> = set
+            .traces
             .par_iter()
             .map(|t| {
                 let mut pass = ProbePass::new(t.probe, set.duration_us, cfg);
@@ -107,7 +109,10 @@ pub fn analyze_with_obs(
                 }
                 pass.finish()
             })
-            .collect()
+            .collect();
+        psweep.add_records(outs.iter().map(|o| o.packets as u64).sum());
+        psweep.add_bytes(outs.iter().map(|o| o.bytes).sum());
+        outs
     };
     assemble(
         &set.app,
@@ -155,7 +160,8 @@ pub fn analyze_corpus_with_obs(
     let duration_us = corpus.duration_us();
     let streamed: Vec<Result<ProbeOutput, TraceError>> = {
         let _sweep = obs.span("analysis.sweep");
-        corpus
+        let psweep = obs.pspan("analysis.sweep");
+        let streamed: Vec<Result<ProbeOutput, TraceError>> = corpus
             .probes()
             .par_iter()
             .map(|&probe| {
@@ -165,7 +171,11 @@ pub fn analyze_corpus_with_obs(
                 }
                 Ok(pass.finish())
             })
-            .collect()
+            .collect();
+        let done: Vec<&ProbeOutput> = streamed.iter().filter_map(|r| r.as_ref().ok()).collect();
+        psweep.add_records(done.iter().map(|o| o.packets as u64).sum());
+        psweep.add_bytes(done.iter().map(|o| o.bytes).sum());
+        streamed
     };
     let mut outs = Vec::with_capacity(streamed.len());
     for o in streamed {
@@ -258,6 +268,7 @@ fn assemble(
     obs: &Obs,
 ) -> ExperimentAnalysis {
     let _assemble = obs.span("analysis.assemble");
+    let passemble = obs.pspan("analysis.assemble");
     let records_swept = obs.counter("analysis.records_swept");
     let probes_analyzed = obs.counter("analysis.probes_analyzed");
     let flows_per_probe = obs.histogram("analysis.flows_per_probe", 4096);
@@ -290,6 +301,8 @@ fn assemble(
     let geo = geo_breakdown(&pfs, registry);
     obs.gauge("analysis.peers_observed")
         .set(geo.total_peers as i64);
+    passemble.add_records(total_packets as u64);
+    passemble.add_bytes(total_bytes);
     ExperimentAnalysis {
         app: app.to_string(),
         summary: summarize_with_rates(app, &rates, &pfs, cfg),

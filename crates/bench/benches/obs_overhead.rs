@@ -37,6 +37,60 @@ fn analysis_overhead(c: &mut Criterion) {
         let obs = Obs::new(Arc::new(RingSink::new(8192)));
         b.iter(|| black_box(analyze_with_obs(&f.traces, &f.registry, &cfg, &f.highbw, &obs)))
     });
+    // The profiler arms clock reads around every instrumented phase;
+    // this bounds what `--profile` costs the same hot path.
+    g.bench_function("profiled", |b| {
+        let obs = Obs::profiled();
+        b.iter(|| black_box(analyze_with_obs(&f.traces, &f.registry, &cfg, &f.highbw, &obs)))
+    });
+    g.finish();
+}
+
+/// Micro-benches of the profiler primitives: a disabled handle's span
+/// guard is the cost every un-profiled run pays at each instrumented
+/// site; the enabled span/cell paths are the profiling overhead proper.
+fn profiler_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_profile");
+    g.bench_function("pspan_disabled", |b| {
+        let obs = Obs::default();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let span = obs.pspan("bench.span");
+            span.add_events(1);
+            black_box(n)
+        })
+    });
+    g.bench_function("pspan_enabled", |b| {
+        let obs = Obs::profiled();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let span = obs.pspan("bench.span");
+            span.add_events(1);
+            black_box(n)
+        })
+    });
+    g.bench_function("cell_disabled", |b| {
+        let obs = Obs::default();
+        let span = obs.pspan("bench.span");
+        let cell = span.cell("bench.cell");
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            cell.time(|| black_box(n))
+        })
+    });
+    g.bench_function("cell_enabled", |b| {
+        let obs = Obs::profiled();
+        let span = obs.pspan("bench.span");
+        let cell = span.cell("bench.cell");
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            cell.time(|| black_box(n))
+        })
+    });
     g.finish();
 }
 
@@ -81,6 +135,6 @@ fn event_macro(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = analysis_overhead, event_macro
+    targets = analysis_overhead, event_macro, profiler_primitives
 }
 criterion_main!(benches);

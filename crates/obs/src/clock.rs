@@ -17,6 +17,13 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// Microseconds elapsed since the clock was created (or last reset).
     fn elapsed_us(&self) -> u64;
+
+    /// Nanoseconds elapsed. The profiler times sub-microsecond scopes
+    /// (per-event behaviour hooks), so clocks that can should override
+    /// this; the default derives it from [`Clock::elapsed_us`].
+    fn elapsed_ns(&self) -> u64 {
+        self.elapsed_us().saturating_mul(1_000)
+    }
 }
 
 /// The real monotonic clock. This is the only place in the workspace
@@ -45,6 +52,10 @@ impl Default for WallClock {
 impl Clock for WallClock {
     fn elapsed_us(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 }
 

@@ -39,15 +39,20 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod summary;
 
 pub use clock::{Clock, ManualClock, PhaseTiming, Span, Timings, WallClock};
 pub use event::{Event, FieldValue, Level};
 pub use metrics::{Counter, Gauge, HistogramMetric, MetricsSnapshot, Registry};
+pub use profile::{
+    masked_diff, PerfMeta, PerfReport, ProfCell, ProfSpan, ProfileNode, Profiler, MASKED_FIELDS,
+};
 pub use sink::{EventSink, Filter, JsonlSink, NullSink, RingSink};
 pub use summary::{LogSummary, SummaryError};
 
@@ -68,6 +73,7 @@ struct Inner {
     sink: Arc<dyn EventSink>,
     registry: Registry,
     timings: Timings,
+    profiler: Option<Profiler>,
 }
 
 /// The observability handle threaded through the pipeline.
@@ -105,14 +111,40 @@ impl Obs {
         Obs::with_parts(sink, filter, Arc::new(WallClock::new()))
     }
 
-    /// Fully explicit construction: sink, filter and span clock.
+    /// Fully explicit construction: sink, filter and span clock. The
+    /// handle collects events, metrics and timings but does *not*
+    /// profile; see [`Obs::with_profiler`].
     pub fn with_parts(sink: Arc<dyn EventSink>, filter: Filter, clock: Arc<dyn Clock>) -> Obs {
+        Obs::build(sink, filter, clock, false)
+    }
+
+    /// Like [`Obs::with_parts`] but with the span profiler armed:
+    /// [`Obs::pspan`]/[`Obs::prof_cell`] record into a tree read back by
+    /// [`Obs::profile_tree`]/[`Obs::perf_report`]. Profiling is opt-in
+    /// because it reads the clock around every instrumented hook call.
+    pub fn with_profiler(sink: Arc<dyn EventSink>, filter: Filter, clock: Arc<dyn Clock>) -> Obs {
+        Obs::build(sink, filter, clock, true)
+    }
+
+    /// A profiling handle with no event collection (null sink, wall
+    /// clock) — what `--profile FILE` uses when no `--obs-log` is asked
+    /// for.
+    pub fn profiled() -> Obs {
+        Obs::with_profiler(
+            Arc::new(NullSink::new()),
+            Filter::all(),
+            Arc::new(WallClock::new()),
+        )
+    }
+
+    fn build(sink: Arc<dyn EventSink>, filter: Filter, clock: Arc<dyn Clock>, prof: bool) -> Obs {
         Obs {
             inner: Some(Arc::new(Inner {
                 filter,
                 sink,
                 registry: Registry::new(),
-                timings: Timings::new(clock),
+                timings: Timings::new(Arc::clone(&clock)),
+                profiler: prof.then(|| Profiler::new(clock)),
             })),
         }
     }
@@ -178,6 +210,49 @@ impl Obs {
             None => Span::disabled(),
             Some(inner) => inner.timings.span(name),
         }
+    }
+
+    /// Whether the span profiler is armed (see [`Obs::with_profiler`]).
+    pub fn profiling(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.profiler.is_some())
+    }
+
+    /// Opens a profiler span; nests under the innermost open span on
+    /// this thread, records on drop. A no-op guard when the handle is
+    /// disabled or not profiling.
+    pub fn pspan(&self, name: &str) -> ProfSpan {
+        match self.inner.as_ref().and_then(|i| i.profiler.as_ref()) {
+            None => ProfSpan::disabled(),
+            Some(p) => p.span(name),
+        }
+    }
+
+    /// Registers a hot-path profiler cell under the current ambient
+    /// span position (no-op when not profiling).
+    pub fn prof_cell(&self, name: &str) -> ProfCell {
+        match self.inner.as_ref().and_then(|i| i.profiler.as_ref()) {
+            None => ProfCell::disabled(),
+            Some(p) => p.cell(name),
+        }
+    }
+
+    /// Snapshot of the profiler's span tree; `None` when not profiling.
+    pub fn profile_tree(&self) -> Option<ProfileNode> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.profiler.as_ref())
+            .map(Profiler::tree)
+    }
+
+    /// Assembles the `BENCH_*.json` payload for a finished run: span
+    /// tree, derived throughput, peak heap and the metrics snapshot.
+    /// `None` when not profiling.
+    pub fn perf_report(&self, meta: PerfMeta) -> Option<PerfReport> {
+        let tree = self.profile_tree()?;
+        let metrics = self.metrics()?;
+        Some(PerfReport::new(meta, tree, metrics))
     }
 
     /// Completed spans, in completion order (empty when disabled).

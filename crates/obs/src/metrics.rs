@@ -9,7 +9,7 @@
 
 use crate::locked;
 use netaware_sim::stats::Histogram;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -146,6 +146,7 @@ impl Registry {
                         total: h.total(),
                         p50: h.quantile(0.5),
                         p90: h.quantile(0.9),
+                        p99: h.quantile(0.99),
                         max: h.quantile(1.0),
                     },
                 )
@@ -159,8 +160,10 @@ impl Registry {
     }
 }
 
-/// Quantile digest of one histogram at snapshot time.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+/// Quantile digest of one histogram at snapshot time. Percentiles are
+/// bucket indices from the fixed-bucket [`Histogram`], so they are
+/// exactly reproducible across runs and platforms.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Total recorded weight.
     pub total: u64,
@@ -168,13 +171,15 @@ pub struct HistogramSummary {
     pub p50: Option<usize>,
     /// 90th-percentile bucket.
     pub p90: Option<usize>,
+    /// 99th-percentile bucket.
+    pub p99: Option<usize>,
     /// Highest occupied bucket.
     pub max: Option<usize>,
 }
 
 /// Point-in-time view of the registry, ordered by name for stable
 /// serialisation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
@@ -201,7 +206,7 @@ impl MetricsSnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!("histogram,{name},total,{}\n", h.total));
-            for (stat, q) in [("p50", h.p50), ("p90", h.p90), ("max", h.max)] {
+            for (stat, q) in [("p50", h.p50), ("p90", h.p90), ("p99", h.p99), ("max", h.max)] {
                 if let Some(q) = q {
                     out.push_str(&format!("histogram,{name},{stat},{q}\n"));
                 }
@@ -258,11 +263,30 @@ mod tests {
         let hs = &snap.histograms["h.fanout"];
         assert_eq!(hs.total, 5);
         assert_eq!(hs.p50, Some(2));
+        assert_eq!(hs.p99, Some(9));
         assert_eq!(hs.max, Some(9));
         // Same registry state → identical exports.
         assert_eq!(snap.to_json(), r.snapshot().to_json());
         assert_eq!(snap.to_csv(), r.snapshot().to_csv());
         assert!(snap.to_csv().starts_with("kind,name,stat,value\n"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(-2);
+        let h = r.histogram("h", 128);
+        for v in 0..100 {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["h"].p99, Some(98));
+        let back: MetricsSnapshot =
+            serde_json::from_str(&snap.to_json()).expect("snapshot round trip");
+        assert_eq!(back, snap);
+        // CSV carries the new percentile column.
+        assert!(snap.to_csv().contains("histogram,h,p99,98\n"));
     }
 
     #[test]

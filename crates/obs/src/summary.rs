@@ -5,6 +5,7 @@
 //! first-look digest: how many events, which targets dominate, what went
 //! wrong, and how fast the chunk scheduler was deciding.
 
+use crate::metrics::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::BufRead;
@@ -200,6 +201,59 @@ impl LogSummary {
         }
         out
     }
+
+    /// Parses a `--metrics` snapshot JSON body (as written by
+    /// `netaware-cli run --metrics`), for merging into the report.
+    pub fn parse_metrics(body: &str) -> Result<MetricsSnapshot, SummaryError> {
+        serde_json::from_str(body).map_err(|e| SummaryError::Malformed {
+            line: 0,
+            reason: format!("metrics snapshot: {e:?}"),
+        })
+    }
+
+    /// [`LogSummary::render`] plus the metrics snapshot folded in: one
+    /// report with continuity, per-counter sim-time throughput, and
+    /// histogram percentiles, instead of two artifacts read separately.
+    pub fn render_with_metrics(&self, metrics: Option<&MetricsSnapshot>) -> String {
+        let mut out = self.render();
+        let Some(m) = metrics else { return out };
+        let _ = writeln!(
+            out,
+            "metrics: {} counters, {} gauges, {} histograms",
+            m.counters.len(),
+            m.gauges.len(),
+            m.histograms.len(),
+        );
+        let span = self.span_secs();
+        if span > 0.0 {
+            let mut counters: Vec<(&String, &u64)> = m.counters.iter().collect();
+            counters.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            let _ = writeln!(out, "counter throughput (per sim-second):");
+            for (name, n) in counters.iter().take(12) {
+                let _ = writeln!(out, "  {name:<32} {:>12.1}/s  ({n} total)", **n as f64 / span);
+            }
+        }
+        if !m.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms: {:<24} {:>8} {:>6} {:>6} {:>6} {:>6}",
+                "name", "total", "p50", "p90", "p99", "max"
+            );
+            for (name, h) in &m.histograms {
+                let q = |v: Option<usize>| v.map_or(String::from("-"), |x| x.to_string());
+                let _ = writeln!(
+                    out,
+                    "            {name:<24} {:>8} {:>6} {:>6} {:>6} {:>6}",
+                    h.total,
+                    q(h.p50),
+                    q(h.p90),
+                    q(h.p99),
+                    q(h.max),
+                );
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +297,32 @@ mod tests {
         assert!(text.contains("swarm.scheduling.chunk_sched"));
         assert!(text.contains("errors: 1"));
         assert!(text.contains("chunk-scheduler decisions: 0.5/s"));
+    }
+
+    #[test]
+    fn merged_report_folds_metrics_in() {
+        let s = LogSummary::from_reader(BufReader::new(LOG.as_bytes())).expect("parse");
+        let reg = crate::metrics::Registry::new();
+        reg.counter("proto.chunks_requested").add(400);
+        let h = reg.histogram("swarm.fanout", 64);
+        for v in [1, 2, 2, 3, 9] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let merged = s.render_with_metrics(Some(&snap));
+        // Still one report: log lines first, metrics folded in after.
+        assert!(merged.contains("events: 7"));
+        assert!(merged.contains("continuity: mean 0.900"));
+        assert!(merged.contains("metrics: 1 counters, 0 gauges, 1 histograms"));
+        // 400 requests over the 4-sim-second span.
+        assert!(merged.contains("proto.chunks_requested"));
+        assert!(merged.contains("100.0/s"));
+        assert!(merged.contains("swarm.fanout"));
+        // Snapshot JSON round-trips through the --metrics parser.
+        let back = LogSummary::parse_metrics(&snap.to_json()).expect("parse metrics");
+        assert_eq!(back, snap);
+        // Without a snapshot the report is unchanged.
+        assert_eq!(s.render_with_metrics(None), s.render());
     }
 
     #[test]

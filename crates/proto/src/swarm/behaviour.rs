@@ -124,6 +124,11 @@ impl Ctx<'_, '_> {
 /// [`Ctx::schedule`], never a direct queue push (lint rule BH01).
 #[allow(unused_variables)]
 pub trait Behaviour {
+    /// Short stable name, used to label this behaviour's node in the
+    /// dispatch profile (`swarm.dispatch/behaviour.<name>`).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
     /// Called once before the event loop starts (after the initial
     /// tick/demand/halo processes are scheduled).
     fn on_start(&mut self, ctx: &mut Ctx) {}

@@ -14,13 +14,61 @@
 use super::behaviour::{Actions, Behaviour, BehaviourAction, BehaviourStack, Ctx};
 use super::state::Event;
 use super::SwarmCore;
+use netaware_obs::{ProfCell, ProfSpan};
 use netaware_sim::{Scheduler, SimTime};
+
+/// Pre-registered profiler cells for the dispatch hot path: one per
+/// built-in behaviour, one per custom behaviour (labelled by
+/// [`Behaviour::name`]), one for the action drain. When the obs handle
+/// is not profiling every cell is disabled and [`ProfCell::time`]
+/// reduces to a bare closure call, keeping the disabled path within the
+/// `obs_overhead` bench budget.
+pub(crate) struct DispatchProf {
+    discovery: ProfCell,
+    announce: ProfCell,
+    recovery: ProfCell,
+    scheduling: ProfCell,
+    custom: Vec<ProfCell>,
+    drain: ProfCell,
+}
+
+impl DispatchProf {
+    fn new(span: &ProfSpan, stack: &BehaviourStack) -> DispatchProf {
+        DispatchProf {
+            discovery: span.cell("behaviour.discovery"),
+            announce: span.cell("behaviour.announce"),
+            recovery: span.cell("behaviour.churn_recovery"),
+            scheduling: span.cell("behaviour.scheduling"),
+            custom: stack
+                .custom
+                .iter()
+                .map(|b| span.cell(&format!("behaviour.{}", b.name())))
+                .collect(),
+            drain: span.cell("drain"),
+        }
+    }
+
+    /// All-disabled cells (unit tests drive `deliver` directly).
+    #[cfg(test)]
+    pub(crate) fn disabled() -> DispatchProf {
+        DispatchProf {
+            discovery: ProfCell::disabled(),
+            announce: ProfCell::disabled(),
+            recovery: ProfCell::disabled(),
+            scheduling: ProfCell::disabled(),
+            custom: Vec::new(),
+            drain: ProfCell::disabled(),
+        }
+    }
+}
 
 /// Runs the event loop from time zero to `horizon`: schedules the
 /// initial per-probe processes, fires the `on_start` hooks, and
 /// dispatches until the queue runs dry or passes the horizon.
 pub(crate) fn run(core: &mut SwarmCore<'_>, stack: &mut BehaviourStack, horizon: SimTime) {
     let mut sched: Scheduler<Event> = Scheduler::new();
+    let dspan = core.obs.pspan("swarm.dispatch");
+    let prof = DispatchProf::new(&dspan, stack);
 
     // Stagger initial ticks across one tick interval so probes do not
     // act in lockstep.
@@ -65,9 +113,11 @@ pub(crate) fn run(core: &mut SwarmCore<'_>, stack: &mut BehaviourStack, horizon:
             _ => break,
         }
         let Some((now, ev)) = sched.pop() else { break };
-        deliver(core, stack, &mut sched, &mut actions, now, ev);
+        deliver(core, stack, &mut sched, &mut actions, now, ev, &prof);
     }
     core.report.events_dispatched = sched.dispatched();
+    dspan.add_events(sched.dispatched());
+    dspan.add_sim_us(horizon.as_us());
 }
 
 /// Dispatches one event: hooks in stack order, then the FIFO drain,
@@ -80,6 +130,7 @@ pub(crate) fn deliver(
     actions: &mut Actions,
     now: SimTime,
     ev: Event,
+    prof: &DispatchProf,
 ) {
     debug_assert!(actions.queue.is_empty(), "scratch action queue not drained");
     {
@@ -91,32 +142,41 @@ pub(crate) fn deliver(
         match ev {
             Event::Tick(i) => {
                 let i = i as usize;
-                stack.discovery.on_tick(&mut ctx, i);
-                stack.announce.on_tick(&mut ctx, i);
-                stack.recovery.on_tick(&mut ctx, i);
-                stack.scheduling.on_tick(&mut ctx, i);
-                for b in &mut stack.custom {
-                    b.on_tick(&mut ctx, i);
+                prof.discovery.time(|| stack.discovery.on_tick(&mut ctx, i));
+                prof.announce.time(|| stack.announce.on_tick(&mut ctx, i));
+                prof.recovery.time(|| stack.recovery.on_tick(&mut ctx, i));
+                prof.scheduling.time(|| stack.scheduling.on_tick(&mut ctx, i));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_tick(&mut ctx, i)),
+                        None => b.on_tick(&mut ctx, i),
+                    }
                 }
             }
             Event::Demand(i) => {
                 let i = i as usize;
-                stack.discovery.on_demand(&mut ctx, i);
-                stack.announce.on_demand(&mut ctx, i);
-                stack.recovery.on_demand(&mut ctx, i);
-                stack.scheduling.on_demand(&mut ctx, i);
-                for b in &mut stack.custom {
-                    b.on_demand(&mut ctx, i);
+                prof.discovery.time(|| stack.discovery.on_demand(&mut ctx, i));
+                prof.announce.time(|| stack.announce.on_demand(&mut ctx, i));
+                prof.recovery.time(|| stack.recovery.on_demand(&mut ctx, i));
+                prof.scheduling.time(|| stack.scheduling.on_demand(&mut ctx, i));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_demand(&mut ctx, i)),
+                        None => b.on_demand(&mut ctx, i),
+                    }
                 }
             }
             Event::Halo(i) => {
                 let i = i as usize;
-                stack.discovery.on_halo(&mut ctx, i);
-                stack.announce.on_halo(&mut ctx, i);
-                stack.recovery.on_halo(&mut ctx, i);
-                stack.scheduling.on_halo(&mut ctx, i);
-                for b in &mut stack.custom {
-                    b.on_halo(&mut ctx, i);
+                prof.discovery.time(|| stack.discovery.on_halo(&mut ctx, i));
+                prof.announce.time(|| stack.announce.on_halo(&mut ctx, i));
+                prof.recovery.time(|| stack.recovery.on_halo(&mut ctx, i));
+                prof.scheduling.time(|| stack.scheduling.on_halo(&mut ctx, i));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_halo(&mut ctx, i)),
+                        None => b.on_halo(&mut ctx, i),
+                    }
                 }
             }
             Event::Serve {
@@ -124,12 +184,15 @@ pub(crate) fn deliver(
                 to,
                 chunk,
             } => {
-                stack.discovery.on_serve(&mut ctx, provider, to, chunk);
-                stack.announce.on_serve(&mut ctx, provider, to, chunk);
-                stack.recovery.on_serve(&mut ctx, provider, to, chunk);
-                stack.scheduling.on_serve(&mut ctx, provider, to, chunk);
-                for b in &mut stack.custom {
-                    b.on_serve(&mut ctx, provider, to, chunk);
+                prof.discovery.time(|| stack.discovery.on_serve(&mut ctx, provider, to, chunk));
+                prof.announce.time(|| stack.announce.on_serve(&mut ctx, provider, to, chunk));
+                prof.recovery.time(|| stack.recovery.on_serve(&mut ctx, provider, to, chunk));
+                prof.scheduling.time(|| stack.scheduling.on_serve(&mut ctx, provider, to, chunk));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_serve(&mut ctx, provider, to, chunk)),
+                        None => b.on_serve(&mut ctx, provider, to, chunk),
+                    }
                 }
             }
             Event::Delivered {
@@ -138,35 +201,44 @@ pub(crate) fn deliver(
                 chunk,
                 est_bps,
             } => {
-                stack.discovery.on_delivered(&mut ctx, to, from, chunk, est_bps);
-                stack.announce.on_delivered(&mut ctx, to, from, chunk, est_bps);
-                stack.recovery.on_delivered(&mut ctx, to, from, chunk, est_bps);
-                stack.scheduling.on_delivered(&mut ctx, to, from, chunk, est_bps);
-                for b in &mut stack.custom {
-                    b.on_delivered(&mut ctx, to, from, chunk, est_bps);
+                prof.discovery.time(|| stack.discovery.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                prof.announce.time(|| stack.announce.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                prof.recovery.time(|| stack.recovery.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                prof.scheduling.time(|| stack.scheduling.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_delivered(&mut ctx, to, from, chunk, est_bps)),
+                        None => b.on_delivered(&mut ctx, to, from, chunk, est_bps),
+                    }
                 }
             }
             Event::Depart(id) => {
-                stack.discovery.on_depart(&mut ctx, id);
-                stack.announce.on_depart(&mut ctx, id);
-                stack.recovery.on_depart(&mut ctx, id);
-                stack.scheduling.on_depart(&mut ctx, id);
-                for b in &mut stack.custom {
-                    b.on_depart(&mut ctx, id);
+                prof.discovery.time(|| stack.discovery.on_depart(&mut ctx, id));
+                prof.announce.time(|| stack.announce.on_depart(&mut ctx, id));
+                prof.recovery.time(|| stack.recovery.on_depart(&mut ctx, id));
+                prof.scheduling.time(|| stack.scheduling.on_depart(&mut ctx, id));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_depart(&mut ctx, id)),
+                        None => b.on_depart(&mut ctx, id),
+                    }
                 }
             }
             Event::Arrive(id) => {
-                stack.discovery.on_arrive(&mut ctx, id);
-                stack.announce.on_arrive(&mut ctx, id);
-                stack.recovery.on_arrive(&mut ctx, id);
-                stack.scheduling.on_arrive(&mut ctx, id);
-                for b in &mut stack.custom {
-                    b.on_arrive(&mut ctx, id);
+                prof.discovery.time(|| stack.discovery.on_arrive(&mut ctx, id));
+                prof.announce.time(|| stack.announce.on_arrive(&mut ctx, id));
+                prof.recovery.time(|| stack.recovery.on_arrive(&mut ctx, id));
+                prof.scheduling.time(|| stack.scheduling.on_arrive(&mut ctx, id));
+                for (idx, b) in stack.custom.iter_mut().enumerate() {
+                    match prof.custom.get(idx) {
+                        Some(c) => c.time(|| b.on_arrive(&mut ctx, id)),
+                        None => b.on_arrive(&mut ctx, id),
+                    }
                 }
             }
         }
     }
-    drain(core, stack, sched, actions, now);
+    prof.drain.time(|| drain(core, stack, sched, actions, now));
     // The dispatcher owns the protocol clock: one tick reschedules the
     // next, inserted after the drained actions (the monolithic handler
     // pushed the chunk serves first, then the tick).

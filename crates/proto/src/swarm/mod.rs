@@ -289,6 +289,8 @@ impl<'a> Swarm<'a> {
     /// (transfers push future-timestamped receiver records).
     fn execute(&mut self) {
         let horizon = SimTime::from_us(self.core.cfg.duration_us);
+        let pspan = self.core.obs.pspan("swarm.run");
+        pspan.add_sim_us(self.core.cfg.duration_us);
         netaware_obs::event!(
             self.core.obs,
             Level::Info,
@@ -337,6 +339,7 @@ impl<'a> Swarm<'a> {
             });
         }
         core.m.continuity_min_permille.set(min_permille);
+        pspan.add_events(core.report.events_dispatched);
         netaware_obs::event!(
             core.obs,
             Level::Info,

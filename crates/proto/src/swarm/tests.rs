@@ -555,6 +555,7 @@ fn departed_provider_pending_requests_move_to_requeue() {
             &mut actions,
             netaware_sim::SimTime::from_ms(100),
             Event::Depart(provider),
+            &dispatch::DispatchProf::disabled(),
         );
     }
 
@@ -760,6 +761,7 @@ fn dispatcher_runs_custom_behaviours() {
             &mut actions,
             netaware_sim::SimTime::from_ms(100),
             Event::Tick(0),
+            &dispatch::DispatchProf::disabled(),
         );
     }
     assert_eq!(ticks.get(), 1, "custom behaviour hook not dispatched");

@@ -97,14 +97,17 @@ pub struct ExperimentOutput {
 
 /// Runs one application end-to-end.
 pub fn run_experiment(profile: AppProfile, opts: &ExperimentOptions) -> ExperimentOutput {
-    let scenario = BuiltScenario::build(
-        &ScenarioConfig {
-            seed: opts.seed,
-            scale: opts.scale,
-            ..Default::default()
-        },
-        profile.overlay_size,
-    );
+    let scenario = {
+        let _build = opts.obs.pspan("testbed.build");
+        BuiltScenario::build(
+            &ScenarioConfig {
+                seed: opts.seed,
+                scale: opts.scale,
+                ..Default::default()
+            },
+            profile.overlay_size,
+        )
+    };
     run_on_scenario(profile, &scenario, opts)
 }
 
@@ -115,6 +118,8 @@ pub fn run_on_scenario(
     opts: &ExperimentOptions,
 ) -> ExperimentOutput {
     let app = profile.name.clone();
+    let tspan = opts.obs.pspan("testbed.run");
+    tspan.add_sim_us(opts.duration_us);
     let env = NetworkEnv {
         registry: &scenario.registry,
         paths: scenario.paths,
@@ -172,14 +177,17 @@ pub fn run_streamed(
     opts: &ExperimentOptions,
     dir: &Path,
 ) -> Result<ExperimentOutput, TraceError> {
-    let scenario = BuiltScenario::build(
-        &ScenarioConfig {
-            seed: opts.seed,
-            scale: opts.scale,
-            ..Default::default()
-        },
-        profile.overlay_size,
-    );
+    let scenario = {
+        let _build = opts.obs.pspan("testbed.build");
+        BuiltScenario::build(
+            &ScenarioConfig {
+                seed: opts.seed,
+                scale: opts.scale,
+                ..Default::default()
+            },
+            profile.overlay_size,
+        )
+    };
     run_streamed_on_scenario(profile, &scenario, opts, dir)
 }
 
@@ -191,6 +199,8 @@ pub fn run_streamed_on_scenario(
     dir: &Path,
 ) -> Result<ExperimentOutput, TraceError> {
     let app = profile.name.clone();
+    let tspan = opts.obs.pspan("testbed.run");
+    tspan.add_sim_us(opts.duration_us);
     let env = NetworkEnv {
         registry: &scenario.registry,
         paths: scenario.paths,

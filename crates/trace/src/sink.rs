@@ -12,11 +12,17 @@ use crate::corpus::CorpusManifest;
 use crate::format::{write_trace, TraceError};
 use crate::set::{ProbeTrace, TraceSet};
 use netaware_net::Ip;
-use netaware_obs::{Counter, Level, Obs};
+use netaware_obs::{Counter, Level, Obs, ProfCell};
 use netaware_sim::SimTime;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+
+/// Payload bytes carried by a capture (profiling only — computed when a
+/// profiler cell is armed, skipped otherwise).
+fn trace_bytes(trace: &ProbeTrace) -> u64 {
+    trace.records_unsorted().iter().map(|r| r.size as u64).sum()
+}
 
 /// Sim time of a sunk trace: its last record's timestamp (the moment
 /// the capture was complete), or zero for an empty capture. Reads the
@@ -49,6 +55,7 @@ pub struct MemorySink {
     traces: Vec<ProbeTrace>,
     obs: Obs,
     records_sunk: Counter,
+    prof: ProfCell,
 }
 
 impl MemorySink {
@@ -63,6 +70,7 @@ impl MemorySink {
         MemorySink {
             traces: Vec::new(),
             records_sunk: obs.counter("trace.records_sunk"),
+            prof: obs.prof_cell("trace.sink"),
             obs,
         }
     }
@@ -73,6 +81,11 @@ impl RecordSink for MemorySink {
 
     fn sink_probe(&mut self, trace: ProbeTrace) -> Result<(), TraceError> {
         self.records_sunk.add(trace.len() as u64);
+        if self.prof.is_enabled() {
+            self.prof.add_calls(1);
+            self.prof.add_records(trace.len() as u64);
+            self.prof.add_bytes(trace_bytes(&trace));
+        }
         netaware_obs::event!(
             self.obs,
             Level::Info,
@@ -106,6 +119,7 @@ pub struct CorpusSink {
     obs: Obs,
     records_sunk: Counter,
     probes_spilled: Counter,
+    prof: ProfCell,
 }
 
 impl CorpusSink {
@@ -126,6 +140,7 @@ impl CorpusSink {
             total_packets: 0,
             records_sunk: obs.counter("trace.records_sunk"),
             probes_spilled: obs.counter("trace.probes_spilled"),
+            prof: obs.prof_cell("trace.spill"),
             obs,
         })
     }
@@ -147,9 +162,13 @@ impl RecordSink for CorpusSink {
         );
         let path = self.dir.join(format!("{}.nawt", trace.probe));
         let mut w = BufWriter::new(File::create(path)?);
-        write_trace(&trace, &mut w)?;
+        self.prof.time(|| write_trace(&trace, &mut w))?;
         self.records_sunk.add(trace.len() as u64);
         self.probes_spilled.inc();
+        if self.prof.is_enabled() {
+            self.prof.add_records(trace.len() as u64);
+            self.prof.add_bytes(trace_bytes(&trace));
+        }
         netaware_obs::event!(
             self.obs,
             Level::Info,

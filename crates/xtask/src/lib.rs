@@ -27,6 +27,7 @@ pub mod ast;
 pub mod baseline;
 pub mod lexer;
 pub mod parser;
+pub mod perf;
 pub mod rules;
 pub mod sarif;
 

@@ -4,10 +4,16 @@
 //! 1 = unsuppressed deny findings (or any finding under
 //! `--deny-warnings`), 2 = usage or I/O error.
 
-use netaware_xtask::{apply_baseline, baseline, sarif, LintReport};
+use netaware_xtask::{apply_baseline, baseline, perf as perf_mod, sarif, LintReport};
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Counting allocator: lets `perf` report allocation and peak-heap
+/// series in its BENCH snapshots. Near-free when idle (two relaxed
+/// atomic adds per allocation).
+#[global_allocator]
+static ALLOC: netaware_obs::alloc::CountingAlloc = netaware_obs::alloc::CountingAlloc;
 
 /// Writes to stdout, tolerating a closed pipe (e.g. `lint | head`).
 fn out(s: std::fmt::Arguments<'_>) {
@@ -19,6 +25,7 @@ fn usage() -> ExitCode {
         "usage: netaware-xtask <command>\n\n\
          commands:\n  \
          lint [options]   run the workspace lint pass\n  \
+         perf [options]   run the 6-cell perf matrix; write BENCH_*.json snapshots\n  \
          rules [--json]   print the lint catalogue\n\n\
          lint options:\n  \
          --format <text|json|sarif>  output format (default text)\n  \
@@ -28,7 +35,14 @@ fn usage() -> ExitCode {
          --baseline <file>           suppression baseline (default: <root>/lint-baseline.json)\n  \
          --no-baseline               ignore any baseline file\n  \
          --write-baseline [<file>]   record all current findings as the new baseline\n  \
-         --deny-warnings             treat warn-level findings as failures (CI mode)"
+         --deny-warnings             treat warn-level findings as failures (CI mode)\n\n\
+         perf options:\n  \
+         --out-dir <dir>             where BENCH_<scenario>.json land (default: workspace root)\n  \
+         --check [<file>]            gate against a baseline (default: <root>/perf-baseline.json)\n  \
+         --write-baseline [<file>]   record the gated series of this run as the new baseline\n  \
+         --tolerance <f>             allowed drift for deterministic series (default 0.10)\n  \
+         --wall-tolerance <f>        allowed growth for wall/heap series (default 1.0)\n  \
+         --seed <n> --scale <f> --sim-secs <n>   matrix cell parameters (default 777/0.02/20)"
     );
     ExitCode::from(2)
 }
@@ -44,6 +58,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("perf") => perf(&args[1..]),
         Some("rules") => {
             let json = args[1..].iter().any(|a| a == "--json");
             if json {
@@ -185,6 +200,139 @@ fn lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+fn perf(args: &[String]) -> ExitCode {
+    let mut cfg = perf_mod::PerfConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut check: Option<Option<PathBuf>> = None;
+    let mut write_baseline: Option<Option<PathBuf>> = None;
+    let mut tolerance = 0.10f64;
+    let mut wall_tolerance = 1.0f64;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        // `--check` and `--write-baseline` take an optional file operand.
+        let optional_file = |it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            let file = it
+                .peek()
+                .filter(|n| !n.starts_with("--"))
+                .map(|n| PathBuf::from(n.as_str()));
+            if file.is_some() {
+                it.next();
+            }
+            file
+        };
+        match a.as_str() {
+            "--out-dir" => match it.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--check" => check = Some(optional_file(&mut it)),
+            "--write-baseline" => write_baseline = Some(optional_file(&mut it)),
+            "--tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => tolerance = v,
+                None => return usage(),
+            },
+            "--wall-tolerance" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => wall_tolerance = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.scale = v,
+                None => return usage(),
+            },
+            "--sim-secs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.sim_secs = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = workspace_root();
+    let out_dir = out_dir.unwrap_or_else(|| root.clone());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("netaware-xtask: cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let reports = perf_mod::run_matrix(&cfg);
+    for r in &reports {
+        let path = out_dir.join(format!("BENCH_{}.json", r.meta.scenario));
+        if let Err(e) = std::fs::write(&path, r.to_json()) {
+            eprintln!("netaware-xtask: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let wall_ms = r.profile.total(|n| n.wall_ns) as f64 / 1e6;
+        out(format_args!(
+            "perf: {:<16} {:>9.1} ms wall, {:>8} events, peak heap {:.2} MiB -> {}",
+            r.meta.scenario,
+            wall_ms,
+            r.profile.total(|n| n.events),
+            r.peak_heap_bytes as f64 / (1 << 20) as f64,
+            path.display(),
+        ));
+    }
+
+    if let Some(file) = write_baseline {
+        let path = file.unwrap_or_else(|| root.join("perf-baseline.json"));
+        if let Err(e) = std::fs::write(&path, perf_mod::render_baseline(&reports)) {
+            eprintln!("netaware-xtask: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        out(format_args!(
+            "perf: wrote {} gated series to {}",
+            perf_mod::gated_series(&reports).len(),
+            path.display()
+        ));
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(file) = check {
+        let path = file.unwrap_or_else(|| root.join("perf-baseline.json"));
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("netaware-xtask: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match perf_mod::Baseline::parse(&body) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("netaware-xtask: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let breaches = perf_mod::check(
+            &perf_mod::gated_series(&reports),
+            &baseline.series,
+            tolerance,
+            wall_tolerance,
+        );
+        if breaches.is_empty() {
+            out(format_args!(
+                "perf: {} gated series within budget (tolerance {:.0}%, wall {:.0}%)",
+                baseline.series.len(),
+                tolerance * 100.0,
+                wall_tolerance * 100.0
+            ));
+            return ExitCode::SUCCESS;
+        }
+        for b in &breaches {
+            eprintln!("{}", b.render());
+        }
+        eprintln!(
+            "netaware-xtask perf: {} series over budget against {}",
+            breaches.len(),
+            path.display()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Whether `--baseline` appeared explicitly (a missing default baseline

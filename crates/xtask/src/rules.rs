@@ -42,6 +42,8 @@ pub enum RuleId {
     Ob01,
     /// No raw `Event` matching or `Scheduler` access outside the dispatcher.
     Bh01,
+    /// No `std::time` clock reads outside the obs `Clock` abstraction.
+    Ob02,
 }
 
 /// How severely a rule's findings are treated.
@@ -89,6 +91,7 @@ impl RuleId {
             RuleId::Doc01 => "DOC01",
             RuleId::Ob01 => "OB01",
             RuleId::Bh01 => "BH01",
+            RuleId::Ob02 => "OB02",
         }
     }
 
@@ -98,7 +101,7 @@ impl RuleId {
     }
 
     /// All rules, in catalogue order.
-    pub fn all() -> [RuleId; 12] {
+    pub fn all() -> [RuleId; 13] {
         [
             RuleId::Nd01,
             RuleId::Nd02,
@@ -112,6 +115,7 @@ impl RuleId {
             RuleId::Doc01,
             RuleId::Ob01,
             RuleId::Bh01,
+            RuleId::Ob02,
         ]
     }
 
@@ -123,7 +127,9 @@ impl RuleId {
     /// there were zero pre-existing findings to baseline.
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::Nd05 | RuleId::Cc01 | RuleId::Cc02 | RuleId::Rs01 => Severity::Warn,
+            RuleId::Nd05 | RuleId::Cc01 | RuleId::Cc02 | RuleId::Rs01 | RuleId::Ob02 => {
+                Severity::Warn
+            }
             _ => Severity::Deny,
         }
     }
@@ -173,6 +179,11 @@ impl RuleId {
                  the dispatcher module; behaviours receive decomposed hook arguments and emit \
                  typed BehaviourActions through Ctx"
             }
+            RuleId::Ob02 => {
+                "no std::time::Instant/SystemTime outside crates/obs/src/clock.rs; profiling \
+                 and timestamps go through the obs Clock abstraction so runs stay swappable \
+                 onto ManualClock"
+            }
         }
     }
 }
@@ -189,17 +200,29 @@ const CC01_SANCTIONED: &[&str] = &[
     "crates/obs/src/clock.rs",
     "crates/obs/src/lib.rs",
     "crates/obs/src/metrics.rs",
+    "crates/obs/src/profile.rs",
     "crates/obs/src/sink.rs",
 ];
 
 /// Modules sanctioned to use relaxed atomic orderings (CC02): the
 /// commutative metrics registry in `crates/obs`, audited to tolerate
-/// reordering (counter adds commute; snapshots order by key).
-const CC02_SANCTIONED: &[&str] = &["crates/obs/src/metrics.rs"];
+/// reordering (counter adds commute; snapshots order by key), plus the
+/// profiler tallies and allocation counters, which are likewise
+/// commutative adds read only at snapshot points.
+const CC02_SANCTIONED: &[&str] = &[
+    "crates/obs/src/alloc.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/profile.rs",
+];
 
 /// The RNG stream registry (RS01): the one module allowed to construct
 /// generators from raw seeds.
 const RS01_REGISTRY: &[&str] = &["crates/sim/src/rng.rs"];
+
+/// The wall-clock boundary (OB02): the one module allowed to read
+/// `std::time` directly. Everything else takes a [`Clock`] handle, so a
+/// profiled run can be replayed under `ManualClock` in tests.
+const OB02_CLOCK: &[&str] = &["crates/obs/src/clock.rs"];
 
 /// The behaviour dispatcher (BH01): the one proto module allowed to hold
 /// the scheduler and destructure raw `Event`s. Behaviour modules see
@@ -239,6 +262,9 @@ pub struct FileScope {
     pub ob01: bool,
     /// BH01 applies (proto behaviour modules, not the dispatcher).
     pub bh01: bool,
+    /// OB02 applies (library crates outside ND01's stricter patrol,
+    /// excluding the clock module itself).
+    pub ob02: bool,
 }
 
 impl FileScope {
@@ -298,6 +324,10 @@ impl FileScope {
             library: true,
             ob01: !is_xtask,
             bh01: crate_name == Some("proto") && !sanctioned(&rel, BH01_DISPATCH),
+            // ND01 already denies clock reads in the simulation crates;
+            // OB02 extends a warn-level version of the same hygiene to
+            // the remaining library crates without double-reporting.
+            ob02: !is_xtask && !nd01 && !sanctioned(&rel, OB02_CLOCK),
         })
     }
 }
@@ -445,6 +475,9 @@ fn scan_range(
     if scope.bh01 {
         bh01(code, lo, hi, out);
     }
+    if scope.ob02 {
+        ob02(code, &paths, out);
+    }
     if scope.library {
         for c in &chains {
             for call in &c.calls {
@@ -552,6 +585,27 @@ fn nd01(code: &[Tok], paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- OB02
+
+fn ob02(code: &[Tok], paths: &[ast::PathMention], out: &mut Vec<RawFinding>) {
+    for p in paths {
+        for (k, seg) in p.segs.iter().enumerate() {
+            let Some(&idx) = p.seg_idx.get(k) else { continue };
+            let Some(t) = code.get(idx) else { continue };
+            if matches!(seg.as_str(), "Instant" | "SystemTime" | "UNIX_EPOCH") {
+                out.push(tok_finding(
+                    RuleId::Ob02,
+                    t,
+                    format!(
+                        "`{seg}` reads the process clock directly; take a `Clock` handle from \
+                         netaware-obs so the caller can substitute ManualClock",
+                    ),
+                ));
             }
         }
     }

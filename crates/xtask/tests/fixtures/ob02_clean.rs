@@ -1,0 +1,13 @@
+//! OB02 fixture (clean): timing goes through the obs `Clock` handle, so
+//! tests can substitute `ManualClock` and the measurement stays
+//! replayable.
+
+use netaware_obs::Clock;
+use std::sync::Arc;
+
+/// Times a closure against whatever clock the caller injected.
+pub fn timed<R>(clock: &Arc<dyn Clock>, f: impl FnOnce() -> R) -> (R, u64) {
+    let start = clock.elapsed_ns();
+    let out = f();
+    (out, clock.elapsed_ns().saturating_sub(start))
+}

@@ -1,0 +1,18 @@
+//! OB02 fixture: direct process-clock reads in library code.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Times a closure against the monotonic clock directly.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}
+
+/// Stamps a report with wall-clock seconds since the epoch.
+pub fn stamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

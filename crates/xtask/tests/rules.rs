@@ -354,6 +354,48 @@ fn bh01_allow_directive_suppresses() {
     ));
 }
 
+// ---- OB02: process-clock reads outside the Clock module -----------------
+
+#[test]
+fn ob02_fixture_flags_clock_reads() {
+    let diags = lint_as("crates/analysis/src/fixture.rs", "ob02_violation.rs");
+    assert_all_rule(&diags, "OB02");
+    assert!(diags.len() >= 3, "Instant + SystemTime + UNIX_EPOCH should fire");
+    assert!(
+        diags.iter().all(|d| d.severity.label() == "warn"),
+        "OB02 lands warn-first"
+    );
+}
+
+#[test]
+fn ob02_fixture_clean_passes() {
+    assert_clean(&lint_as("crates/analysis/src/fixture.rs", "ob02_clean.rs"));
+}
+
+#[test]
+fn ob02_out_of_scope_in_clock_module_and_sim() {
+    // clock.rs is the sanctioned wall-clock boundary.
+    let diags = lint_as("crates/obs/src/clock.rs", "ob02_violation.rs");
+    assert!(diags.iter().all(|d| d.rule != "OB02"), "OB02 fired in clock.rs");
+    // Simulation crates are ND01's stricter territory — no double report.
+    let diags = lint_as("crates/sim/src/fixture.rs", "ob02_violation.rs");
+    assert!(diags.iter().all(|d| d.rule != "OB02"), "OB02 fired in ND01 scope");
+    assert!(diags.iter().any(|d| d.rule == "ND01"), "ND01 should cover sim");
+}
+
+#[test]
+fn ob02_allow_directive_suppresses() {
+    let src = "/// Reads the host clock for a log banner.\n\
+               pub fn banner_nanos() -> u128 {\n\
+               \x20   // netaware-lint: allow(OB02) one-shot banner stamp, not measurement\n\
+               \x20   std::time::SystemTime::now().elapsed().map(|d| d.as_nanos()).unwrap_or(0)\n\
+               }\n";
+    assert_clean(&netaware_xtask::lint_source(
+        "crates/trace/src/fixture.rs",
+        src,
+    ));
+}
+
 // ---- Escape hatch -------------------------------------------------------
 
 #[test]

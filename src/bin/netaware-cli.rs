@@ -4,13 +4,14 @@
 //! netaware-cli suite     [--scale F] [--secs N] [--seed N] [--json FILE]
 //! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
 //! netaware-cli run APP [--uniform] [--spill DIR] [--scale F] [--secs N] [--seed N] [--json FILE]
-//!                      [--obs-log FILE] [--metrics FILE]
+//!                      [--obs-log FILE] [--metrics FILE] [--profile FILE]
 //!                      [--faults FILE] [--loss P] [--jitter-us N] [--churn]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
 //! netaware-cli testbed
 //! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
-//! netaware-cli analyze --dir CORPUS | --probe IP FILE.pcap [--probe IP FILE.pcap …]
-//! netaware-cli obs summarize FILE
+//! netaware-cli analyze --dir CORPUS | --probe IP FILE.pcap [--probe IP FILE.pcap …] [--profile FILE]
+//! netaware-cli obs summarize FILE [--metrics FILE]
+//! netaware-cli obs profile FILE
 //! ```
 //!
 //! `APP` is one of `pplive`, `sopcast`, `tvants`, `nextgen`.
@@ -36,20 +37,38 @@
 //! (byte-identical across same-seed runs); `run --metrics FILE` writes
 //! the metrics-registry snapshot (JSON, or CSV when FILE ends in
 //! `.csv`). `obs summarize FILE` renders an event log: top targets,
-//! error events, and the chunk-scheduler decision rate.
+//! error events, and the chunk-scheduler decision rate; pass
+//! `--metrics FILE` to fold a metrics snapshot (counter throughput,
+//! histogram percentiles) into the same report.
+//!
+//! `run --profile FILE` and `analyze --profile FILE` arm the span
+//! profiler and write the finished run's `PerfReport` (the
+//! `BENCH_*.json` format emitted by `xtask perf`) to FILE;
+//! `obs profile FILE` renders such a snapshot as an indented
+//! flame-style table with self/total wall time, calls, allocations and
+//! per-phase throughput.
 
 use netaware::analysis::tables;
-use netaware::analysis::{analyze, AnalysisConfig};
+use netaware::analysis::AnalysisConfig;
 use netaware::net::Ip;
 use netaware::testbed::{
     self, run_experiment, run_paper_suite, BuiltScenario, ExperimentOptions, ScenarioConfig,
 };
-use netaware::obs::{EventSink, JsonlSink, LogSummary, NullSink};
+use netaware::obs::{
+    EventSink, Filter, JsonlSink, LogSummary, MetricsSnapshot, NullSink, PerfMeta, PerfReport,
+    WallClock,
+};
 use netaware::trace::pcap::import_pcap;
 use netaware::trace::TraceSet;
 use netaware::{AppProfile, ChurnPlan, FaultPlan, Obs};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Counting allocator: fills the allocation and peak-heap columns of
+/// `--profile` snapshots. Two relaxed atomic adds per allocation when
+/// nothing reads the counters.
+#[global_allocator]
+static ALLOC: netaware::obs::alloc::CountingAlloc = netaware::obs::alloc::CountingAlloc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -75,6 +94,7 @@ struct Common {
     pcaps: Vec<(Ip, String)>,
     obs_log: Option<String>,
     metrics: Option<String>,
+    profile_out: Option<String>,
     faults: FaultPlan,
 }
 
@@ -95,6 +115,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         pcaps: Vec::new(),
         obs_log: None,
         metrics: None,
+        profile_out: None,
         faults: FaultPlan::none(),
     };
     let mut i = 0;
@@ -120,6 +141,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--spill" => c.spill = Some(take(&mut i)?),
             "--obs-log" => c.obs_log = Some(take(&mut i)?),
             "--metrics" => c.metrics = Some(take(&mut i)?),
+            "--profile" => c.profile_out = Some(take(&mut i)?),
             "--dir" => c.dir = Some(take(&mut i)?),
             "--faults" => faults_file = Some(take(&mut i)?),
             "--loss" => loss = Some(take(&mut i)?.parse().map_err(|e| format!("loss: {e}"))?),
@@ -172,6 +194,42 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
     plan.validate()?;
     c.faults = plan;
     Ok(c)
+}
+
+/// Writes the `--profile` snapshot, if one was requested. Returns false
+/// when requested but unwritable.
+fn write_profile_snapshot(obs: &Obs, scenario: &str, c: &Common) -> bool {
+    let Some(path) = &c.profile_out else {
+        return true;
+    };
+    let Some(report) = obs.perf_report(perf_meta(scenario.to_string(), c)) else {
+        eprintln!("profile: profiler was not armed");
+        return false;
+    };
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("profile: writing snapshot to {path} failed: {e}");
+        return false;
+    }
+    eprintln!("perf snapshot written to {path}");
+    true
+}
+
+/// Cell identity for a `--profile` snapshot taken by this binary.
+fn perf_meta(scenario: String, c: &Common) -> PerfMeta {
+    let toolchain = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| String::from("rustc unknown"));
+    PerfMeta {
+        scenario,
+        toolchain,
+        seed: c.seed,
+        scale_permille: (c.scale * 1000.0).round() as u64,
+        sim_secs: c.secs,
+    }
 }
 
 fn profile_by_name(name: &str) -> Option<AppProfile> {
@@ -272,9 +330,9 @@ fn cmd_run(c: &Common) -> ExitCode {
     let mut opts = opts_of(c);
     opts.keep_traces = c.persite;
     // Observability: a JSONL sink when an event log is requested, a
-    // counting null sink when only metrics are (events still flow so
-    // the counters fill, but nothing is built or written).
-    if c.obs_log.is_some() || c.metrics.is_some() {
+    // counting null sink when only metrics/profiling are (events still
+    // flow so the counters fill, but nothing is built or written).
+    if c.obs_log.is_some() || c.metrics.is_some() || c.profile_out.is_some() {
         let sink: Arc<dyn EventSink> = match &c.obs_log {
             Some(path) => match JsonlSink::create(std::path::Path::new(path)) {
                 Ok(s) => Arc::new(s),
@@ -285,7 +343,11 @@ fn cmd_run(c: &Common) -> ExitCode {
             },
             None => Arc::new(NullSink::new()),
         };
-        opts.obs = Obs::new(sink);
+        opts.obs = if c.profile_out.is_some() {
+            Obs::with_profiler(sink, Filter::all(), Arc::new(WallClock::new()))
+        } else {
+            Obs::new(sink)
+        };
     }
     let out = if let Some(dir) = &c.spill {
         if c.persite {
@@ -367,6 +429,14 @@ fn cmd_run(c: &Common) -> ExitCode {
         }
         eprintln!("metrics snapshot written to {path}");
     }
+    let scenario = format!(
+        "{}_{}",
+        name.to_ascii_lowercase(),
+        if opts.faults.is_noop() { "clean" } else { "faulted" }
+    );
+    if !write_profile_snapshot(obs, &scenario, c) {
+        return ExitCode::FAILURE;
+    }
     if obs.is_enabled() {
         for t in obs.timings() {
             eprintln!("timing: {:<20} {:>10.3} ms", t.name, t.elapsed_us as f64 / 1000.0);
@@ -375,11 +445,22 @@ fn cmd_run(c: &Common) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `obs summarize FILE` — render an event-log summary. Fails (non-zero)
-/// on unreadable or malformed logs, including truncated JSONL lines.
+/// `obs summarize FILE [--metrics FILE]` — render an event-log summary,
+/// optionally folding a metrics snapshot into the same report. Fails
+/// (non-zero) on unreadable or malformed inputs, including truncated
+/// JSONL lines. `obs profile FILE` renders a `BENCH_*.json` perf
+/// snapshot as the flame-style span table.
 fn cmd_obs(rest: &[String]) -> ExitCode {
     match rest {
-        [sub, file] if sub == "summarize" => {
+        [sub, file, tail @ ..] if sub == "summarize" => {
+            let metrics_path = match tail {
+                [] => None,
+                [flag, path] if flag == "--metrics" => Some(path.clone()),
+                _ => {
+                    eprintln!("usage: netaware-cli obs summarize FILE [--metrics FILE]");
+                    return ExitCode::from(2);
+                }
+            };
             let f = match std::fs::File::open(file) {
                 Ok(f) => f,
                 Err(e) => {
@@ -387,19 +468,59 @@ fn cmd_obs(rest: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match LogSummary::from_reader(std::io::BufReader::new(f)) {
-                Ok(s) => {
-                    print!("{}", s.render());
+            let summary = match LogSummary::from_reader(std::io::BufReader::new(f)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("obs summarize: {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let metrics: Option<MetricsSnapshot> = match &metrics_path {
+                None => None,
+                Some(path) => {
+                    let body = match std::fs::read_to_string(path) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("obs summarize: cannot open {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match LogSummary::parse_metrics(&body) {
+                        Ok(m) => Some(m),
+                        Err(e) => {
+                            eprintln!("obs summarize: {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            print!("{}", summary.render_with_metrics(metrics.as_ref()));
+            ExitCode::SUCCESS
+        }
+        [sub, file] if sub == "profile" => {
+            let body = match std::fs::read_to_string(file) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("obs profile: cannot open {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match PerfReport::from_json(&body) {
+                Ok(r) => {
+                    print!("{}", r.render());
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("obs summarize: {file}: {e}");
+                    eprintln!("obs profile: {file}: {e}");
                     ExitCode::FAILURE
                 }
             }
         }
         _ => {
-            eprintln!("usage: netaware-cli obs summarize FILE");
+            eprintln!(
+                "usage: netaware-cli obs summarize FILE [--metrics FILE]\n       \
+                 netaware-cli obs profile FILE"
+            );
             ExitCode::from(2)
         }
     }
@@ -484,13 +605,19 @@ fn cmd_export(c: &Common) -> ExitCode {
 fn cmd_analyze(c: &Common) -> ExitCode {
     // A saved corpus directory (from `export` or `run --spill`) analyses
     // in one step, streaming each probe's records straight off disk.
+    let obs = if c.profile_out.is_some() {
+        Obs::profiled()
+    } else {
+        Obs::default()
+    };
     if let Some(dir) = &c.dir {
         let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale: 0.01, ..Default::default() }, 100);
-        let a = match netaware::analyze_corpus(
+        let a = match netaware::analysis::analyze_corpus_with_obs(
             std::path::Path::new(dir),
             &scenario.registry,
             &AnalysisConfig::default(),
             &scenario.highbw_probe_ips,
+            &obs,
         ) {
             Ok(a) => a,
             Err(e) => {
@@ -505,6 +632,9 @@ fn cmd_analyze(c: &Common) -> ExitCode {
         );
         if let Some(p) = &c.json {
             std::fs::write(p, a.to_json()).expect("write json");
+        }
+        if !write_profile_snapshot(&obs, "analyze_corpus", c) {
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
@@ -528,11 +658,12 @@ fn cmd_analyze(c: &Common) -> ExitCode {
 
     // Resolve against the reconstructed testbed registry.
     let scenario = BuiltScenario::build(&ScenarioConfig { seed: 42, scale: 0.01, ..Default::default() }, 100);
-    let a = analyze(
+    let a = netaware::analysis::analyze_with_obs(
         &set,
         &scenario.registry,
         &AnalysisConfig::default(),
         &scenario.highbw_probe_ips,
+        &obs,
     );
     let outs_like = [(a.app.clone(), a.preferences.clone())];
     println!("{}", tables::render_table4(&outs_like));
@@ -542,6 +673,9 @@ fn cmd_analyze(c: &Common) -> ExitCode {
     );
     if let Some(p) = &c.json {
         std::fs::write(p, a.to_json()).expect("write json");
+    }
+    if !write_profile_snapshot(&obs, "analyze_pcap", c) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,40 @@
+//! Counting-allocator accuracy, pinned against a known allocation
+//! pattern. This test lives alone in its own binary so the process-wide
+//! counters see no concurrent test traffic, which lets the deltas be
+//! asserted exactly.
+
+use netaware::obs::alloc::{snapshot, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn counters_track_a_known_allocation_pattern_exactly() {
+    assert!(netaware::obs::alloc::is_counting());
+    let before = snapshot();
+
+    // One Vec of 1000 u64 is exactly one allocation of 8000 bytes.
+    let v: Vec<u64> = Vec::with_capacity(1000);
+    let held = snapshot();
+    assert_eq!(held.allocs - before.allocs, 1, "one allocation expected");
+    assert_eq!(held.bytes - before.bytes, 8000, "8000 bytes expected");
+    assert_eq!(held.live_bytes - before.live_bytes, 8000);
+    assert!(held.peak_bytes >= before.live_bytes + 8000);
+
+    // A second, differently-sized block accumulates on top.
+    let w: Vec<u8> = Vec::with_capacity(512);
+    let held2 = snapshot();
+    assert_eq!(held2.allocs - before.allocs, 2);
+    assert_eq!(held2.bytes - before.bytes, 8512);
+    assert_eq!(held2.live_bytes - before.live_bytes, 8512);
+
+    // Frees return live bytes to the starting level; the cumulative
+    // counters are monotone and keep both allocations.
+    drop(v);
+    drop(w);
+    let after = snapshot();
+    assert_eq!(after.live_bytes, before.live_bytes, "frees balance");
+    assert_eq!(after.allocs - before.allocs, 2);
+    assert_eq!(after.bytes - before.bytes, 8512);
+    assert!(after.peak_bytes >= held2.live_bytes);
+}

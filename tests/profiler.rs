@@ -1,0 +1,96 @@
+//! Integration tests for the performance-observability subsystem: the
+//! determinism contract of `PerfReport` (byte-identical modulo the
+//! declared wall-clock fields), and RAII span closure under panics at
+//! the full-stack level.
+
+use netaware::obs::profile::masked_diff;
+use netaware::obs::{PerfMeta, PerfReport};
+use netaware::testbed::{run_experiment, ExperimentOptions};
+use netaware::{AppProfile, FaultPlan, Obs};
+
+fn profiled_run(seed: u64) -> PerfReport {
+    let obs = Obs::profiled();
+    let opts = ExperimentOptions {
+        seed,
+        scale: 0.02,
+        duration_us: 10_000_000,
+        obs: obs.clone(),
+        faults: FaultPlan::none(),
+        ..Default::default()
+    };
+    let _ = run_experiment(AppProfile::tvants(), &opts);
+    let meta = PerfMeta {
+        scenario: String::from("tvants_clean"),
+        toolchain: String::from("rustc integration-test"),
+        seed,
+        scale_permille: 20,
+        sim_secs: 10,
+    };
+    obs.perf_report(meta).expect("profiled handle")
+}
+
+#[test]
+fn same_seed_reports_are_byte_identical_modulo_masked_fields() {
+    let a = profiled_run(321);
+    let b = profiled_run(321);
+    // Wall time, allocation counts and throughput are host observations
+    // and may differ; everything else — tree shape, call counts,
+    // sim-time coverage, record/event/byte tallies, the full metrics
+    // snapshot — must replay exactly.
+    if let Err(e) = masked_diff(&a.to_json(), &b.to_json()) {
+        panic!("same-seed perf reports diverge: {e}");
+    }
+    // The contract is not vacuous: the unmasked tree carries real
+    // deterministic workload tallies.
+    let tree = &a.profile;
+    let events = tree.total(|n| n.events);
+    let records = tree.total(|n| n.records);
+    assert!(events > 0, "no events tallied");
+    assert!(records > 0, "no records tallied");
+    assert_eq!(events, b.profile.total(|n| n.events));
+    assert_eq!(records, b.profile.total(|n| n.records));
+    // And the full stack actually appears in the tree.
+    for path in [
+        "testbed.run",
+        "testbed.run/swarm.run/swarm.dispatch",
+        "testbed.run/swarm.run/swarm.dispatch/behaviour.scheduling",
+        "testbed.run/analysis.sweep",
+        "testbed.run/analysis.assemble",
+        "testbed.run/trace.sink",
+    ] {
+        assert!(tree.find(path).is_some(), "span {path} missing from tree");
+    }
+}
+
+#[test]
+fn different_seed_reports_differ_even_masked() {
+    let a = profiled_run(321);
+    let b = profiled_run(654);
+    assert!(
+        masked_diff(&a.to_json(), &b.to_json()).is_err(),
+        "different workloads must not mask to the same report"
+    );
+}
+
+#[test]
+fn panicking_scope_still_closes_the_whole_stack() {
+    let obs = Obs::profiled();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let outer = obs.pspan("phase.outer");
+        outer.add_events(1);
+        let inner = obs.pspan("phase.inner");
+        inner.add_events(1);
+        panic!("mid-phase failure");
+    }));
+    assert!(caught.is_err());
+    // Both guards unwound: the tree records one completed call each, at
+    // the right nesting, and a fresh span opens at the root again.
+    {
+        let _after = obs.pspan("phase.after");
+    }
+    let tree = obs.profile_tree().expect("profiling");
+    let outer = tree.find("phase.outer").expect("outer closed");
+    assert_eq!(outer.calls, 1);
+    assert_eq!(tree.find("phase.outer/phase.inner").expect("inner nested").calls, 1);
+    assert_eq!(tree.find("phase.after").expect("root-level after panic").calls, 1);
+}

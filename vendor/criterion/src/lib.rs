@@ -153,6 +153,32 @@ impl Bencher {
         let median = self.report[self.report.len() / 2];
         let (lo, hi) = (self.report[0], self.report[self.report.len() - 1]);
         eprintln!("bench {name:<40} median {median:>12.1} ns/iter (min {lo:.1}, max {hi:.1})");
+        self.write_json(name, median, lo, hi);
+    }
+
+    /// When `NETAWARE_BENCH_JSON_DIR` is set, each finished benchmark
+    /// also writes a `BENCH_<name>.json` snapshot there (sorted samples
+    /// plus the median/min/max summary), so `cargo bench` runs leave
+    /// machine-readable artifacts next to the `xtask perf` reports.
+    fn write_json(&self, name: &str, median: f64, lo: f64, hi: f64) {
+        let Ok(dir) = std::env::var("NETAWARE_BENCH_JSON_DIR") else {
+            return;
+        };
+        let slug: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let samples: Vec<String> = self.report.iter().map(|v| format!("{v:.1}")).collect();
+        let body = format!(
+            "{{\n  \"schema\": 1,\n  \"name\": \"{name}\",\n  \"median_ns_per_iter\": {median:.1},\n  \
+             \"min_ns_per_iter\": {lo:.1},\n  \"max_ns_per_iter\": {hi:.1},\n  \
+             \"samples_ns_per_iter\": [{}]\n}}\n",
+            samples.join(", ")
+        );
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("bench {name}: cannot write {}: {e}", path.display());
+        }
     }
 }
 
