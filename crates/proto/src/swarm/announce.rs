@@ -7,6 +7,7 @@
 //! measures — PPLive's announce traffic alone exceeds the stream rate.
 
 use super::behaviour::{Behaviour, Ctx};
+use super::state::Event;
 use crate::message::Signal;
 use crate::peer::{PeerId, PeerRole};
 use crate::profiles::AppProfile;
@@ -14,6 +15,7 @@ use netaware_sim::PacketFate;
 use netaware_trace::PayloadKind;
 
 /// The announce behaviour and its profile-derived parameters.
+#[derive(Clone)]
 pub(crate) struct Announce {
     /// Buffer maps (sent, received) per tick.
     tx_n: u32,
@@ -37,23 +39,38 @@ impl Behaviour for Announce {
     fn on_tick(&mut self, ctx: &mut Ctx<'_, '_>, i: usize) {
         let now = ctx.now();
         let pid = PeerId((1 + i) as u32);
-        let core = &mut *ctx.core;
         let (tx_n, rx_n) = (self.tx_n, self.rx_n);
-        let n_neigh = core.probe_states[i].disc.neighbors.len();
+        let n_neigh = ctx.core.probe_states[i].disc.neighbors.len();
         if n_neigh == 0 {
             return;
         }
         // Gossip fan-out: how many neighbors this tick's announcements
         // could reach, and how many buffer maps actually go out.
-        core.m.gossip_fanout.record(n_neigh);
-        core.m.gossip_announcements.add(tx_n as u64);
+        ctx.core.m.gossip_fanout.record(n_neigh);
+        ctx.core.m.gossip_announcements.add(tx_n as u64);
         let tick = self.tick_us;
         for k in 0..tx_n {
+            let core = &mut *ctx.core;
             let pick = core.probe_states[i].rng.range(0..n_neigh);
             let to = core.probe_states[i].disc.neighbors[pick].id;
             let at = now + (k as u64 * tick) / (tx_n.max(1) as u64 * 2);
-            core.send_signal(at, pid, to, Signal::BufferMap);
+            // Sender-side half here; a probe receiver charges its own
+            // fate and RX capture when the packet reaches it (possibly
+            // on another shard).
+            let arrival = core.signal_tx(at, pid, to, Signal::BufferMap);
+            let to_is_probe = core.probe_index(to).is_some();
+            if let (Some(arrival), true) = (arrival, to_is_probe) {
+                ctx.schedule(
+                    arrival,
+                    Event::SignalRx {
+                        to,
+                        from: pid,
+                        size: Signal::BufferMap.wire_size(),
+                    },
+                );
+            }
         }
+        let core = &mut *ctx.core;
         // RX: sample external neighbors only.
         let ext_neighbors: Vec<PeerId> = core.probe_states[i]
             .disc

@@ -35,7 +35,7 @@ use std::collections::VecDeque;
 /// Actions are the only way behaviours reach the scheduler or each
 /// other; the dispatcher drains them in emission (FIFO) order, so the
 /// order of `emit` calls *is* the order of scheduler insertions.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub enum BehaviourAction {
     /// Insert `ev` into the event queue at absolute sim time `at`.
     Schedule {
@@ -122,8 +122,13 @@ impl Ctx<'_, '_> {
 /// events it cares about. Hooks run in fixed stack order for each
 /// event; effects that must reach the scheduler go through
 /// [`Ctx::schedule`], never a direct queue push (lint rule BH01).
+///
+/// `Send` is required because the sharded engine moves behaviour stacks
+/// onto worker threads (custom behaviours are never replicated — a
+/// stack with customs falls back to one shard — but the bound must hold
+/// for the type to cross the spawn boundary).
 #[allow(unused_variables)]
-pub trait Behaviour {
+pub trait Behaviour: Send {
     /// Short stable name, used to label this behaviour's node in the
     /// dispatch profile (`swarm.dispatch/behaviour.<name>`).
     fn name(&self) -> &'static str {
@@ -185,5 +190,20 @@ impl BehaviourStack {
     /// actions) leaves runs byte-identical to the plain stack.
     pub fn push(&mut self, behaviour: Box<dyn Behaviour>) {
         self.custom.push(behaviour);
+    }
+
+    /// A shard replica of the stack: built-in behaviours are cloned with
+    /// their full mid-run state (discovery tables and outages, the churn
+    /// process's RNG position, parameters), customs are not replicated.
+    /// Callers must force a single shard when `custom` is non-empty.
+    pub(crate) fn clone_builtins(&self) -> BehaviourStack {
+        debug_assert!(self.custom.is_empty(), "custom behaviours cannot shard");
+        BehaviourStack {
+            discovery: self.discovery.clone(),
+            announce: self.announce.clone(),
+            recovery: self.recovery.clone_replica(),
+            scheduling: self.scheduling.clone(),
+            custom: Vec::new(),
+        }
     }
 }

@@ -19,6 +19,7 @@ use netaware_sim::{PacketFate, SimTime};
 use netaware_trace::PayloadKind;
 
 /// The discovery behaviour and its profile-derived parameters.
+#[derive(Clone)]
 pub(crate) struct Discovery {
     max_neighbors: usize,
     pub(crate) init_neighbors: usize,
@@ -144,7 +145,9 @@ impl Discovery {
         // Handshake on the wire: either direction lost to a link fault
         // means no handshake and no neighbor entry.
         let now = SimTime::from_us(now_us);
-        let Some(arrival) = core.send_signal(now, pid, cand, Signal::Hello) else {
+        // `cand` is always external (sampled from the tracker tables),
+        // so the sender-side half is the whole wire model.
+        let Some(arrival) = core.signal_tx(now, pid, cand, Signal::Hello) else {
             return false;
         };
         let lat = core.delay_us(cand, pid);
@@ -218,7 +221,8 @@ impl Behaviour for Discovery {
             return;
         };
         let entries = self.peerlist_entries;
-        let Some(arrival) = core.send_signal(now, pid, target, Signal::Hello) else {
+        // `target` is always external (uniform tracker sample).
+        let Some(arrival) = core.signal_tx(now, pid, target, Signal::Hello) else {
             return; // hello lost on the wire
         };
         // Departed peers are silent; NATted externals answer only if

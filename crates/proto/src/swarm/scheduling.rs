@@ -26,6 +26,7 @@ const SOURCE_WEIGHT_FACTOR: f64 = 0.05;
 const ACTIVE_REQUESTER_CAP: usize = 48;
 
 /// The scheduling behaviour and its profile-derived parameters.
+#[derive(Clone)]
 pub(crate) struct Scheduling {
     download_policy: SelectionPolicy,
     upload_policy: SelectionPolicy,
@@ -81,8 +82,20 @@ impl Scheduling {
                 let available = match core.peers[id.0 as usize].role {
                     PeerRole::Source => true,
                     PeerRole::Probe => {
+                        // Playout-position heuristic, not the remote
+                        // buffer map: probe `q` fetches `2 + lag_q`
+                        // chunks behind the live head, so a chunk is
+                        // plausibly held once the stream has advanced
+                        // that far past it. Real clients guess from
+                        // (stale) buffer-map gossip the same way; the
+                        // provider's authoritative `has` check at serve
+                        // time refuses misses. Crucially this reads only
+                        // the remote's *static* lag, never its live
+                        // state — a request can be priced without
+                        // looking across a shard boundary.
                         let qi = id.0 as usize - 1;
-                        core.probe_states[qi].sched.bufmap.contains(chunk)
+                        let lag = core.probe_states[qi].sched.fetch_lag_chunks;
+                        core.cfg.stream.chunk_time_us(ChunkId(chunk.0 + 2 + lag)) <= now_us
                     }
                     PeerRole::External => {
                         let m = &core.meta[id.0 as usize];
@@ -161,13 +174,18 @@ impl Scheduling {
         );
         // A lost request packet simply never reaches the provider: the
         // pending entry rides out its timeout and the chunk is retried.
-        if let Some(arrival) = core.send_signal(now, pid, provider, Signal::ChunkRequest(chunk)) {
+        // Only the *sender's* half runs here; a probe provider charges
+        // its own inbound fate and capture in the `Serve` preamble (on
+        // its own shard), external providers have no modelled inbound
+        // link.
+        if let Some(arrival) = core.signal_tx(now, pid, provider, Signal::ChunkRequest(chunk)) {
             ctx.schedule(
                 arrival,
                 Event::Serve {
                     provider,
                     to: pid,
                     chunk,
+                    deferred: false,
                 },
             );
         }

@@ -117,6 +117,7 @@ pub struct ModemState {
 }
 
 /// Access-link state of one probe, owned by the transfer machinery.
+#[derive(Clone)]
 pub struct LinkState {
     /// Upload access-link queue.
     pub uplink: AccessSerializer,
@@ -126,9 +127,16 @@ pub struct LinkState {
     pub modem: Option<ModemState>,
     /// Last downlink delivery per providing flow (per-flow pacing).
     pub last_rx_from: BTreeMap<PeerId, netaware_sim::SimTime>,
+    /// Upload serializers of the external peers *this probe* talks to,
+    /// created lazily on first serve. Keeping them per-probe (instead of
+    /// globally shared) makes every external-interaction path a pure
+    /// function of one probe's state, which is what lets the sharded
+    /// engine replicate externals without cross-shard coordination.
+    pub ext_up: BTreeMap<PeerId, AccessSerializer>,
 }
 
 /// The discovery behaviour's slice of one probe's state.
+#[derive(Clone)]
 pub struct DiscoveryState {
     /// Current neighbor table.
     pub neighbors: Vec<Neighbor>,
@@ -137,6 +145,7 @@ pub struct DiscoveryState {
 }
 
 /// The scheduling behaviour's slice of one probe's state.
+#[derive(Clone)]
 pub struct SchedulingState {
     /// Chunks held in the playout buffer.
     pub bufmap: BufferMap,
@@ -161,6 +170,7 @@ pub struct SchedulingState {
 }
 
 /// The churn-recovery behaviour's slice of one probe's state.
+#[derive(Clone)]
 pub struct RecoveryState {
     /// Chunks to re-request promptly: their provider departed while the
     /// request was in flight (churn recovery path).
@@ -171,6 +181,7 @@ pub struct RecoveryState {
 }
 
 /// Full protocol state of one probe, sliced by owning concern.
+#[derive(Clone)]
 pub struct ProbeState {
     /// Access-link state (transfer machinery).
     pub link: LinkState,
@@ -186,6 +197,7 @@ pub struct ProbeState {
 }
 
 /// Discovery sampling structures shared by all probes.
+#[derive(Clone, Default)]
 pub struct DiscoveryTables {
     /// External indices (into `peers`) with cumulative bandwidth-biased
     /// weights, for O(log n) weighted sampling.
@@ -227,8 +239,24 @@ impl DiscoveryTables {
     }
 }
 
+/// The packet train of one probe→probe chunk transfer, built on the
+/// provider's shard and consumed on the receiver's. Carrying departure
+/// times instead of mutating receiver state at serve time is what keeps
+/// the transfer's two halves on their own shards: the provider computes
+/// when each packet clears its uplink and the path, the receiver applies
+/// its own loss process and downlink queueing when the train reaches it.
+#[derive(Clone, Debug)]
+pub struct ChunkTrain {
+    /// No packet was dropped on the provider's side of the path; only a
+    /// complete train can yield a `Delivered`.
+    pub complete: bool,
+    /// `(reach_us, wire_bytes)` per surviving packet: when the packet
+    /// reaches the receiver's access link, and its on-wire size.
+    pub pkts: Vec<(u64, u16)>,
+}
+
 /// Simulation events.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub enum Event {
     /// Protocol tick at probe `i`.
     Tick(u32),
@@ -244,6 +272,32 @@ pub enum Event {
         to: PeerId,
         /// Which chunk.
         chunk: ChunkId,
+        /// The probe provider already charged its inbound-request fate
+        /// and capture and re-scheduled the serve past the request's
+        /// downlink queueing delay; skip the receive preamble.
+        deferred: bool,
+    },
+    /// A probe→probe chunk packet train reaches the receiver's access
+    /// link (receiver-side half of the transfer).
+    ChunkRx {
+        /// Receiving probe.
+        to: PeerId,
+        /// Providing probe.
+        from: PeerId,
+        /// Which chunk.
+        chunk: ChunkId,
+        /// The packets, with provider-side fates already applied.
+        train: Box<ChunkTrain>,
+    },
+    /// A signalling packet from another probe reaches the receiver's
+    /// access link (receiver-side half of probe→probe signalling).
+    SignalRx {
+        /// Receiving probe.
+        to: PeerId,
+        /// Sending probe.
+        from: PeerId,
+        /// On-wire size, bytes.
+        size: u16,
     },
     /// A chunk finished arriving at a probe.
     Delivered {
@@ -262,13 +316,6 @@ pub enum Event {
     Depart(PeerId),
     /// A departed external rejoins the overlay (churn).
     Arrive(PeerId),
-}
-
-/// Upload-side dynamic state of an external peer, created lazily the
-/// first time it serves a probe.
-pub struct ExtDynamic {
-    /// Upload access-link queue.
-    pub uplink: AccessSerializer,
 }
 
 /// Deterministic playout lag of an external: 0.5–5 s behind the source.
@@ -419,6 +466,7 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
                 downlink: AccessSerializer::new(m.down_bps.max(1)),
                 modem: (m.down_bps < 15_000_000).then(ModemState::default),
                 last_rx_from: BTreeMap::new(),
+                ext_up: BTreeMap::new(),
             },
             disc: DiscoveryState {
                 neighbors,
@@ -456,11 +504,10 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
     let mut core = SwarmCore {
         cfg,
         env,
-        peers,
-        meta,
+        peers: std::sync::Arc::new(peers),
+        meta: std::sync::Arc::new(meta),
         n_probes,
         probe_states,
-        ext_dyn: BTreeMap::new(),
         traces,
         rng,
         report: SwarmReport::default(),
@@ -468,6 +515,7 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
         m: super::SwarmMetrics::default(),
         links: Vec::new(),
         offline: std::collections::BTreeSet::new(),
+        shard: super::ShardRole::default(),
     };
 
     // Tracker bootstrap: hand each probe its initial external neighbors
@@ -487,5 +535,9 @@ pub fn build<'a>(cfg: SwarmConfig, env: NetworkEnv<'a>, setup: PeerSetup) -> Swa
     }
     debug_assert!(actions.queue.is_empty());
 
-    Swarm { core, stack }
+    Swarm {
+        core,
+        stack,
+        shards: 1,
+    }
 }

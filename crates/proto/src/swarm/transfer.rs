@@ -9,7 +9,7 @@
 //! signal the analysis' BW classifier extracts.
 
 use super::behaviour::{Actions, BehaviourAction};
-use super::state::{Event, ExtDynamic};
+use super::state::{ChunkTrain, Event};
 use super::SwarmCore;
 use crate::message::Signal;
 use crate::peer::PeerId;
@@ -110,13 +110,17 @@ impl SwarmCore<'_> {
         });
     }
 
-    /// Emits a signalling packet `from → to`, recording it at whichever
-    /// endpoints are probes. Returns its arrival time, or `None` when a
-    /// link fault ate the packet on the way (the sender's TX capture
-    /// still materialises — tcpdump sits before the access link — but
-    /// no RX record and no arrival exist; the caller's timeout logic is
-    /// the recovery path).
-    pub(crate) fn send_signal(
+    /// Sender-side half of a signalling packet `from → to`: TX capture
+    /// (when the sender is a probe), the sender's link fate, and the
+    /// propagation delay. Returns when the packet reaches the
+    /// *receiver's access link*, or `None` when the sender's link ate it
+    /// (the TX capture still materialises — tcpdump sits before the
+    /// access link). The receiver's fate and RX capture are applied on
+    /// the receiver's side: by [`SwarmCore::receive_signal`] for
+    /// probe receivers (via [`Event::SignalRx`]), by the `Serve`
+    /// preamble for chunk requests, and not at all for externals. The
+    /// split is what lets the two endpoints live on different shards.
+    pub(crate) fn signal_tx(
         &mut self,
         now: SimTime,
         from: PeerId,
@@ -137,21 +141,38 @@ impl SwarmCore<'_> {
                 PacketFate::Pass { extra_delay_us } => extra = extra_delay_us,
             }
         }
-        let mut arrival = now + self.delay_us(from, to) + extra;
-        if let Some(pi) = self.probe_index(to) {
-            match self.link_fate(pi, arrival.as_us()) {
-                PacketFate::Dropped => return None,
-                PacketFate::Pass { extra_delay_us } => arrival += extra_delay_us,
-            }
-            let ttl = self.ttl_to(from, to);
-            self.capture(pi, arrival, from, to, size, ttl, PayloadKind::Signaling);
-        }
-        Some(arrival)
+        Some(now + self.delay_us(from, to) + extra)
     }
 
-    /// Serves one chunk from a probe provider: packetises through the
-    /// probe's uplink, captures TX records, and (when the requester is a
-    /// probe too) captures RX records and schedules the delivery event.
+    /// Receiver-side half of probe-destined signalling: the receiving
+    /// probe's link fate and RX capture, at the time the packet reached
+    /// its access link.
+    pub(crate) fn receive_signal(&mut self, now: SimTime, from: PeerId, to_idx: usize, size: u16) {
+        match self.link_fate(to_idx, now.as_us()) {
+            PacketFate::Dropped => {}
+            PacketFate::Pass { extra_delay_us } => {
+                let to = PeerId((1 + to_idx) as u32);
+                let ttl = self.ttl_to(from, to);
+                self.capture(
+                    to_idx,
+                    now + extra_delay_us,
+                    from,
+                    to,
+                    size,
+                    ttl,
+                    PayloadKind::Signaling,
+                );
+            }
+        }
+    }
+
+    /// Provider-side half of a probe-served chunk: packetises through
+    /// the provider's uplink, captures TX records, applies the
+    /// provider's link fates, and (when the requester is a probe)
+    /// schedules the surviving packet train as an [`Event::ChunkRx`] on
+    /// the requester — whose own shard applies its loss process,
+    /// downlink queueing and RX captures in
+    /// [`SwarmCore::receive_chunk_train`].
     pub(crate) fn probe_serve_chunk(
         &mut self,
         actions: &mut Actions,
@@ -166,57 +187,87 @@ impl SwarmCore<'_> {
         let prov_idx = self
             .probe_index(provider)
             .expect("probe_serve_chunk needs a probe provider"); // netaware-lint: allow(PA01) dispatch routes probe providers here only
-        let ttl = self.ttl_to(provider, to);
-        let to_probe_idx = self.probe_index(to);
+        let to_probe = self.is_probe(to);
 
-        let mut first_arrival = None;
-        let mut last_arrival = SimTime::ZERO;
-        let mut chunk_ok = true;
+        let mut train = ChunkTrain {
+            complete: true,
+            pkts: Vec::with_capacity(n_pkts as usize),
+        };
         for i in 0..n_pkts {
             let size = stream.packet_size(i) as u16;
             let dep = self.probe_states[prov_idx].link.uplink.enqueue(now, size as u32);
             self.capture(prov_idx, dep, provider, to, size, DEFAULT_TTL, PayloadKind::Video);
-            // The packet crosses the provider's access link at `dep` and
-            // (when the requester is a probe) the requester's at `reach`;
-            // either can drop it. A chunk with any packet missing never
-            // completes — the requester's timeout + backoff re-request is
-            // the recovery path.
-            let up_extra = match self.link_fate(prov_idx, dep.as_us()) {
+            // The packet crosses the provider's access link at `dep`; a
+            // drop there means the chunk can never complete — the
+            // requester's timeout + backoff re-request is the recovery
+            // path. Surviving packets reach the requester's access link
+            // one path delay later.
+            match self.link_fate(prov_idx, dep.as_us()) {
+                PacketFate::Dropped => train.complete = false,
+                PacketFate::Pass { extra_delay_us } => {
+                    train.pkts.push(((dep + lat + extra_delay_us).as_us(), size));
+                }
+            }
+        }
+        self.report.chunks_served_by_probes += 1;
+        self.report.video_bytes_tx += stream.chunk_bytes as u64;
+
+        if to_probe {
+            if let Some(at_us) = train.pkts.iter().map(|p| p.0).min() {
+                actions.queue.push_back(BehaviourAction::Schedule {
+                    at: SimTime::from_us(at_us),
+                    ev: Event::ChunkRx {
+                        to,
+                        from: provider,
+                        chunk,
+                        train: Box::new(train),
+                    },
+                });
+            }
+        }
+    }
+
+    /// Receiver-side half of a probe→probe chunk transfer: applies the
+    /// receiving probe's link fates, drains packets through its
+    /// downlink (per-flow pacing, modem coalescing), captures RX
+    /// records, and — when every packet of the chunk survived both
+    /// sides — schedules the [`Event::Delivered`] completion.
+    pub(crate) fn receive_chunk_train(
+        &mut self,
+        actions: &mut Actions,
+        to_idx: usize,
+        from: PeerId,
+        chunk: crate::chunk::ChunkId,
+        train: &ChunkTrain,
+    ) {
+        let stream = self.cfg.stream;
+        let to = PeerId((1 + to_idx) as u32);
+        let ttl = self.ttl_to(from, to);
+        let mut first_arrival = None;
+        let mut last_arrival = SimTime::ZERO;
+        let mut chunk_ok = train.complete;
+        for &(reach_us, size) in &train.pkts {
+            let down_extra = match self.link_fate(to_idx, reach_us) {
                 PacketFate::Dropped => {
                     chunk_ok = false;
                     continue;
                 }
                 PacketFate::Pass { extra_delay_us } => extra_delay_us,
             };
-            let reach = dep + lat + up_extra;
-            let arrival = if let Some(ti) = to_probe_idx {
-                let down_extra = match self.link_fate(ti, reach.as_us()) {
-                    PacketFate::Dropped => {
-                        chunk_ok = false;
-                        continue;
-                    }
-                    PacketFate::Pass { extra_delay_us } => extra_delay_us,
-                };
-                let a = self.deliver_to_probe(ti, provider, reach + down_extra, size as u32);
-                self.capture(ti, a, provider, to, size, ttl, PayloadKind::Video);
-                a
-            } else {
-                reach
-            };
-            first_arrival.get_or_insert(arrival);
-            last_arrival = arrival;
+            let reach = SimTime::from_us(reach_us) + down_extra;
+            let a = self.deliver_to_probe(to_idx, from, reach, size as u32);
+            self.capture(to_idx, a, from, to, size, ttl, PayloadKind::Video);
+            first_arrival.get_or_insert(a);
+            last_arrival = a;
         }
-        self.report.chunks_served_by_probes += 1;
-        self.report.video_bytes_tx += stream.chunk_bytes as u64;
-
-        if to_probe_idx.is_some() && chunk_ok {
+        if chunk_ok {
             let span = last_arrival.since(first_arrival.unwrap_or(last_arrival)).max(1);
             let est = (stream.chunk_bytes as u64 * 8).saturating_mul(1_000_000) / span;
             actions.queue.push_back(BehaviourAction::Schedule {
                 at: last_arrival,
                 ev: Event::Delivered {
                     to,
-                    from: provider,
+                    from,
                     chunk,
                     est_bps: est,
                 },
@@ -244,9 +295,12 @@ impl SwarmCore<'_> {
         // Real clients bound their upload queue: an external whose
         // uplink is already seconds behind refuses further requests (the
         // requester's timeout re-routes the chunk). This also keeps
-        // departure times physically near the present.
-        if let Some(ext) = self.ext_dyn.get(&provider) {
-            if ext.uplink.backlog_us(now) > EXT_BACKLOG_CAP_US {
+        // departure times physically near the present. The serializer is
+        // per-(probe, external): each probe sees its own copy of the
+        // external's uplink, so the path stays a pure function of one
+        // probe's state (the sharding contract; see `LinkState::ext_up`).
+        if let Some(up) = self.probe_states[to_idx].link.ext_up.get(&provider) {
+            if up.backlog_us(now) > EXT_BACKLOG_CAP_US {
                 self.report.chunks_refused += 1;
                 self.m.chunks_refused.inc();
                 return;
@@ -268,18 +322,20 @@ impl SwarmCore<'_> {
         let up_bps = self.meta[provider.0 as usize].up_bps.max(1);
         let mut departures = Vec::with_capacity(n_pkts as usize);
         {
-            let ext = self.ext_dyn.entry(provider).or_insert_with(|| ExtDynamic {
-                uplink: AccessSerializer::new(up_bps),
-            });
+            let up = self.probe_states[to_idx]
+                .link
+                .ext_up
+                .entry(provider)
+                .or_insert_with(|| AccessSerializer::new(up_bps));
             for _ in 0..bg_before {
-                ext.uplink.enqueue(now, stream.packet_bytes);
+                up.enqueue(now, stream.packet_bytes);
             }
             for i in 0..n_pkts {
                 if bg_flags[i as usize] {
-                    ext.uplink.enqueue(now, stream.packet_bytes); // interleaved bg
+                    up.enqueue(now, stream.packet_bytes); // interleaved bg
                 }
                 let size = stream.packet_size(i);
-                departures.push((ext.uplink.enqueue(now, size), size as u16));
+                departures.push((up.enqueue(now, size), size as u16));
             }
         }
 

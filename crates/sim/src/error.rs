@@ -1,0 +1,67 @@
+//! Typed simulation-engine errors.
+//!
+//! The engine used to police misuse (scheduling an event before the
+//! clock) with a debug assertion only, so release builds silently
+//! saturated. [`SimError`] makes the contract explicit: fallible entry
+//! points return `Result<_, SimError>`, and the infallible convenience
+//! paths document exactly which recovery they apply.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors the simulation engine can report to callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// An event was scheduled before the scheduler's current time.
+    ///
+    /// Processing it would violate causality (its effects would be
+    /// observed by events that already ran), so the fallible push
+    /// ([`crate::Scheduler::try_push`]) refuses it. The infallible
+    /// [`crate::Scheduler::push`] instead saturates the timestamp to
+    /// `now` and counts the correction, so callers that treat "now" as
+    /// an acceptable floor keep working while the drift stays visible.
+    SchedulePast {
+        /// The (past) time the event asked for.
+        at: SimTime,
+        /// The scheduler clock when the push was attempted.
+        now: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SchedulePast { at, now } => write!(
+                f,
+                "event scheduled in the past: at {at} but the clock is already at {now}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_times() {
+        let e = SimError::SchedulePast {
+            at: SimTime::from_us(5),
+            now: SimTime::from_ms(1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.000005s"), "{s}");
+        assert!(s.contains("0.001000s"), "{s}");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::SchedulePast {
+            at: SimTime::ZERO,
+            now: SimTime::from_us(1),
+        });
+        assert!(e.to_string().contains("past"));
+    }
+}

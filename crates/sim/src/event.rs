@@ -1,39 +1,74 @@
 //! The event queue.
 //!
-//! A binary-heap scheduler with two guarantees the simulation relies on:
+//! A bucketed calendar-queue scheduler with the guarantees the
+//! simulation relies on:
 //!
-//! 1. **Monotonic time** — events pop in non-decreasing timestamp order,
-//!    and scheduling in the past is a logic error caught by a debug
-//!    assertion;
-//! 2. **Stable ties** — events scheduled for the same instant pop in the
-//!    order they were pushed, so the run is a pure function of the seed
-//!    rather than of heap internals.
+//! 1. **Monotonic time** — events pop in non-decreasing timestamp
+//!    order. Scheduling in the past is refused by [`Scheduler::try_push`]
+//!    with [`SimError::SchedulePast`]; the infallible [`Scheduler::push`]
+//!    saturates the timestamp to "now" and counts the correction in
+//!    [`Scheduler::saturated`] so callers can surface the drift.
+//! 2. **Canonical keys** — every entry carries an `(origin, oseq)`
+//!    pair and pops in `(time, origin, oseq)` order. Origins are entity
+//!    ids (probe index, or the reserved [`ORIGIN_INIT`]/[`ORIGIN_CHURN`]
+//!    lanes) and `oseq` is the origin's own monotone emission counter,
+//!    so the key of an event is a pure function of the *emitting
+//!    entity's* history. That makes the pop order invariant under
+//!    sharding: however the entities are partitioned across schedulers,
+//!    merging the per-scheduler pop streams by key reproduces the
+//!    single-queue order (see DESIGN.md, "Sharded parallel engine").
+//! 3. **Stable ties** — entries pushed through the legacy
+//!    [`Scheduler::push`] (origin [`ORIGIN_NONE`]) tie-break in
+//!    insertion order, preserving the historical FIFO behaviour for
+//!    callers that don't attribute events to entities.
+//!
+//! Internally the queue is a ring of time buckets (a calendar queue):
+//! pushes append to their bucket unsorted, the bucket under the cursor
+//! is sorted once when the cursor reaches it, and far-future entries
+//! overflow into a `BTreeMap` keyed by bucket index until the ring
+//! window slides over them. Bucket vectors are recycled as the ring
+//! wraps, so steady-state push/pop traffic allocates nothing once
+//! capacities have warmed up (pinned by the `CountingAlloc` tests).
 
+use crate::error::SimError;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
+
+/// Ring size, in buckets. With the default granularity the ring spans
+/// ~2 s of simulated time; anything further out overflows to the far
+/// map and is pulled in as the window slides.
+const SLOTS: usize = 512;
+
+/// Default bucket granularity in microseconds (4.096 ms): comfortably
+/// finer than the tick/retry cadences that dominate the swarm workload,
+/// so a busy bucket holds a handful of events.
+const DEFAULT_WIDTH_US: u64 = 4_096;
+
+/// Origin id for unattributed pushes (the legacy [`Scheduler::push`]
+/// API). Entity origins used by the sharded dispatcher start at 1.
+pub const ORIGIN_NONE: u32 = 0;
+
+/// Reserved origin for events pushed during single-threaded
+/// bootstrap, before any shard worker runs.
+pub const ORIGIN_INIT: u32 = u32::MAX - 1;
+
+/// Reserved origin for replicated churn events. Sorts after every
+/// entity origin at equal timestamps, so all shards observe churn
+/// state transitions at the same point of the merged order.
+pub const ORIGIN_CHURN: u32 = u32::MAX;
 
 struct Entry<E> {
-    at: SimTime,
+    at: u64,
+    origin: u32,
+    oseq: u32,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on (time, sequence).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (u64, u32, u32, u64) {
+        (self.at, self.origin, self.oseq, self.seq)
     }
 }
 
@@ -50,10 +85,21 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(s.now(), SimTime::from_ms(1));
 /// ```
 pub struct Scheduler<E> {
-    heap: BinaryHeap<Entry<E>>,
     now: SimTime,
-    seq: u64,
     popped: u64,
+    saturated: u64,
+    seq: u64,
+    len: usize,
+    width: u64,
+    /// Absolute index of the bucket under the cursor.
+    cur: u64,
+    /// Entries currently held in ring slots (as opposed to `far`).
+    ring_len: usize,
+    /// Whether the bucket under the cursor is sorted (descending by
+    /// key, so the minimum pops from the back in O(1)).
+    cur_sorted: bool,
+    buckets: Vec<Vec<Entry<E>>>,
+    far: BTreeMap<u64, Vec<Entry<E>>>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -65,11 +111,28 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// An empty scheduler at time zero.
     pub fn new() -> Self {
+        Self::with_granularity(DEFAULT_WIDTH_US)
+    }
+
+    /// An empty scheduler with an explicit bucket width in
+    /// microseconds (the default suits the swarm workload; tests use
+    /// narrow widths to exercise ring wrap and far-map overflow).
+    pub fn with_granularity(width_us: u64) -> Self {
+        let width = width_us.max(1);
+        let mut buckets = Vec::with_capacity(SLOTS);
+        buckets.resize_with(SLOTS, Vec::new);
         Scheduler {
-            heap: BinaryHeap::new(),
             now: SimTime::ZERO,
-            seq: 0,
             popped: 0,
+            saturated: 0,
+            seq: 0,
+            len: 0,
+            width,
+            cur: 0,
+            ring_len: 0,
+            cur_sorted: false,
+            buckets,
+            far: BTreeMap::new(),
         }
     }
 
@@ -80,12 +143,12 @@ impl<E> Scheduler<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total events dispatched so far.
@@ -93,24 +156,51 @@ impl<E> Scheduler<E> {
         self.popped
     }
 
+    /// How many pushes asked for a past timestamp and were saturated
+    /// to "now" (see [`Scheduler::push`]).
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
-    /// Scheduling strictly in the past is a logic error (debug-asserted);
-    /// in release builds the event fires "now" instead, keeping time
-    /// monotonic.
+    /// A past `at` is corrected to "now" (time stays monotonic) and the
+    /// correction is counted in [`Scheduler::saturated`]; callers that
+    /// consider past scheduling a hard error use
+    /// [`Scheduler::try_push`] instead.
     pub fn push(&mut self, at: SimTime, event: E) {
-        debug_assert!(
-            at >= self.now,
-            "event scheduled in the past: {at:?} < {:?}",
+        let at = if at < self.now {
+            self.saturated += 1;
             self.now
-        );
-        let at = at.max(self.now);
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            event,
-        });
-        self.seq += 1;
+        } else {
+            at
+        };
+        self.insert(at, ORIGIN_NONE, 0, event);
+    }
+
+    /// Fallible [`Scheduler::push`]: refuses a past timestamp with
+    /// [`SimError::SchedulePast`] instead of saturating.
+    pub fn try_push(&mut self, at: SimTime, event: E) -> Result<(), SimError> {
+        if at < self.now {
+            return Err(SimError::SchedulePast { at, now: self.now });
+        }
+        self.insert(at, ORIGIN_NONE, 0, event);
+        Ok(())
+    }
+
+    /// Schedules `event` at `at` under the canonical `(origin, oseq)`
+    /// key. The pop order among keyed entries is `(time, origin,
+    /// oseq)`; callers keep one monotone `oseq` counter per origin so
+    /// keys are globally unique. Past timestamps saturate to "now"
+    /// exactly like [`Scheduler::push`].
+    pub fn push_keyed(&mut self, at: SimTime, origin: u32, oseq: u32, event: E) {
+        let at = if at < self.now {
+            self.saturated += 1;
+            self.now
+        } else {
+            at
+        };
+        self.insert(at, origin, oseq, event);
     }
 
     /// Schedules `event` after a relative delay in microseconds.
@@ -119,18 +209,218 @@ impl<E> Scheduler<E> {
         self.push(at, event);
     }
 
+    fn insert(&mut self, at: SimTime, origin: u32, oseq: u32, event: E) {
+        let at_us = at.as_us();
+        let e = Entry {
+            at: at_us,
+            origin,
+            oseq,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.len += 1;
+        // The cursor can sit ahead of `now / width` after a far jump
+        // (settle skips empty regions wholesale), so a perfectly legal
+        // push at `now` may map to a bucket behind it. File such
+        // entries into the cursor bucket: nothing earlier exists, and
+        // within-bucket pops sort by full key, so order is preserved.
+        let bi = (at_us / self.width).max(self.cur);
+        if bi < self.cur + SLOTS as u64 {
+            let slot = (bi % SLOTS as u64) as usize;
+            if bi == self.cur && self.cur_sorted {
+                // Keep the cursor bucket pop-ready.
+                let k = e.key();
+                let v = &mut self.buckets[slot];
+                let pos = v.partition_point(|x| x.key() > k);
+                v.insert(pos, e);
+            } else {
+                self.buckets[slot].push(e);
+            }
+            self.ring_len += 1;
+        } else {
+            self.far.entry(bi).or_default().push(e);
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket. Amortised
+    /// O(1): each bucket is stepped over at most once per ring lap.
+    fn settle(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        loop {
+            if self.ring_len == 0 {
+                // Jump the window straight to the first far bucket.
+                let Some((&bi, _)) = self.far.iter().next() else {
+                    return; // unreachable: len > 0 with empty ring implies far entries
+                };
+                self.cur = bi;
+                self.cur_sorted = false;
+                self.refill();
+                continue;
+            }
+            let slot = (self.cur % SLOTS as u64) as usize;
+            if !self.buckets[slot].is_empty() {
+                return;
+            }
+            self.advance_one();
+        }
+    }
+
+    fn advance_one(&mut self) {
+        self.cur += 1;
+        self.cur_sorted = false;
+        // The bucket that just entered the window tail reuses the slot
+        // the cursor left (which `settle` only vacates when empty).
+        let newly = self.cur + SLOTS as u64 - 1;
+        if let Some(mut v) = self.far.remove(&newly) {
+            let slot = (newly % SLOTS as u64) as usize;
+            self.ring_len += v.len();
+            self.buckets[slot].append(&mut v);
+        }
+    }
+
+    /// Pulls every far bucket inside the current window into the ring.
+    fn refill(&mut self) {
+        let end = self.cur + SLOTS as u64;
+        while let Some((&bi, _)) = self.far.iter().next() {
+            if bi >= end {
+                break;
+            }
+            let Some(mut v) = self.far.remove(&bi) else {
+                break; // unreachable: key was just observed
+            };
+            self.ring_len += v.len();
+            let slot = (bi % SLOTS as u64) as usize;
+            self.buckets[slot].append(&mut v);
+        }
+    }
+
+    fn sort_current(&mut self) {
+        if !self.cur_sorted {
+            let slot = (self.cur % SLOTS as u64) as usize;
+            self.buckets[slot].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            self.cur_sorted = true;
+        }
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
-        debug_assert!(e.at >= self.now);
-        self.now = e.at;
+        let e = self.pop_entry()?;
+        Some((SimTime::from_us(e.at), e.event))
+    }
+
+    fn pop_entry(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        self.sort_current();
+        let slot = (self.cur % SLOTS as u64) as usize;
+        let e = self.buckets[slot].pop()?;
+        self.len -= 1;
+        self.ring_len -= 1;
         self.popped += 1;
-        Some((e.at, e.event))
+        debug_assert!(e.at >= self.now.as_us());
+        self.now = SimTime::from_us(e.at);
+        Some(e)
+    }
+
+    /// Drains every event sharing the earliest pending timestamp into
+    /// `out` (cleared first, capacity reused), advancing the clock to
+    /// that timestamp. Returns the batch size (0 when empty). Handlers
+    /// that push new events *at the same timestamp* during batch
+    /// processing get them in a later batch, still in key order.
+    pub fn pop_batch(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        out.clear();
+        let Some((t, ev)) = self.pop() else {
+            return 0;
+        };
+        out.push((t, ev));
+        while self.len > 0 {
+            self.settle();
+            self.sort_current();
+            let slot = (self.cur % SLOTS as u64) as usize;
+            match self.buckets[slot].last() {
+                // Equal timestamps always share a bucket, so the batch
+                // ends as soon as the cursor bucket's minimum moves on.
+                Some(e) if e.at == t.as_us() => {
+                    let Some(pair) = self.pop() else { break };
+                    out.push(pair);
+                }
+                _ => break,
+            }
+        }
+        out.len()
     }
 
     /// Timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        for k in 0..SLOTS as u64 {
+            let bi = self.cur + k;
+            let v = &self.buckets[(bi % SLOTS as u64) as usize];
+            if v.is_empty() {
+                continue;
+            }
+            let at = if bi == self.cur && self.cur_sorted {
+                v.last().map(|e| e.at)
+            } else {
+                v.iter().map(|e| e.at).min()
+            };
+            return at.map(SimTime::from_us);
+        }
+        let (_, v) = self.far.iter().next()?;
+        v.iter().map(|e| e.at).min().map(SimTime::from_us)
+    }
+
+    /// Drains and handles events with timestamps strictly below
+    /// `end_us`, in key order; later events stay queued and the clock
+    /// is left at the last dispatched timestamp. Returns the number of
+    /// events dispatched. This is the shard-window workhorse: one call
+    /// per conservative window, no per-event peeking.
+    pub fn run_window<F: FnMut(&mut Self, SimTime, E)>(
+        &mut self,
+        end_us: u64,
+        mut handler: F,
+    ) -> u64 {
+        self.run_window_keyed(end_us, |s, at, _key, ev| handler(s, at, ev))
+    }
+
+    /// [`Scheduler::run_window`] with the popped entry's canonical
+    /// `(origin, oseq)` key exposed to the handler. The sharded
+    /// dispatcher tags the observability events emitted while handling
+    /// an entry with that key, so per-shard event buffers can be merged
+    /// back into the exact single-queue emission order.
+    pub fn run_window_keyed<F: FnMut(&mut Self, SimTime, (u32, u32), E)>(
+        &mut self,
+        end_us: u64,
+        mut handler: F,
+    ) -> u64 {
+        let start = self.popped;
+        loop {
+            if self.len == 0 {
+                break;
+            }
+            self.settle();
+            self.sort_current();
+            // After `settle` the cursor bucket holds the queue minimum.
+            let slot = (self.cur % SLOTS as u64) as usize;
+            let next_at = match self.buckets[slot].last() {
+                Some(e) => e.at,
+                None => break, // unreachable: settle leaves a non-empty cursor
+            };
+            if next_at >= end_us {
+                break;
+            }
+            let Some(e) = self.pop_entry() else { break };
+            let at = SimTime::from_us(e.at);
+            handler(self, at, (e.origin, e.oseq), e.event);
+        }
+        self.popped - start
     }
 
     /// Drains and handles events until the queue empties or the next
@@ -139,29 +429,31 @@ impl<E> Scheduler<E> {
     pub fn run_until<F: FnMut(&mut Self, SimTime, E)>(
         &mut self,
         horizon: SimTime,
-        mut handler: F,
+        handler: F,
     ) -> u64 {
-        let start = self.popped;
-        loop {
-            match self.peek_time() {
-                Some(t) if t <= horizon => {}
-                _ => break,
-            }
-            let Some((at, ev)) = self.pop() else { break };
-            handler(self, at, ev);
-        }
+        let n = self.run_window(horizon.as_us().saturating_add(1), handler);
         // The experiment formally ends at the horizon even if the queue
         // drained early.
         if self.now < horizon {
             self.now = horizon;
         }
-        self.popped - start
+        n
+    }
+
+    /// Advances the clock to `t` without dispatching (no-op when the
+    /// clock is already past `t`). Used by the sharded driver to close
+    /// the final window on the horizon.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if self.now < t {
+            self.now = t;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -181,6 +473,19 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keyed_entries_pop_in_origin_then_oseq_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_ms(3);
+        s.push_keyed(t, 7, 0, "g");
+        s.push_keyed(t, 2, 1, "b");
+        s.push_keyed(t, 2, 0, "a");
+        s.push_keyed(SimTime::from_ms(2), 9, 5, "first");
+        s.push_keyed(t, ORIGIN_CHURN, 0, "churn-last");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "a", "b", "g", "churn-last"]);
     }
 
     #[test]
@@ -241,6 +546,22 @@ mod tests {
     }
 
     #[test]
+    fn run_window_is_strictly_exclusive() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_us(999), 1);
+        s.push(SimTime::from_us(1_000), 2);
+        s.push(SimTime::from_us(1_001), 3);
+        let mut seen = Vec::new();
+        let n = s.run_window(1_000, |_, _, e| seen.push(e));
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(s.len(), 2);
+        // A later window picks up exactly where the first stopped.
+        s.run_window(2_000, |_, _, e| seen.push(e));
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
     fn dispatched_counter() {
         let mut s = Scheduler::new();
         s.push(SimTime::from_us(1), ());
@@ -250,13 +571,142 @@ mod tests {
         assert_eq!(s.dispatched(), 2);
     }
 
-    #[cfg(debug_assertions)]
     #[test]
-    #[should_panic(expected = "scheduled in the past")]
-    fn past_scheduling_asserts() {
+    fn try_push_refuses_past_times() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ms(10), 1);
+        s.pop();
+        let err = s.try_push(SimTime::from_ms(5), 2).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::SchedulePast {
+                at: SimTime::from_ms(5),
+                now: SimTime::from_ms(10),
+            }
+        );
+        assert!(s.is_empty(), "refused event must not be queued");
+        assert_eq!(s.saturated(), 0, "try_push never saturates");
+        // At or after "now" is fine.
+        assert!(s.try_push(SimTime::from_ms(10), 3).is_ok());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn push_saturates_past_times_and_counts() {
         let mut s = Scheduler::new();
         s.push(SimTime::from_ms(10), 1);
         s.pop();
         s.push(SimTime::from_ms(5), 2);
+        assert_eq!(s.saturated(), 1);
+        let (t, ev) = s.pop().unwrap();
+        assert_eq!((t, ev), (SimTime::from_ms(10), 2), "fires at now, not in the past");
+        s.push_keyed(SimTime::from_ms(3), 4, 0, 3);
+        assert_eq!(s.saturated(), 2);
+        assert_eq!(s.pop().unwrap().0, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn pop_batch_drains_one_timestamp() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ms(1), 10);
+        s.push(SimTime::from_ms(1), 11);
+        s.push(SimTime::from_ms(2), 20);
+        let mut buf = Vec::new();
+        assert_eq!(s.pop_batch(&mut buf), 2);
+        assert_eq!(
+            buf,
+            vec![(SimTime::from_ms(1), 10), (SimTime::from_ms(1), 11)]
+        );
+        assert_eq!(s.pop_batch(&mut buf), 1);
+        assert_eq!(buf, vec![(SimTime::from_ms(2), 20)]);
+        assert_eq!(s.pop_batch(&mut buf), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_ring_window() {
+        // Narrow buckets so the ring spans only SLOTS µs.
+        let mut s = Scheduler::with_granularity(1);
+        s.push(SimTime::from_us(3), "near");
+        s.push(SimTime::from_secs(600), "halo"); // far beyond the ring
+        s.push(SimTime::from_us(700), "mid");
+        assert_eq!(s.pop().unwrap().1, "near");
+        assert_eq!(s.pop().unwrap().1, "mid");
+        assert_eq!(s.pop().unwrap().1, "halo");
+        assert_eq!(s.now(), SimTime::from_secs(600));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_ring_and_far_entries() {
+        let mut s = Scheduler::with_granularity(1);
+        assert_eq!(s.peek_time(), None);
+        s.push(SimTime::from_secs(60), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(60)));
+        s.push(SimTime::from_us(5), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_us(5)));
+        s.pop();
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(60)));
+    }
+
+    /// The calendar queue must pop in exactly the reference order — a
+    /// seeded random workload compared against a sorted-vector oracle,
+    /// across granularities that stress bucket boundaries, ring wrap
+    /// and the far map.
+    #[test]
+    fn matches_reference_order_on_random_workloads() {
+        for &width in &[1u64, 7, 64, 4_096] {
+            let mut rng = DetRng::stream(0xCA1E, "calendar");
+            let mut s: Scheduler<u64> = Scheduler::with_granularity(width);
+            let mut reference: Vec<(u64, u32, u32, u64, u64)> = Vec::new();
+            let mut now = 0u64;
+            let mut popped = Vec::new();
+            let mut expected = Vec::new();
+            for step in 0..4_000u64 {
+                if rng.chance(0.6) || reference.is_empty() {
+                    // Mix of near, clustered and far-future times.
+                    let at = now
+                        + match rng.range(0u32..10) {
+                            0..=5 => rng.range(0u64..2_000),
+                            6..=8 => rng.range(0u64..200_000),
+                            _ => rng.range(0u64..5_000_000_000),
+                        };
+                    let origin = rng.range(1u32..6);
+                    let oseq = step as u32; // unique per push
+                    s.push_keyed(SimTime::from_us(at), origin, oseq, step);
+                    reference.push((at, origin, oseq, u64::MAX, step));
+                } else {
+                    reference.sort_unstable();
+                    let (at, _, _, _, v) = reference.remove(0);
+                    now = at;
+                    expected.push((at, v));
+                    let (t, got) = s.pop().expect("oracle has entries");
+                    popped.push((t.as_us(), got));
+                }
+            }
+            reference.sort_unstable();
+            for (at, _, _, _, v) in reference {
+                expected.push((at, v));
+                let (t, got) = s.pop().expect("oracle has entries");
+                popped.push((t.as_us(), got));
+            }
+            assert_eq!(popped, expected, "width {width} diverged from oracle");
+            assert!(s.pop().is_none());
+        }
+    }
+
+    /// Interleaved pushes landing inside the already-sorted cursor
+    /// bucket must keep the pop order exact.
+    #[test]
+    fn pushes_into_sorted_cursor_bucket_stay_ordered() {
+        let mut s = Scheduler::with_granularity(1_000);
+        s.push_keyed(SimTime::from_us(100), 1, 0, "a");
+        s.push_keyed(SimTime::from_us(500), 1, 1, "d");
+        assert_eq!(s.pop().unwrap().1, "a"); // sorts the cursor bucket
+        s.push_keyed(SimTime::from_us(300), 2, 0, "b");
+        s.push_keyed(SimTime::from_us(300), 3, 0, "c");
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert_eq!(s.pop().unwrap().1, "c");
+        assert_eq!(s.pop().unwrap().1, "d");
     }
 }

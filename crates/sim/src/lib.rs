@@ -17,22 +17,33 @@
 //! * [`stats`] — streaming mean/max/variance, rate meters and integer
 //!   histograms used by both the protocol models and the benchmarks.
 //!
-//! The engine is intentionally single-threaded: determinism comes first.
-//! Parallel speed-ups belong one level up (running independent experiment
-//! configurations concurrently), where they are data-race-free for free.
+//! Determinism comes first, but it no longer implies a single thread:
+//! the [`shard`] partitioner and the [`par`] superstep driver split a
+//! simulation across worker threads under conservative lookahead
+//! windows, with cross-shard events exchanged at barriers and every
+//! queue ordered by canonical `(time, origin, oseq)` keys — so a
+//! sharded run is byte-identical to the single-threaded one. The only
+//! concurrency primitives live in `sim::par` (and the `obs` crate),
+//! both explicitly sanctioned by the CC01 lint scope.
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 pub mod fault;
 pub mod link;
+pub mod par;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
-pub use event::Scheduler;
+pub use error::SimError;
+pub use event::{Scheduler, ORIGIN_CHURN, ORIGIN_INIT, ORIGIN_NONE};
 pub use fault::{LinkFaultParams, LinkFaults, PacketFate};
 pub use link::{AccessSerializer, DownlinkQueue};
+pub use par::{run_sharded, Outbox, PoisonBarrier, ShardWorker};
 pub use rng::DetRng;
+pub use shard::{min_cross_delay_us, partition, ShardPlan};
 pub use stats::{Histogram, MeanMax, RateMeter, Welford};
 pub use time::SimTime;

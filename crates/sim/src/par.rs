@@ -1,0 +1,606 @@
+//! The sharded parallel driver: conservative supersteps with a
+//! poisoning barrier.
+//!
+//! This is the one sanctioned home for bare thread/lock primitives
+//! (lint rule CC01): everything cross-shard funnels through the
+//! superstep protocol below, so lock scheduling can never reorder
+//! anything merge-visible.
+//!
+//! # Protocol
+//!
+//! [`run_sharded`] drives one [`ShardWorker`] per thread through
+//! fixed-width **conservative windows**. Per round:
+//!
+//! 1. every worker posts its outbox (cross-shard events emitted in the
+//!    window just run) and its next pending event time, then waits on
+//!    the barrier;
+//! 2. one thread routes outboxes into per-destination inboxes (in
+//!    ascending source order — deterministic), computes the global
+//!    minimum next event time `g`, and publishes the next window
+//!    `[g, min(g + lookahead, horizon + 1))`;
+//! 3. after a second barrier wait, every worker drains its inbox and
+//!    runs the published window.
+//!
+//! The lookahead is the minimum cross-shard one-way delay (see
+//! [`crate::shard::min_cross_delay_us`]): any event emitted inside a
+//! window for another shard lands at or beyond the *next* window, so
+//! routing at the barrier can never deliver into a worker's past. The
+//! global-minimum jump keeps the round count proportional to the
+//! number of occupied windows, not to `horizon / lookahead`.
+//!
+//! # Determinism
+//!
+//! The driver itself never reorders anything: workers consume events in
+//! their schedulers' canonical `(time, origin, oseq)` key order, and
+//! inboxes are routed in source-shard order. Which thread happens to be
+//! the routing leader is scheduling-dependent, but the routing it
+//! performs is a pure function of the posted slots.
+//!
+//! # Panic safety
+//!
+//! A panicking worker poisons the barrier on unwind; every other
+//! worker's `wait` then returns an error and its thread exits cleanly,
+//! so the scope join re-raises the original panic instead of
+//! deadlocking. RAII guards (profiler spans included) unwind normally
+//! on the panicking thread.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Cross-shard messages emitted by one worker during one window.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(usize, u64, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues `msg` for delivery to `dest` at absolute time `at_us`.
+    /// `at_us` must be at or beyond the end of the window being run —
+    /// the conservative-lookahead contract.
+    pub fn send(&mut self, dest: usize, at_us: u64, msg: M) {
+        self.msgs.push((dest, at_us, msg));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One shard of a partitioned simulation, driven by [`run_sharded`].
+pub trait ShardWorker: Send {
+    /// Cross-shard event payload.
+    type Msg: Send;
+
+    /// Earliest pending local event time in µs, `None` when idle.
+    fn next_time_us(&mut self) -> Option<u64>;
+
+    /// Processes every local event with `start_us ≤ t < end_us` in key
+    /// order; cross-shard emissions go into `outbox` (with timestamps
+    /// `≥ end_us`, per the lookahead contract).
+    fn run_window(&mut self, start_us: u64, end_us: u64, outbox: &mut Outbox<Self::Msg>);
+
+    /// Receives the messages shard `src` emitted for this shard, in
+    /// emission order, before the next window runs.
+    fn accept(&mut self, src: usize, msgs: Vec<(u64, Self::Msg)>);
+}
+
+/// Error returned by [`PoisonBarrier::wait`] after another participant
+/// panicked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// A cyclic barrier that can be poisoned: when one participant unwinds,
+/// the rest are released with an error instead of waiting forever.
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        // A panicked holder can only have been mid-update on plain
+        // counters, safe to keep reading; poisoning is tracked
+        // explicitly in the state.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl PoisonBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive. Returns `Ok(true)` for
+    /// exactly one participant per cycle (the leader), `Ok(false)` for
+    /// the rest, and `Err` once poisoned.
+    pub fn wait(&self) -> Result<bool, BarrierPoisoned> {
+        let mut s = locked(&self.state);
+        if s.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        let gen = s.generation;
+        s.count += 1;
+        if s.count == self.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(true);
+        }
+        while s.generation == gen && !s.poisoned {
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if s.poisoned {
+            Err(BarrierPoisoned)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Marks the barrier poisoned and releases every waiter.
+    pub fn poison(&self) {
+        locked(&self.state).poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether a participant has panicked.
+    pub fn is_poisoned(&self) -> bool {
+        locked(&self.state).poisoned
+    }
+}
+
+/// Poisons the barrier if the owning thread unwinds.
+struct PoisonOnUnwind<'a>(&'a PoisonBarrier);
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+struct Slot<M> {
+    out: Vec<(usize, u64, M)>,
+    inbox: Vec<(usize, Vec<(u64, M)>)>,
+    next: Option<u64>,
+}
+
+struct Shared<M> {
+    barrier: PoisonBarrier,
+    slots: Vec<Mutex<Slot<M>>>,
+    /// `Some((start, end))` of the published window, `None` once done.
+    window: Mutex<Option<(u64, u64)>>,
+}
+
+/// Runs the workers to `horizon_us` (inclusive: events at the horizon
+/// are processed, later ones stay queued). `lookahead_us` must be a
+/// lower bound on every cross-shard message delay. One worker runs
+/// inline with no threads or windows; multiple workers get one thread
+/// each. Panics from worker code propagate after all threads stop.
+pub fn run_sharded<W: ShardWorker>(workers: &mut [W], lookahead_us: u64, horizon_us: u64) {
+    assert!(lookahead_us >= 1, "lookahead must be positive");
+    match workers {
+        [] => {}
+        [w] => {
+            // Loop rather than issuing one giant window: a worker may
+            // queue follow-up work after its window call returns (the
+            // threaded path re-runs it every round, so the inline path
+            // must too).
+            let mut outbox = Outbox::new();
+            let end = horizon_us.saturating_add(1);
+            while let Some(t) = w.next_time_us() {
+                if t > horizon_us {
+                    break;
+                }
+                w.run_window(t, end, &mut outbox);
+                debug_assert!(
+                    outbox.is_empty(),
+                    "single-shard run emitted cross-shard messages"
+                );
+            }
+        }
+        _ => run_threaded(workers, lookahead_us, horizon_us),
+    }
+}
+
+fn run_threaded<W: ShardWorker>(workers: &mut [W], lookahead_us: u64, horizon_us: u64) {
+    let n = workers.len();
+    let shared: Shared<W::Msg> = Shared {
+        barrier: PoisonBarrier::new(n),
+        slots: (0..n)
+            .map(|_| {
+                Mutex::new(Slot {
+                    out: Vec::new(),
+                    inbox: Vec::new(),
+                    next: None,
+                })
+            })
+            .collect(),
+        window: Mutex::new(None),
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let _guard = PoisonOnUnwind(&shared.barrier);
+                    let _ = worker_loop(i, w, shared, lookahead_us, horizon_us);
+                })
+            })
+            .collect();
+        // Join explicitly so the caller sees the *original* panic
+        // payload (the scope's automatic join would replace it with a
+        // generic message). Lowest-index panic wins, deterministically.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+fn worker_loop<W: ShardWorker>(
+    i: usize,
+    w: &mut W,
+    shared: &Shared<W::Msg>,
+    lookahead_us: u64,
+    horizon_us: u64,
+) -> Result<(), BarrierPoisoned> {
+    let mut outbox: Outbox<W::Msg> = Outbox::new();
+    loop {
+        {
+            let mut slot = locked(&shared.slots[i]);
+            slot.out.append(&mut outbox.msgs);
+            slot.next = w.next_time_us();
+        }
+        if shared.barrier.wait()? {
+            route_and_plan(shared, lookahead_us, horizon_us);
+        }
+        shared.barrier.wait()?;
+        let window = *locked(&shared.window);
+        {
+            let mut slot = locked(&shared.slots[i]);
+            for (src, msgs) in std::mem::take(&mut slot.inbox) {
+                w.accept(src, msgs);
+            }
+        }
+        let Some((start, end)) = window else {
+            return Ok(());
+        };
+        w.run_window(start, end, &mut outbox);
+    }
+}
+
+/// Leader phase: deterministic routing plus next-window computation.
+fn route_and_plan<M>(shared: &Shared<M>, lookahead_us: u64, horizon_us: u64) {
+    let n = shared.slots.len();
+    let prev_end = locked(&shared.window).map(|(_, e)| e);
+    let mut gmin: Option<u64> = None;
+    for src in 0..n {
+        let (out, next) = {
+            let mut slot = locked(&shared.slots[src]);
+            (std::mem::take(&mut slot.out), slot.next)
+        };
+        if let Some(t) = next {
+            gmin = Some(gmin.map_or(t, |m: u64| m.min(t)));
+        }
+        // Stable per-destination grouping, preserving emission order.
+        let mut per_dest: Vec<Vec<(u64, M)>> = (0..n).map(|_| Vec::new()).collect();
+        for (dest, at, msg) in out {
+            debug_assert!(
+                prev_end.is_none_or(|e| at >= e),
+                "cross-shard message violates the lookahead contract"
+            );
+            gmin = Some(gmin.map_or(at, |m: u64| m.min(at)));
+            per_dest[dest].push((at, msg));
+        }
+        for (dest, msgs) in per_dest.into_iter().enumerate() {
+            if !msgs.is_empty() {
+                locked(&shared.slots[dest]).inbox.push((src, msgs));
+            }
+        }
+    }
+    *locked(&shared.window) = match gmin {
+        Some(g) if g <= horizon_us => Some((
+            g,
+            g.saturating_add(lookahead_us)
+                .min(horizon_us.saturating_add(1)),
+        )),
+        _ => None,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Scheduler;
+    use crate::shard::ShardPlan;
+    use crate::time::SimTime;
+
+    /// Toy sharded workload: entity `e` firing at `t` schedules a
+    /// follow-up for a derived entity at a derived future time, with a
+    /// floor of `DELAY_FLOOR` on every hop so any partition satisfies
+    /// the lookahead contract. Chains run until the horizon, so the
+    /// total work is shard-invariant. The digest is a commutative fold
+    /// of `(time, entity, per-entity step index)` — per-entity order is
+    /// captured by the step index (each entity lives on exactly one
+    /// shard), so reordering, loss, or duplication all show up.
+    const DELAY_FLOOR: u64 = 100;
+    const ENTITIES: usize = 12;
+
+    fn hop(e: usize, t: u64) -> (usize, u64) {
+        let next = (e * 7 + t as usize + 3) % ENTITIES;
+        let delay = DELAY_FLOOR + (e as u64 * 31 + t * 17) % 400;
+        (next, t + delay)
+    }
+
+    fn mix(x: u64) -> u64 {
+        // splitmix64 finalizer.
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    struct ToyWorker {
+        id: usize,
+        plan: ShardPlan,
+        sched: Scheduler<usize>,
+        oseq: Vec<u32>,
+        seen: Vec<u64>,
+        digest: u64,
+        steps: u64,
+        reschedule: bool,
+        panic_at_step: Option<u64>,
+        max_processed: u64,
+    }
+
+    impl ToyWorker {
+        fn new(id: usize, plan: &ShardPlan, reschedule: bool) -> ToyWorker {
+            let mut w = ToyWorker {
+                id,
+                plan: plan.clone(),
+                sched: Scheduler::with_granularity(64),
+                oseq: vec![0; ENTITIES],
+                seen: vec![0; ENTITIES],
+                digest: 0,
+                steps: 0,
+                reschedule,
+                panic_at_step: None,
+                max_processed: 0,
+            };
+            for e in 0..ENTITIES {
+                if plan.of_entity[e] == id {
+                    let t = 10 + e as u64;
+                    let oseq = w.oseq[e];
+                    w.oseq[e] += 1;
+                    w.sched.push_keyed(SimTime::from_us(t), e as u32, oseq, e);
+                }
+            }
+            w
+        }
+    }
+
+    impl ShardWorker for ToyWorker {
+        type Msg = usize;
+
+        fn next_time_us(&mut self) -> Option<u64> {
+            self.sched.peek_time().map(|t| t.as_us())
+        }
+
+        fn run_window(&mut self, _start: u64, end_us: u64, outbox: &mut Outbox<usize>) {
+            // Reschedule *inside* the handling callback, like the real
+            // dispatcher: the scheduler clock then equals the current
+            // event's time, so follow-up pushes are never in the past.
+            let ToyWorker {
+                id,
+                plan,
+                sched,
+                oseq,
+                seen,
+                digest,
+                steps,
+                reschedule,
+                panic_at_step,
+                max_processed,
+            } = self;
+            sched.run_window(end_us, |s, t, e| {
+                let t = t.as_us();
+                *steps += 1;
+                if *panic_at_step == Some(*steps) {
+                    panic!("toy worker failure injection");
+                }
+                assert!(
+                    t >= *max_processed,
+                    "event at {t} arrived after time {max_processed}"
+                );
+                *max_processed = t;
+                let k = seen[e];
+                seen[e] += 1;
+                *digest = digest.wrapping_add(mix(t ^ mix((e as u64) ^ mix(k))));
+                if *reschedule {
+                    let (ne, nt) = hop(e, t);
+                    let o = oseq[e];
+                    oseq[e] += 1;
+                    // Keys are attributed to the *emitting* entity so
+                    // they are invariant under partitioning.
+                    if plan.of_entity[ne] == *id {
+                        s.push_keyed(SimTime::from_us(nt), e as u32, o, ne);
+                    } else {
+                        outbox.send(
+                            plan.of_entity[ne],
+                            nt,
+                            (e << 16) | ((o as usize) << 32) | ne,
+                        );
+                    }
+                }
+            });
+        }
+
+        fn accept(&mut self, _src: usize, msgs: Vec<(u64, usize)>) {
+            for (at, packed) in msgs {
+                assert!(
+                    at >= self.max_processed,
+                    "cross-shard message at {at} arrived before local time {}",
+                    self.max_processed
+                );
+                let e = packed & 0xFFFF;
+                let origin = (packed >> 16) & 0xFFFF;
+                let oseq = (packed >> 32) as u32;
+                self.sched
+                    .push_keyed(SimTime::from_us(at), origin as u32, oseq, e);
+            }
+        }
+    }
+
+    fn run_digest(n_shards: usize, reschedule: bool, horizon: u64) -> (u64, u64) {
+        let groups: Vec<u64> = (0..ENTITIES as u64).map(|e| e % 4).collect();
+        let plan = crate::shard::partition(&groups, &[1; ENTITIES], n_shards);
+        let mut workers: Vec<ToyWorker> = (0..plan.n_shards)
+            .map(|s| ToyWorker::new(s, &plan, reschedule))
+            .collect();
+        run_sharded(&mut workers, DELAY_FLOOR, horizon);
+        // Per-worker digests are commutative sums, so combining them
+        // with a sum keeps the comparison partition-independent.
+        (
+            workers.iter().fold(0u64, |acc, w| acc.wrapping_add(w.digest)),
+            workers.iter().map(|w| w.steps).sum(),
+        )
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        let single = run_digest(1, true, 300_000);
+        assert!(single.1 > 1_000, "workload too small to be meaningful");
+        for shards in [2, 3, 4, 8] {
+            assert_eq!(
+                run_digest(shards, true, 300_000),
+                single,
+                "{shards} shards diverged from the single-shard run"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_is_inclusive_and_bounds_processing() {
+        // Without rescheduling, exactly the seeds at t = 10..10+ENTITIES
+        // fire, and a horizon below some of them cuts processing off.
+        let all = run_digest(2, false, 2_000_000);
+        assert_eq!(all.1, ENTITIES as u64);
+        let (_, cut) = run_digest(2, false, 10 + 5);
+        assert_eq!(cut, 6, "horizon must be inclusive (t=10..=15 fire)");
+    }
+
+    #[test]
+    fn panicking_worker_propagates_without_hang() {
+        let groups: Vec<u64> = (0..ENTITIES as u64).map(|e| e % 4).collect();
+        let plan = crate::shard::partition(&groups, &[1; ENTITIES], 4);
+        let mut workers: Vec<ToyWorker> = (0..plan.n_shards)
+            .map(|s| ToyWorker::new(s, &plan, true))
+            .collect();
+        workers[1].panic_at_step = Some(5);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(&mut workers, DELAY_FLOOR, 2_000_000);
+        }));
+        let err = res.expect_err("panic must propagate to the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("(non-str payload)");
+        assert!(msg.contains("failure injection"), "unexpected payload {msg}");
+    }
+
+    #[test]
+    fn barrier_reports_poison_to_waiters() {
+        let b = std::sync::Arc::new(PoisonBarrier::new(2));
+        let b2 = std::sync::Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait());
+        // Give the waiter time to block, then poison instead of joining.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        assert_eq!(waiter.join().expect("no panic"), Err(BarrierPoisoned));
+        assert!(b.is_poisoned());
+        assert_eq!(b.wait(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn barrier_elects_exactly_one_leader_per_cycle() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let b = std::sync::Arc::new(PoisonBarrier::new(3));
+        let leaders = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = std::sync::Arc::clone(&b);
+                let leaders = std::sync::Arc::clone(&leaders);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        if b.wait().expect("no poison") {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let plan = ShardPlan::single(ENTITIES);
+        let mut workers = vec![ToyWorker::new(0, &plan, false)];
+        run_sharded(&mut workers, 1, 1_000_000);
+        assert!(workers[0].steps > 0);
+    }
+
+    #[test]
+    fn outbox_accessors() {
+        let mut o: Outbox<u8> = Outbox::default();
+        assert!(o.is_empty());
+        o.send(0, 5, 9);
+        assert_eq!(o.len(), 1);
+        assert!(!o.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic entity→shard partitioning for the parallel engine.
+//!
+//! The partitioner groups entities (probes) by an affinity key — in the
+//! swarm, the home AS, so that the cheapest links stay shard-internal —
+//! and packs whole groups onto shards with a longest-processing-time
+//! heuristic over caller-supplied weights. The result is a pure
+//! function of its inputs: groups are processed in (weight desc, key
+//! asc) order and ties between shards break towards the lowest index,
+//! so the same population partitions identically on every run and
+//! every machine.
+//!
+//! Correctness never depends on the partition being *good*: the
+//! conservative lookahead is derived afterwards from the actual
+//! assignment via [`min_cross_delay_us`], so a poor split only costs
+//! parallel efficiency, not determinism.
+
+/// An entity→shard assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shards actually used (≤ the requested count; empty
+    /// shards are compacted away).
+    pub n_shards: usize,
+    /// Shard index of each entity, parallel to the partitioning input.
+    pub of_entity: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// The trivial single-shard plan over `n` entities.
+    pub fn single(n: usize) -> ShardPlan {
+        ShardPlan {
+            n_shards: 1,
+            of_entity: vec![0; n],
+        }
+    }
+
+    /// Entity indices owned by `shard`, in ascending order.
+    pub fn owned(&self, shard: usize) -> Vec<usize> {
+        self.of_entity
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == shard).then_some(i))
+            .collect()
+    }
+}
+
+/// Packs entities onto at most `n_shards` shards, keeping entities
+/// with equal `group` keys together. `weights[i]` estimates entity
+/// `i`'s event load (use 1 for uniform). When fewer groups than shards
+/// exist, grouping is abandoned and entities are packed individually —
+/// latency between group-mates then bounds the lookahead instead, which
+/// is still correct, just tighter.
+pub fn partition(groups: &[u64], weights: &[u64], n_shards: usize) -> ShardPlan {
+    assert_eq!(groups.len(), weights.len(), "one weight per entity");
+    let n = groups.len();
+    if n == 0 || n_shards <= 1 {
+        return ShardPlan::single(n);
+    }
+    let n_shards = n_shards.min(n);
+    // Aggregate weight per group, BTreeMap for deterministic order.
+    let mut by_group: std::collections::BTreeMap<u64, (u64, Vec<usize>)> =
+        std::collections::BTreeMap::new();
+    for (i, (&g, &w)) in groups.iter().zip(weights).enumerate() {
+        let e = by_group.entry(g).or_insert((0, Vec::new()));
+        e.0 += w.max(1);
+        e.1.push(i);
+    }
+    let units: Vec<(u64, Vec<usize>)> = if by_group.len() >= n_shards {
+        by_group.into_values().collect()
+    } else {
+        // Fewer groups than shards: split down to single entities.
+        groups
+            .iter()
+            .zip(weights)
+            .enumerate()
+            .map(|(i, (_, &w))| (w.max(1), vec![i]))
+            .collect()
+    };
+    // LPT: heaviest unit first onto the least-loaded shard. Ties on
+    // weight break by the unit's smallest entity index; ties on shard
+    // load break towards the lowest shard index.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&u| (std::cmp::Reverse(units[u].0), units[u].1[0]));
+    let mut load = vec![0u64; n_shards];
+    let mut of_entity = vec![0usize; n];
+    for &u in &order {
+        let (w, ref members) = units[u];
+        let Some((shard, _)) = load.iter().enumerate().min_by_key(|&(i, &l)| (l, i)) else {
+            break; // unreachable: n_shards ≥ 1
+        };
+        load[shard] += w;
+        for &m in members {
+            of_entity[m] = shard;
+        }
+    }
+    // Compact away empty shards so shard indices are dense.
+    let mut used: Vec<usize> = of_entity.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap: std::collections::BTreeMap<usize, usize> =
+        used.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    for s in &mut of_entity {
+        if let Some(&new) = remap.get(s) {
+            *s = new;
+        }
+    }
+    ShardPlan {
+        n_shards: used.len(),
+        of_entity,
+    }
+}
+
+/// The conservative lookahead for a plan: the minimum one-way delay
+/// over ordered entity pairs assigned to *different* shards, as
+/// reported by `delay_us(src, dst)`. Cross-shard events are always
+/// scheduled at least this far ahead of their emission, so windows of
+/// this width never violate causality. `None` when the plan has no
+/// cross-shard pair (single shard): the lookahead is unbounded.
+pub fn min_cross_delay_us<F: FnMut(usize, usize) -> u64>(
+    plan: &ShardPlan,
+    mut delay_us: F,
+) -> Option<u64> {
+    let n = plan.of_entity.len();
+    let mut min: Option<u64> = None;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && plan.of_entity[a] != plan.of_entity[b] {
+                let d = delay_us(a, b);
+                min = Some(min.map_or(d, |m: u64| m.min(d)));
+            }
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_plan_is_trivial() {
+        let p = partition(&[1, 2, 3], &[5, 5, 5], 1);
+        assert_eq!(p, ShardPlan::single(3));
+        assert_eq!(p.owned(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn groups_stay_together() {
+        let groups = [10, 20, 10, 30, 20, 10];
+        let weights = [1, 1, 1, 1, 1, 1];
+        let p = partition(&groups, &weights, 3);
+        for i in 0..groups.len() {
+            for j in 0..groups.len() {
+                if groups[i] == groups[j] {
+                    assert_eq!(
+                        p.of_entity[i], p.of_entity[j],
+                        "group split across shards"
+                    );
+                }
+            }
+        }
+        assert_eq!(p.n_shards, 3);
+    }
+
+    #[test]
+    fn lpt_balances_weighted_groups() {
+        // Groups weighing 8, 5, 4, 3 onto 2 shards: LPT gives {8,3} / {5,4}.
+        let groups = [1, 2, 3, 4];
+        let weights = [8, 5, 4, 3];
+        let p = partition(&groups, &weights, 2);
+        let mut load = [0u64; 2];
+        for (i, &s) in p.of_entity.iter().enumerate() {
+            load[s] += weights[i];
+        }
+        let mut l = load.to_vec();
+        l.sort_unstable();
+        assert_eq!(l, vec![9, 11]);
+    }
+
+    #[test]
+    fn more_shards_than_groups_splits_entities() {
+        let groups = [7, 7, 7, 7];
+        let p = partition(&groups, &[1, 1, 1, 1], 4);
+        assert_eq!(p.n_shards, 4, "grouping must yield to the shard request");
+    }
+
+    #[test]
+    fn shard_count_capped_by_entities() {
+        let p = partition(&[1, 2], &[1, 1], 8);
+        assert!(p.n_shards <= 2);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let groups: Vec<u64> = (0..50).map(|i| i % 7).collect();
+        let weights: Vec<u64> = (0..50).map(|i| (i * 13) % 9 + 1).collect();
+        let a = partition(&groups, &weights, 5);
+        let b = partition(&groups, &weights, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_cross_delay_ignores_intra_shard_pairs() {
+        let plan = ShardPlan {
+            n_shards: 2,
+            of_entity: vec![0, 0, 1],
+        };
+        // Intra-shard pair (0,1) is the cheapest but must be ignored.
+        let d = min_cross_delay_us(&plan, |a, b| match (a, b) {
+            (0, 1) | (1, 0) => 10,
+            _ => 250,
+        });
+        assert_eq!(d, Some(250));
+        assert_eq!(min_cross_delay_us(&ShardPlan::single(3), |_, _| 1), None);
+    }
+
+    #[test]
+    fn owned_partitions_all_entities() {
+        let p = partition(&(0..20).map(|i| i % 3).collect::<Vec<u64>>(), &[1; 20], 3);
+        let mut all: Vec<usize> = (0..p.n_shards).flat_map(|s| p.owned(s)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+    }
+}

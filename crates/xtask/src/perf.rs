@@ -35,6 +35,10 @@ pub struct PerfConfig {
     pub scale: f64,
     /// Simulated duration per cell, seconds.
     pub sim_secs: u64,
+    /// Shard-scaling cells: one PPLive clean cell per worker count
+    /// (`pplive_shard<N>`), measuring the parallel engine. Empty
+    /// disables the series.
+    pub shard_series: Vec<usize>,
 }
 
 impl Default for PerfConfig {
@@ -43,6 +47,7 @@ impl Default for PerfConfig {
             seed: 777,
             scale: 0.02,
             sim_secs: 20,
+            shard_series: vec![1, 2, 8],
         }
     }
 }
@@ -60,6 +65,24 @@ pub fn run_cell(profile: AppProfile, faulted: bool, cfg: &PerfConfig) -> PerfRep
         profile.name.to_lowercase(),
         if faulted { "faulted" } else { "clean" }
     );
+    run_named_cell(profile, faulted, 1, scenario, cfg)
+}
+
+/// Runs one shard-scaling cell: PPLive clean with `shards` workers.
+/// The scenario id carries the shard count so each worker count gets
+/// its own gated series in the baseline.
+pub fn run_shard_cell(profile: AppProfile, shards: usize, cfg: &PerfConfig) -> PerfReport {
+    let scenario = format!("{}_shard{}", profile.name.to_lowercase(), shards);
+    run_named_cell(profile, false, shards, scenario, cfg)
+}
+
+fn run_named_cell(
+    profile: AppProfile,
+    faulted: bool,
+    shards: usize,
+    scenario: String,
+    cfg: &PerfConfig,
+) -> PerfReport {
     // The peak-heap counter is a process-global high-water mark; rebase
     // it so each cell reports its own peak, not the matrix maximum.
     netaware_obs::alloc::reset_peak();
@@ -69,6 +92,7 @@ pub fn run_cell(profile: AppProfile, faulted: bool, cfg: &PerfConfig) -> PerfRep
         scale: cfg.scale,
         duration_us: cfg.sim_secs * 1_000_000,
         obs: obs.clone(),
+        shards,
         faults: if faulted {
             faulted_plan()
         } else {
@@ -88,13 +112,22 @@ pub fn run_cell(profile: AppProfile, faulted: bool, cfg: &PerfConfig) -> PerfRep
     obs.perf_report(meta).expect("profiled handle has a profiler")
 }
 
-/// Runs the full 3-application × {clean, faulted} matrix in a stable
-/// order (report order is the scenario id order).
+/// Runs the full 3-application × {clean, faulted} matrix plus the
+/// shard-scaling cells, in a stable order (report order is the
+/// scenario id order).
 pub fn run_matrix(cfg: &PerfConfig) -> Vec<PerfReport> {
     let mut out = Vec::new();
     for profile in AppProfile::paper_apps() {
         for faulted in [false, true] {
             out.push(run_cell(profile.clone(), faulted, cfg));
+        }
+    }
+    // Shard-scaling pass: the same PPLive clean workload at each worker
+    // count. Byte-identical results are enforced elsewhere (goldens,
+    // CI determinism job); these cells gate the *cost* of parallelism.
+    if let Some(pplive) = AppProfile::paper_apps().into_iter().next() {
+        for &shards in &cfg.shard_series {
+            out.push(run_shard_cell(pplive.clone(), shards, cfg));
         }
     }
     out.sort_by(|a, b| a.meta.scenario.cmp(&b.meta.scenario));

@@ -4,7 +4,7 @@
 //! netaware-cli suite     [--scale F] [--secs N] [--seed N] [--json FILE]
 //! netaware-cli replicate APP [--runs N] [--scale F] [--secs N]
 //! netaware-cli run APP [--uniform] [--spill DIR] [--scale F] [--secs N] [--seed N] [--json FILE]
-//!                      [--obs-log FILE] [--metrics FILE] [--profile FILE]
+//!                      [--obs-log FILE] [--metrics FILE] [--profile FILE] [--shards N]
 //!                      [--faults FILE] [--loss P] [--jitter-us N] [--churn]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
 //! netaware-cli testbed
@@ -40,6 +40,12 @@
 //! error events, and the chunk-scheduler decision rate; pass
 //! `--metrics FILE` to fold a metrics snapshot (counter throughput,
 //! histogram percentiles) into the same report.
+//!
+//! `run --shards N` (any run-like subcommand accepts it) executes the
+//! swarm event loop on N shard workers partitioned by home AS, with
+//! conservative lookahead synchronisation. Traces, reports, obs logs
+//! and metrics are byte-identical to `--shards 1` — parallelism is a
+//! pure speed knob.
 //!
 //! `run --profile FILE` and `analyze --profile FILE` arm the span
 //! profiler and write the finished run's `PerfReport` (the
@@ -96,6 +102,7 @@ struct Common {
     metrics: Option<String>,
     profile_out: Option<String>,
     faults: FaultPlan,
+    shards: usize,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -117,6 +124,7 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         metrics: None,
         profile_out: None,
         faults: FaultPlan::none(),
+        shards: 1,
     };
     let mut i = 0;
     let mut pending_probe: Option<Ip> = None;
@@ -135,6 +143,9 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
             "--scale" => c.scale = take(&mut i)?.parse().map_err(|e| format!("scale: {e}"))?,
             "--secs" => c.secs = take(&mut i)?.parse().map_err(|e| format!("secs: {e}"))?,
             "--seed" => c.seed = take(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--shards" => {
+                c.shards = take(&mut i)?.parse().map_err(|e| format!("shards: {e}"))?
+            }
             "--json" => c.json = Some(take(&mut i)?),
             "--csv" => c.csv = Some(take(&mut i)?),
             "--markdown" => c.markdown = Some(take(&mut i)?),
@@ -248,6 +259,7 @@ fn opts_of(c: &Common) -> ExperimentOptions {
         scale: c.scale,
         duration_us: c.secs * 1_000_000,
         faults: c.faults.clone(),
+        shards: c.shards,
         ..Default::default()
     }
 }

@@ -21,6 +21,7 @@ fn options() -> ExperimentOptions {
         keep_traces: true,
         obs: netaware::Obs::default(),
         faults: FaultPlan::none(),
+        shards: 1,
     }
 }
 

@@ -16,6 +16,7 @@ fn options(faults: FaultPlan) -> ExperimentOptions {
         keep_traces: false,
         obs: netaware::Obs::default(),
         faults,
+        shards: 1,
     }
 }
 

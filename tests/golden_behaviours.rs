@@ -8,6 +8,11 @@
 //! fault-armed — hashed and compared against constants generated from
 //! the last pre-refactor commit.
 //!
+//! Since the sharded parallel engine landed, every cell runs across the
+//! full shard axis (`SHARD_AXIS` = 1/2/8 workers) and must reproduce
+//! the *same* fingerprints at every worker count: parallelism is a pure
+//! speed knob, never an output knob.
+//!
 //! The one sanctioned divergence is the per-behaviour event *naming*
 //! (`swarm.handshake` → `swarm.discovery.handshake`, …): the obs log is
 //! normalised back to the legacy names before hashing, so a rename is
@@ -62,7 +67,12 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn options(faults: FaultPlan, obs: Obs) -> ExperimentOptions {
+/// Shard-worker counts every golden cell is checked under. The sharded
+/// engine promises byte-identical artifacts at any worker count, so the
+/// same fingerprints must reproduce across the whole axis.
+const SHARD_AXIS: &[usize] = &[1, 2, 8];
+
+fn options(faults: FaultPlan, obs: Obs, shards: usize) -> ExperimentOptions {
     ExperimentOptions {
         seed: 777,
         scale: 0.02,
@@ -71,14 +81,15 @@ fn options(faults: FaultPlan, obs: Obs) -> ExperimentOptions {
         keep_traces: true,
         obs,
         faults,
+        shards,
     }
 }
 
 /// One observed run → (corpus hash, normalised obs-log hash, metrics hash).
-fn fingerprint(profile: AppProfile, faults: FaultPlan) -> (u64, u64, u64) {
+fn fingerprint(profile: AppProfile, faults: FaultPlan, shards: usize) -> (u64, u64, u64) {
     let sink = Arc::new(RingSink::new(1 << 22));
     let obs = Obs::new(sink.clone() as Arc<dyn netaware::obs::EventSink>);
-    let out = run_experiment(profile, &options(faults, obs.clone()));
+    let out = run_experiment(profile, &options(faults, obs.clone(), shards));
     let traces = out.traces.expect("keep_traces is set");
     let mut corpus = Vec::new();
     for t in &traces.traces {
@@ -114,15 +125,18 @@ struct Golden {
     metrics: u64,
 }
 
-/// Fingerprints generated from the pre-refactor monolithic
-/// `swarm/handlers.rs` (seed 777, scale 0.02, 20 s).
+/// Fingerprints of the current engine (seed 777, scale 0.02, 20 s).
+/// Last regenerated for the sharded-core rewrite, whose receiver-side
+/// wire model (explicit `ChunkRx`/`SignalRx` arrival events) is a
+/// sanctioned trace-affecting change; every cell must reproduce these
+/// bytes at 1, 2, and 8 shard workers alike.
 const GOLDEN: &[Golden] = &[
-    Golden { app: "PPLive", faulted: false, corpus: 0x2929a6032aff5e61, obs_log: 0x61767a9e8fe39a0f, metrics: 0x7e0cb3336fbe691b },
-    Golden { app: "PPLive", faulted: true, corpus: 0x2e1754c6b587fa25, obs_log: 0x34f51cfda370f596, metrics: 0xebfd85a66c97a02a },
-    Golden { app: "SopCast", faulted: false, corpus: 0x95a50c86d8fc85cd, obs_log: 0x35567907512025e3, metrics: 0x7bd84366a38758a4 },
-    Golden { app: "SopCast", faulted: true, corpus: 0x967a3930b290611f, obs_log: 0xee6e7e5739ed9888, metrics: 0x18cdef9a2b7e5d9b },
-    Golden { app: "TVAnts", faulted: false, corpus: 0x3bec69ff76b09218, obs_log: 0x0ab1fc7589c904f0, metrics: 0xfa17e421b2ad9685 },
-    Golden { app: "TVAnts", faulted: true, corpus: 0x69e128f369097da2, obs_log: 0x45b869d6c2c0d967, metrics: 0x4fbe82a8006505bf },
+    Golden { app: "PPLive", faulted: false, corpus: 0xc138c8aab60ccdf4, obs_log: 0x9586a9df3958f2e9, metrics: 0x205509e05444cf95 },
+    Golden { app: "PPLive", faulted: true, corpus: 0x08461cc584e098be, obs_log: 0x9c7b414ee4c496b6, metrics: 0xe587f424aa94650b },
+    Golden { app: "SopCast", faulted: false, corpus: 0x94a061318cadb6fc, obs_log: 0xd2b96dfc6840617f, metrics: 0xb99e2185ae496b5b },
+    Golden { app: "SopCast", faulted: true, corpus: 0xe352c7abd446e85d, obs_log: 0x8fc32b09f760b90b, metrics: 0x7d58c0fbf4815f89 },
+    Golden { app: "TVAnts", faulted: false, corpus: 0x8d6d98cf22f22728, obs_log: 0xe757145bfe98a813, metrics: 0xf131d489d1ecbf89 },
+    Golden { app: "TVAnts", faulted: true, corpus: 0x2fbedd7ff4d806fb, obs_log: 0xf5f11083306d89d4, metrics: 0x83170092cf65f013 },
 ];
 
 fn profile_by_name(name: &str) -> AppProfile {
@@ -136,14 +150,18 @@ fn profile_by_name(name: &str) -> AppProfile {
 
 fn check(g: &Golden) {
     let faults = if g.faulted { fault_plan() } else { FaultPlan::none() };
-    let (corpus, obs_log, metrics) = fingerprint(profile_by_name(g.app), faults);
-    assert_eq!(
-        (corpus, obs_log, metrics),
-        (g.corpus, g.obs_log, g.metrics),
-        "{} (faulted={}) diverged from the pre-refactor golden artifacts",
-        g.app,
-        g.faulted
-    );
+    for &shards in SHARD_AXIS {
+        let (corpus, obs_log, metrics) =
+            fingerprint(profile_by_name(g.app), faults.clone(), shards);
+        assert_eq!(
+            (corpus, obs_log, metrics),
+            (g.corpus, g.obs_log, g.metrics),
+            "{} (faulted={}, shards={}) diverged from the golden artifacts",
+            g.app,
+            g.faulted,
+            shards
+        );
+    }
 }
 
 #[test]
@@ -187,7 +205,7 @@ fn print_golden_table() {
     for app in ["PPLive", "SopCast", "TVAnts"] {
         for faulted in [false, true] {
             let faults = if faulted { fault_plan() } else { FaultPlan::none() };
-            let (corpus, obs_log, metrics) = fingerprint(profile_by_name(app), faults);
+            let (corpus, obs_log, metrics) = fingerprint(profile_by_name(app), faults, 1);
             println!(
                 "    Golden {{ app: \"{app}\", faulted: {faulted}, corpus: \
                  0x{corpus:016x}, obs_log: 0x{obs_log:016x}, metrics: 0x{metrics:016x} }},"
