@@ -58,6 +58,7 @@ pub mod pass;
 pub mod persite;
 pub mod preference;
 pub mod report;
+pub mod scenario;
 pub mod scatter;
 pub mod selfbias;
 pub mod summary;

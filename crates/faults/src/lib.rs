@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod session;
+
+pub use session::{Diurnal, FlashCrowd, SessionLaw, SessionModel, Zapping};
+
 use netaware_sim::LinkFaultParams;
 use serde::{Deserialize, Serialize};
 
@@ -126,15 +130,27 @@ impl ChurnPlan {
 ///   "churn": {"session_mean_us": 45000000, "offline_mean_us": 20000000,
 ///             "initial_offline": 0.0,
 ///             "tracker_outages": [{"start_us": 10000000,
-///                                  "duration_us": 5000000}]}
+///                                  "duration_us": 5000000}]},
+///   "session": {"law": {"Pareto": [1.5]},
+///               "diurnal": {"period_us": 60000000, "amplitude": 0.6,
+///                           "phase_us": 0},
+///               "flash_crowd": {"at_us": 8000000, "ramp_us": 2000000},
+///               "zapping": {"prob": 0.3, "visit_mean_us": 5000000}}
 /// }
 /// ```
+///
+/// `session` is optional (absent in pre-session plans); it reshapes the
+/// churn renewal process and therefore requires `churn` to be set when
+/// any of its axes are active.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Link impairments on probe access links.
     pub link: LinkFaultPlan,
     /// External-peer churn; `None` disables churn entirely.
     pub churn: Option<ChurnPlan>,
+    /// Empirical session model layered on `churn`; `None` (or a default
+    /// model) keeps the legacy exponential draws byte-identical.
+    pub session: Option<SessionModel>,
 }
 
 impl FaultPlan {
@@ -154,6 +170,7 @@ impl FaultPlan {
                 ..LinkFaultPlan::default()
             },
             churn: churn.then(ChurnPlan::preset),
+            session: None,
         }
     }
 
@@ -187,6 +204,12 @@ impl FaultPlan {
                     "churn.initial_offline {} outside 0..=1",
                     c.initial_offline
                 ));
+            }
+        }
+        if let Some(s) = &self.session {
+            s.validate()?;
+            if !s.is_noop() && self.churn.is_none() {
+                return Err("session model set but churn is null (nothing to reshape)".into());
             }
         }
         Ok(())
@@ -224,6 +247,7 @@ impl FaultPlan {
                     duration_us: 5_000_000,
                 }],
             }),
+            session: Some(SessionModel::flashcrowd_preset()),
         }
         .to_json()
     }
@@ -276,6 +300,31 @@ mod tests {
             ..ChurnPlan::preset()
         });
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn session_model_requires_churn() {
+        let mut p = FaultPlan::none();
+        p.session = Some(SessionModel::flashcrowd_preset());
+        assert!(p.validate().is_err());
+        p.churn = Some(ChurnPlan::preset());
+        assert!(p.validate().is_ok());
+        // A default (no-op) model is allowed without churn — it changes
+        // nothing, so old plans with an empty object keep parsing.
+        let q = FaultPlan {
+            session: Some(SessionModel::default()),
+            ..FaultPlan::none()
+        };
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn pre_session_json_still_parses() {
+        let json = r#"{"link": {"loss": 0.01, "jitter_us": 0,
+                                "outage_rate_hz": 0.0, "outage_mean_us": 0},
+                       "churn": null}"#;
+        let plan = FaultPlan::from_json(json).expect("old schema parses");
+        assert!(plan.session.is_none());
     }
 
     #[test]

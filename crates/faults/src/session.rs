@@ -1,0 +1,405 @@
+//! Empirically-shaped session models, layered on the churn plan.
+//!
+//! Session-level studies of P2P television (Biernacki & Krieger,
+//! "Session Level Analysis of P2P Television Traces"; Silverston &
+//! Fourmaux's multi-application comparison) found the exponential
+//! session lengths classic churn models assume are wrong in practice:
+//! observed sessions are **heavy-tailed** (most viewers zap away within
+//! a minute, a few watch for hours), arrival intensity follows a
+//! **diurnal** cycle, popular events trigger **flash crowds**, and
+//! **channel zapping** injects a steady stream of very short visits.
+//!
+//! A [`SessionModel`] reshapes the churn process of a
+//! [`ChurnPlan`](crate::ChurnPlan) along exactly those four axes. It is
+//! pure configuration: all draws happen on the churn process's dedicated
+//! `"fault.churn"` stream via the methods here, and the **default
+//! (empty) model reproduces the legacy exponential draws bit-for-bit**,
+//! consuming the same draws in the same order — runs with a no-op model
+//! are byte-identical to model-free runs.
+
+use netaware_sim::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// The law an online session length is drawn from. Every law is
+/// mean-matched to the churn plan's `session_mean_us`, so swapping laws
+/// changes the *shape* of the session distribution, not the offered
+/// load.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SessionLaw {
+    /// Exponential — the legacy churn law (same draws as no model).
+    Exp,
+    /// Pareto with the given shape α (must be > 1 so the mean exists);
+    /// the scale is mean-matched: `x_m = mean·(α−1)/α`. Heavy-tailed —
+    /// the empirical P2P-TV session shape.
+    Pareto(f64),
+    /// Lognormal with the given σ (> 0); `μ = ln(mean) − σ²/2` keeps
+    /// the mean matched.
+    LogNormal(f64),
+}
+
+/// Diurnal arrival-intensity envelope: offline periods shrink when the
+/// audience is "awake" and stretch when it sleeps, so the online
+/// population follows a daily (or, at test time-scales, compressed)
+/// cycle. The envelope `1 + a·sin(2π(t+φ)/T)` integrates to the
+/// configured mean rate over a full period.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Cycle length, µs (a day in the field; seconds in tests).
+    pub period_us: u64,
+    /// Relative swing `a` in `[0, 1)`: 0 is flat, 0.8 means peak
+    /// intensity is 9× the trough.
+    pub amplitude: f64,
+    /// Phase offset φ, µs (shifts where the peak falls).
+    pub phase_us: u64,
+}
+
+impl Diurnal {
+    /// The intensity envelope at `now_us` (mean 1 over a period).
+    pub fn intensity(&self, now_us: u64) -> f64 {
+        let t = (now_us.wrapping_add(self.phase_us) % self.period_us.max(1)) as f64
+            / self.period_us.max(1) as f64;
+        1.0 + self.amplitude * (std::f64::consts::TAU * t).sin()
+    }
+}
+
+/// A flash-crowd burst: every re-arrival that would straddle `at_us`
+/// (offline when the event starts, due back after it) is pulled into
+/// the `[at_us, at_us + ramp_us]` window instead — the "everyone tunes
+/// in for kick-off" audience spike.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Event start, µs since experiment start.
+    pub at_us: u64,
+    /// Arrival ramp width after the event start, µs.
+    pub ramp_us: u64,
+}
+
+/// Channel-zapping renewal: with probability `prob`, a session is a
+/// short exploratory visit (mean `visit_mean_us`) instead of a draw
+/// from the session law — the two-population mix session-level traces
+/// show (zappers vs viewers).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Zapping {
+    /// Probability that a session is a zap visit, `0.0..=1.0`.
+    pub prob: f64,
+    /// Mean zap-visit length, µs (exponential).
+    pub visit_mean_us: u64,
+}
+
+/// Cap on heavy-tailed session draws, as a multiple of the configured
+/// mean: keeps a single Pareto tail sample from exceeding any plausible
+/// experiment duration while leaving the measurable CCDF untouched.
+const TAIL_CAP_FACTOR: f64 = 1e4;
+
+/// An empirical session model: optional reshaping along four axes, all
+/// composing with one [`ChurnPlan`](crate::ChurnPlan). The default
+/// (every axis `None`) is a no-op that reproduces the legacy
+/// exponential churn draws bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionModel {
+    /// Session-length law; `None` keeps the legacy exponential.
+    pub law: Option<SessionLaw>,
+    /// Diurnal arrival-intensity envelope.
+    pub diurnal: Option<Diurnal>,
+    /// Flash-crowd arrival burst.
+    pub flash_crowd: Option<FlashCrowd>,
+    /// Channel-zapping short-visit mix.
+    pub zapping: Option<Zapping>,
+}
+
+impl SessionModel {
+    /// `true` when the model reshapes nothing (legacy churn draws,
+    /// byte-identical to a model-free run).
+    pub fn is_noop(&self) -> bool {
+        matches!(self.law, None | Some(SessionLaw::Exp))
+            && self.diurnal.is_none()
+            && self.flash_crowd.is_none()
+            && self.zapping.is_none()
+    }
+
+    /// Validates parameter ranges, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self.law {
+            Some(SessionLaw::Pareto(a)) if !(a > 1.0 && a.is_finite()) => {
+                return Err(format!("session.law Pareto shape {a} must be > 1"));
+            }
+            Some(SessionLaw::LogNormal(s)) if !(s > 0.0 && s.is_finite()) => {
+                return Err(format!("session.law LogNormal sigma {s} must be > 0"));
+            }
+            _ => {}
+        }
+        if let Some(d) = &self.diurnal {
+            if d.period_us == 0 {
+                return Err("session.diurnal.period_us must be > 0".into());
+            }
+            if !(0.0..1.0).contains(&d.amplitude) {
+                return Err(format!(
+                    "session.diurnal.amplitude {} outside 0..1",
+                    d.amplitude
+                ));
+            }
+        }
+        if let Some(z) = &self.zapping {
+            if !(0.0..=1.0).contains(&z.prob) {
+                return Err(format!("session.zapping.prob {} outside 0..=1", z.prob));
+            }
+            if z.prob > 0.0 && z.visit_mean_us == 0 {
+                return Err("session.zapping.visit_mean_us must be > 0".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The arrival-intensity envelope at `now_us` (1.0 without a
+    /// diurnal axis; integrates to 1 over a period with one).
+    pub fn intensity(&self, now_us: u64) -> f64 {
+        self.diurnal.map_or(1.0, |d| d.intensity(now_us))
+    }
+
+    /// Draws one online session length, µs (≥ 1), mean-matched to
+    /// `mean_us`. With no law and no zapping this is exactly the legacy
+    /// draw `Exp(mean_us)` — same stream position, same value.
+    pub fn draw_session_us(&self, rng: &mut DetRng, mean_us: u64) -> u64 {
+        if let Some(z) = &self.zapping {
+            if z.prob > 0.0 && rng.chance(z.prob) {
+                return (rng.exp(z.visit_mean_us as f64) as u64).max(1);
+            }
+        }
+        let mean = mean_us as f64;
+        let v = match self.law {
+            None | Some(SessionLaw::Exp) => rng.exp(mean),
+            Some(SessionLaw::Pareto(shape)) => {
+                let scale = mean * (shape - 1.0) / shape;
+                rng.pareto(scale, shape, mean * TAIL_CAP_FACTOR)
+            }
+            Some(SessionLaw::LogNormal(sigma)) => {
+                // Box–Muller from two uniform draws; μ mean-matches.
+                let u1 = rng.range(f64::MIN_POSITIVE..1.0);
+                let u2 = rng.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let mu = mean.ln() - sigma * sigma / 2.0;
+                (mu + sigma * z).exp()
+            }
+        };
+        (v as u64).max(1)
+    }
+
+    /// Computes the absolute re-arrival time of a peer going offline at
+    /// `now_us`: an exponential offline period whose mean shrinks with
+    /// the diurnal intensity, re-timed into the flash-crowd ramp when
+    /// the draw straddles the event. Without a diurnal or flash axis
+    /// this is exactly the legacy draw `now + Exp(offline_mean_us)`.
+    pub fn rearrive_at_us(&self, rng: &mut DetRng, now_us: u64, offline_mean_us: u64) -> u64 {
+        let eff_mean = offline_mean_us as f64 / self.intensity(now_us);
+        let off = (rng.exp(eff_mean) as u64).max(1);
+        let at = now_us.saturating_add(off);
+        if let Some(f) = &self.flash_crowd {
+            if now_us < f.at_us && at > f.at_us {
+                return f.at_us.saturating_add(rng.range(0..f.ramp_us.max(1)));
+            }
+        }
+        at
+    }
+
+    /// A ready-made heavy-churn showcase: Pareto(1.5) sessions, a
+    /// period-compressed diurnal cycle, a flash crowd and a zapping mix
+    /// — the `pplive_flashcrowd` perf cell and the docs use it.
+    pub fn flashcrowd_preset() -> Self {
+        SessionModel {
+            law: Some(SessionLaw::Pareto(1.5)),
+            diurnal: Some(Diurnal {
+                period_us: 60_000_000,
+                amplitude: 0.6,
+                phase_us: 0,
+            }),
+            flash_crowd: Some(FlashCrowd {
+                at_us: 8_000_000,
+                ramp_us: 2_000_000,
+            }),
+            zapping: Some(Zapping {
+                prob: 0.3,
+                visit_mean_us: 5_000_000,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::stream(0xFEED, "fault.churn")
+    }
+
+    #[test]
+    fn default_model_is_noop_and_matches_legacy_draws() {
+        let model = SessionModel::default();
+        assert!(model.is_noop());
+        assert!(model.validate().is_ok());
+        let (mut a, mut b) = (rng(), rng());
+        for now in [0u64, 5_000_000, 123_456_789] {
+            assert_eq!(
+                model.draw_session_us(&mut a, 45_000_000),
+                (b.exp(45_000_000.0) as u64).max(1)
+            );
+            assert_eq!(
+                model.rearrive_at_us(&mut a, now, 20_000_000),
+                now + (b.exp(20_000_000.0) as u64).max(1)
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_exp_law_is_still_noop() {
+        let model = SessionModel {
+            law: Some(SessionLaw::Exp),
+            ..Default::default()
+        };
+        assert!(model.is_noop());
+    }
+
+    #[test]
+    fn pareto_sessions_are_mean_matched() {
+        let model = SessionModel {
+            law: Some(SessionLaw::Pareto(2.5)),
+            ..Default::default()
+        };
+        assert!(!model.is_noop());
+        let mut r = rng();
+        let n = 200_000u64;
+        let mean = 45_000_000u64;
+        let sum: u128 = (0..n)
+            .map(|_| model.draw_session_us(&mut r, mean) as u128)
+            .sum();
+        let emp = sum as f64 / n as f64;
+        let rel = (emp - mean as f64).abs() / mean as f64;
+        assert!(rel < 0.05, "empirical mean {emp} drifted {rel} from {mean}");
+    }
+
+    #[test]
+    fn lognormal_sessions_are_mean_matched() {
+        let model = SessionModel {
+            law: Some(SessionLaw::LogNormal(1.0)),
+            ..Default::default()
+        };
+        let mut r = rng();
+        let n = 200_000u64;
+        let mean = 10_000_000u64;
+        let sum: u128 = (0..n)
+            .map(|_| model.draw_session_us(&mut r, mean) as u128)
+            .sum();
+        let emp = sum as f64 / n as f64;
+        let rel = (emp - mean as f64).abs() / mean as f64;
+        assert!(rel < 0.05, "empirical mean {emp} drifted {rel} from {mean}");
+    }
+
+    #[test]
+    fn diurnal_envelope_bounds_and_mean() {
+        let d = Diurnal {
+            period_us: 1_000_000,
+            amplitude: 0.8,
+            phase_us: 250_000,
+        };
+        let steps = 10_000u64;
+        let mut sum = 0.0;
+        for k in 0..steps {
+            let v = d.intensity(k * d.period_us / steps);
+            assert!(v > 0.0 && v <= 1.0 + d.amplitude + 1e-9);
+            sum += v;
+        }
+        let mean = sum / steps as f64;
+        assert!((mean - 1.0).abs() < 1e-3, "envelope mean {mean} != 1");
+    }
+
+    #[test]
+    fn flash_crowd_pulls_straddling_arrivals_into_the_ramp() {
+        let model = SessionModel {
+            flash_crowd: Some(FlashCrowd {
+                at_us: 10_000_000,
+                ramp_us: 2_000_000,
+            }),
+            ..Default::default()
+        };
+        let mut r = rng();
+        let mut pulled = 0;
+        for _ in 0..2_000 {
+            let at = model.rearrive_at_us(&mut r, 1_000_000, 30_000_000);
+            if at >= 10_000_000 {
+                assert!(at <= 12_000_000, "straddler {at} outside the ramp");
+                pulled += 1;
+            }
+        }
+        assert!(pulled > 0, "no arrival ever straddled the event");
+        // Arrivals after the event are left alone.
+        for _ in 0..200 {
+            let at = model.rearrive_at_us(&mut r, 13_000_000, 30_000_000);
+            assert!(at > 13_000_000);
+        }
+    }
+
+    #[test]
+    fn zapping_mixes_in_short_visits() {
+        let model = SessionModel {
+            zapping: Some(Zapping {
+                prob: 0.5,
+                visit_mean_us: 1_000_000,
+            }),
+            ..Default::default()
+        };
+        let mut r = rng();
+        let n = 100_000u64;
+        let mean = 100_000_000u64; // long viewers, short zappers
+        let sum: u128 = (0..n)
+            .map(|_| model.draw_session_us(&mut r, mean) as u128)
+            .sum();
+        let emp = sum as f64 / n as f64;
+        let expect = 0.5 * mean as f64 + 0.5 * 1_000_000.0;
+        let rel = (emp - expect).abs() / expect;
+        assert!(rel < 0.05, "zap mix mean {emp} drifted {rel} from {expect}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let bad_pareto = SessionModel {
+            law: Some(SessionLaw::Pareto(1.0)),
+            ..Default::default()
+        };
+        assert!(bad_pareto.validate().is_err());
+        let bad_sigma = SessionModel {
+            law: Some(SessionLaw::LogNormal(0.0)),
+            ..Default::default()
+        };
+        assert!(bad_sigma.validate().is_err());
+        let bad_diurnal = SessionModel {
+            diurnal: Some(Diurnal {
+                period_us: 0,
+                amplitude: 0.5,
+                phase_us: 0,
+            }),
+            ..Default::default()
+        };
+        assert!(bad_diurnal.validate().is_err());
+        let bad_zap = SessionModel {
+            zapping: Some(Zapping {
+                prob: 1.5,
+                visit_mean_us: 1,
+            }),
+            ..Default::default()
+        };
+        assert!(bad_zap.validate().is_err());
+        assert!(SessionModel::flashcrowd_preset().validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let model = SessionModel::flashcrowd_preset();
+        let json = serde_json::to_string_pretty(&model).unwrap();
+        let back: SessionModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+        // Absent axes deserialize as None (backward compatibility).
+        let sparse: SessionModel = serde_json::from_str("{\"law\": {\"Pareto\": [1.5]}}").unwrap();
+        assert_eq!(sparse.law, Some(SessionLaw::Pareto(1.5)));
+        assert!(sparse.diurnal.is_none());
+    }
+}

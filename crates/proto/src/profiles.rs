@@ -25,6 +25,20 @@
 use crate::policy::SelectionPolicy;
 use serde::{Deserialize, Serialize};
 
+/// Sender-driven epidemic push policy (Mathieu & Perino): when present,
+/// the profile's behaviour stack includes the epidemic push built-in,
+/// which pushes the latest useful buffered chunk to a neighbor every
+/// tick instead of waiting to be asked.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PushPolicy {
+    /// Push attempts per protocol tick.
+    pub pushes_per_tick: u32,
+    /// Exponent biasing target choice toward high-upstream neighbors.
+    /// `0.0` is the random-peer policy; positive values are the
+    /// bandwidth-aware variant (capacity-proportional at `1.0`).
+    pub bw_exponent: f64,
+}
+
 /// Complete behaviour description of one P2P-TV application.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AppProfile {
@@ -92,6 +106,10 @@ pub struct AppProfile {
     /// Pareto shape spreading upload popularity across probes (higher =
     /// more uniform; the max/mean TX gap in Table II comes from this).
     pub popularity_spread: f64,
+    /// Sender-driven epidemic push policy; `None` (all tracker-era
+    /// paper profiles) keeps the stack pull-only and byte-identical to
+    /// the pre-epidemic engine.
+    pub push: Option<PushPolicy>,
 }
 
 impl AppProfile {
@@ -135,6 +153,7 @@ impl AppProfile {
             peerlist_entries: 30,
             overlay_size: 181_000,
             popularity_spread: 1.2,
+            push: None,
         }
     }
 
@@ -171,6 +190,7 @@ impl AppProfile {
             peerlist_entries: 20,
             overlay_size: 4_000,
             popularity_spread: 0.8,
+            push: None,
         }
     }
 
@@ -214,12 +234,45 @@ impl AppProfile {
             peerlist_entries: 16,
             overlay_size: 520,
             popularity_spread: 0.5,
+            push: None,
         }
     }
 
     /// All three paper profiles, in the paper's presentation order.
     pub fn paper_apps() -> Vec<AppProfile> {
         vec![Self::pplive(), Self::sopcast(), Self::tvants()]
+    }
+
+    /// Every registered profile, in stable presentation order: the three
+    /// paper applications first, then the extension profiles. Anything
+    /// that enumerates selectable profiles (CLI lookup, sweeps, golden
+    /// coverage) must route through this list so a newly registered
+    /// profile cannot be silently skipped.
+    pub fn all() -> Vec<AppProfile> {
+        vec![
+            Self::pplive(),
+            Self::sopcast(),
+            Self::tvants(),
+            Self::pplive_unpopular(),
+            Self::nextgen(),
+            Self::epidemic_rp(),
+            Self::epidemic_ba(),
+        ]
+    }
+
+    /// Looks a registered profile up by name, case-insensitively, with
+    /// the historical CLI aliases (`nextgen` for NAPA-NG,
+    /// `epidemic_rp`/`epidemic_ba` underscore forms).
+    pub fn by_name(name: &str) -> Option<AppProfile> {
+        let want = name.to_ascii_lowercase().replace('_', "-");
+        let want = match want.as_str() {
+            "nextgen" => "napa-ng".to_string(),
+            "pplive-unpop" | "pplive-unpopular" => "pplive-unpop".to_string(),
+            other => other.to_string(),
+        };
+        Self::all()
+            .into_iter()
+            .find(|p| p.name.to_ascii_lowercase() == want)
     }
 
     /// PPLive tuned to a less-popular channel: the paper ran PPLive on
@@ -277,6 +330,48 @@ impl AppProfile {
         }
     }
 
+    /// Epidemic diffusion, random-peer/latest-useful push (Mathieu &
+    /// Perino's baseline policy): every tick each peer pushes the newest
+    /// useful chunk it holds to a uniformly random neighbor. Selection
+    /// is location- and bandwidth-blind everywhere — diffusion quality
+    /// comes from push fan-out, not from choosing good providers — so
+    /// the passive analysis should fingerprint it as network-*unaware*
+    /// (near-uniform locality, no BW preference on the push side).
+    pub fn epidemic_rp() -> Self {
+        AppProfile {
+            name: "Epidemic-RP".into(),
+            download_policy: SelectionPolicy::uniform(),
+            upload_policy: SelectionPolicy::uniform(),
+            exploration: 0.04,
+            discovery_bw_exponent: 0.0,
+            discovery_as_boost: 1.0,
+            push: Some(PushPolicy {
+                pushes_per_tick: 1,
+                bw_exponent: 0.0,
+            }),
+            ..Self::sopcast()
+        }
+    }
+
+    /// Epidemic diffusion, bandwidth-aware push (Mathieu & Perino's
+    /// resource-aware variant): same push machinery as
+    /// [`Self::epidemic_rp`], but push targets are drawn proportionally
+    /// to their upstream capacity (and discovery keeps a mild BW bias),
+    /// concentrating diffusion through high-capacity relays. The
+    /// analysis must distinguish the two: BA shows a strong BW
+    /// preference where RP shows none, while both stay location-blind.
+    pub fn epidemic_ba() -> Self {
+        AppProfile {
+            name: "Epidemic-BA".into(),
+            push: Some(PushPolicy {
+                pushes_per_tick: 1,
+                bw_exponent: 1.0,
+            }),
+            discovery_bw_exponent: 0.7,
+            ..Self::epidemic_rp()
+        }
+    }
+
     /// Ablation control: same traffic volumes and overlay dynamics, but
     /// *every* selection decision is uniform-random and discovery is
     /// unbiased. Applying the analysis to this variant must show no
@@ -308,6 +403,9 @@ impl AppProfile {
             crate::swarm::announce::Announce::from_profile(self),
             crate::swarm::churn_recovery::ChurnRecovery::default(),
             crate::swarm::scheduling::Scheduling::from_profile(self),
+            self.push.as_ref().map(|p| {
+                crate::swarm::epidemic::EpidemicPush::from_policy(p, self.upload_backlog_cap_us)
+            }),
         )
     }
 }
@@ -400,6 +498,62 @@ mod tests {
         let d = t.expected_distinct_neighbors(3_600_000_000);
         assert!(d > t.max_neighbors as f64);
         assert!(d < 3.0 * t.max_neighbors as f64);
+    }
+
+    #[test]
+    fn all_contains_every_registered_profile_once() {
+        let names: Vec<String> = AppProfile::all().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "PPLive",
+                "SopCast",
+                "TVAnts",
+                "PPLive-Unpop",
+                "NAPA-NG",
+                "Epidemic-RP",
+                "Epidemic-BA"
+            ]
+        );
+        // Paper apps are a strict prefix, preserving presentation order.
+        let paper: Vec<String> = AppProfile::paper_apps().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(&names[..3], &paper[..]);
+    }
+
+    #[test]
+    fn by_name_resolves_names_and_aliases() {
+        for p in AppProfile::all() {
+            let found = AppProfile::by_name(&p.name).expect("own name resolves");
+            assert_eq!(found.name, p.name);
+            let found = AppProfile::by_name(&p.name.to_ascii_uppercase()).unwrap();
+            assert_eq!(found.name, p.name);
+        }
+        assert_eq!(AppProfile::by_name("nextgen").unwrap().name, "NAPA-NG");
+        assert_eq!(AppProfile::by_name("napa-ng").unwrap().name, "NAPA-NG");
+        assert_eq!(AppProfile::by_name("epidemic_rp").unwrap().name, "Epidemic-RP");
+        assert_eq!(AppProfile::by_name("epidemic-ba").unwrap().name, "Epidemic-BA");
+        assert!(AppProfile::by_name("no-such-app").is_none());
+    }
+
+    #[test]
+    fn epidemic_profiles_differ_only_in_resource_awareness() {
+        let rp = AppProfile::epidemic_rp();
+        let ba = AppProfile::epidemic_ba();
+        // Paper profiles are pull-only; the epidemic pair pushes.
+        for p in AppProfile::paper_apps() {
+            assert!(p.push.is_none(), "{} must stay pull-only", p.name);
+        }
+        let (rp_push, ba_push) = (rp.push.unwrap(), ba.push.unwrap());
+        assert_eq!(rp_push.bw_exponent, 0.0, "RP pushes blind");
+        assert!(ba_push.bw_exponent > 0.0, "BA pushes by capacity");
+        assert_eq!(rp_push.pushes_per_tick, ba_push.pushes_per_tick);
+        // Both are location-blind: locality fingerprints must come out
+        // flat, unlike TVAnts/NAPA-NG.
+        for p in [&rp, &ba] {
+            assert_eq!(p.download_policy.same_as_boost, 1.0);
+            assert_eq!(p.upload_policy.same_as_boost, 1.0);
+            assert_eq!(p.discovery_as_boost, 1.0);
+        }
     }
 
     #[test]

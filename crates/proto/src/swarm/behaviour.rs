@@ -16,7 +16,8 @@
 //! [`BehaviourAction`]s through [`Ctx`]; the dispatcher drains the
 //! action queue in FIFO order after the hooks of one event ran, in
 //! fixed behaviour-stack order (discovery, announce, churn-recovery,
-//! scheduling, then custom behaviours in push order). Because the
+//! scheduling, the optional epidemic push, then custom behaviours in
+//! push order). Because the
 //! scheduler breaks timestamp ties by insertion sequence, FIFO draining
 //! preserves the exact insertion order the monolithic handler produced —
 //! which is what keeps same-seed runs byte-identical across the
@@ -154,8 +155,9 @@ pub trait Behaviour: Send {
     fn on_arrive(&mut self, ctx: &mut Ctx, peer: PeerId) {}
 }
 
-/// The composed protocol: the four built-in concerns in fixed dispatch
-/// order, plus any custom behaviours appended after them.
+/// The composed protocol: the built-in concerns in fixed dispatch
+/// order (plus the optional epidemic push), then any custom behaviours
+/// appended after them.
 ///
 /// A stack is constructed by
 /// [`AppProfile::stack`](crate::profiles::AppProfile::stack) — the
@@ -166,6 +168,12 @@ pub struct BehaviourStack {
     pub(crate) announce: super::announce::Announce,
     pub(crate) recovery: super::churn_recovery::ChurnRecovery,
     pub(crate) scheduling: super::scheduling::Scheduling,
+    /// Optional epidemic push built-in (profiles with a
+    /// [`PushPolicy`](crate::profiles::PushPolicy)); runs after
+    /// scheduling, before customs. `None` costs nothing — no hooks run,
+    /// no draws happen — which keeps pull-only profiles byte-identical
+    /// to the pre-epidemic engine.
+    pub(crate) epidemic: Option<super::epidemic::EpidemicPush>,
     pub(crate) custom: Vec<Box<dyn Behaviour>>,
 }
 
@@ -175,12 +183,14 @@ impl BehaviourStack {
         announce: super::announce::Announce,
         recovery: super::churn_recovery::ChurnRecovery,
         scheduling: super::scheduling::Scheduling,
+        epidemic: Option<super::epidemic::EpidemicPush>,
     ) -> Self {
         BehaviourStack {
             discovery,
             announce,
             recovery,
             scheduling,
+            epidemic,
             custom: Vec::new(),
         }
     }
@@ -203,6 +213,7 @@ impl BehaviourStack {
             announce: self.announce.clone(),
             recovery: self.recovery.clone_replica(),
             scheduling: self.scheduling.clone(),
+            epidemic: self.epidemic.clone(),
             custom: Vec::new(),
         }
     }

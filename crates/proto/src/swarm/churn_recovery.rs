@@ -21,7 +21,7 @@ use super::state::Event;
 use super::SwarmCore;
 use crate::chunk::ChunkId;
 use crate::peer::{PeerId, PeerRole};
-use netaware_faults::ChurnPlan;
+use netaware_faults::{ChurnPlan, SessionModel};
 use netaware_obs::Level;
 use netaware_sim::{DetRng, SimTime};
 
@@ -40,18 +40,26 @@ const TIMEOUT_EST_BPS: u64 = 200_000;
 #[derive(Clone)]
 pub(crate) struct ChurnState {
     plan: ChurnPlan,
+    /// Session model reshaping the renewal process; the default model
+    /// reproduces the legacy exponential draws bit-for-bit.
+    model: SessionModel,
     rng: DetRng,
 }
 
 impl ChurnState {
-    /// Draws an online session length, µs (exponential, ≥ 1).
+    /// Draws an online session length, µs (≥ 1), per the session model
+    /// (exponential with the default model).
     fn session_us(&mut self) -> u64 {
-        (self.rng.exp(self.plan.session_mean_us as f64) as u64).max(1)
+        self.model
+            .draw_session_us(&mut self.rng, self.plan.session_mean_us)
     }
 
-    /// Draws an offline period length, µs (exponential, ≥ 1).
-    fn offline_us(&mut self) -> u64 {
-        (self.rng.exp(self.plan.offline_mean_us as f64) as u64).max(1)
+    /// Computes the absolute re-arrival time, µs, of a peer going
+    /// offline at `now_us` (`now + Exp(offline_mean)` with the default
+    /// model; diurnal/flash-crowd axes reshape it).
+    fn rearrive_at_us(&mut self, now_us: u64) -> u64 {
+        self.model
+            .rearrive_at_us(&mut self.rng, now_us, self.plan.offline_mean_us)
     }
 }
 
@@ -64,9 +72,12 @@ pub(crate) struct ChurnRecovery {
 
 impl ChurnRecovery {
     /// Installs (or clears) the churn process; called by `set_faults`.
-    pub(crate) fn set_churn(&mut self, plan: Option<ChurnPlan>, seed: u64) {
+    /// `model` reshapes the renewal draws (pass `SessionModel::default()`
+    /// for the legacy exponential process).
+    pub(crate) fn set_churn(&mut self, plan: Option<ChurnPlan>, model: SessionModel, seed: u64) {
         self.churn = plan.map(|plan| ChurnState {
             plan,
+            model,
             rng: DetRng::stream(seed, "fault.churn"),
         });
     }
@@ -165,7 +176,7 @@ impl Behaviour for ChurnRecovery {
             let begins_offline =
                 churn.plan.initial_offline > 0.0 && churn.rng.chance(churn.plan.initial_offline);
             if begins_offline {
-                let back_at = churn.offline_us();
+                let back_at = churn.rearrive_at_us(0);
                 ctx.core.offline.insert(id);
                 ctx.schedule(SimTime::from_us(back_at), Event::Arrive(id));
                 start_offline.push(id);
@@ -233,7 +244,7 @@ impl Behaviour for ChurnRecovery {
             if !ctx.core.offline.insert(id) {
                 return; // already gone (stale event)
             }
-            now + churn.offline_us()
+            SimTime::from_us(churn.rearrive_at_us(now.as_us()))
         };
         ctx.schedule(back_at, Event::Arrive(id));
         // Broadcast event: every shard replica handles it, but the

@@ -4,7 +4,8 @@
 //!
 //! For every popped event the dispatcher runs the behaviour hooks in
 //! fixed stack order — discovery, announce, churn-recovery, scheduling,
-//! then custom behaviours in push order — and only then drains the
+//! the optional epidemic push, then custom behaviours in push order —
+//! and only then drains the
 //! action queue FIFO into the scheduler. Because the scheduler breaks
 //! timestamp ties by a canonical `(origin, oseq)` key assigned at
 //! insertion, this two-phase scheme inserts events in exactly the order
@@ -76,6 +77,7 @@ pub(crate) struct DispatchProf {
     announce: ProfCell,
     recovery: ProfCell,
     scheduling: ProfCell,
+    epidemic: ProfCell,
     custom: Vec<ProfCell>,
     transfer: ProfCell,
     drain: ProfCell,
@@ -88,6 +90,7 @@ impl DispatchProf {
             announce: span.cell("behaviour.announce"),
             recovery: span.cell("behaviour.churn_recovery"),
             scheduling: span.cell("behaviour.scheduling"),
+            epidemic: span.cell("behaviour.epidemic"),
             custom: stack
                 .custom
                 .iter()
@@ -106,6 +109,7 @@ impl DispatchProf {
             announce: ProfCell::disabled(),
             recovery: ProfCell::disabled(),
             scheduling: ProfCell::disabled(),
+            epidemic: ProfCell::disabled(),
             custom: Vec::new(),
             transfer: ProfCell::disabled(),
             drain: ProfCell::disabled(),
@@ -246,6 +250,9 @@ pub(crate) fn run(
         stack.announce.on_start(&mut ctx);
         stack.recovery.on_start(&mut ctx);
         stack.scheduling.on_start(&mut ctx);
+        if let Some(e) = stack.epidemic.as_mut() {
+            e.on_start(&mut ctx);
+        }
         for b in &mut stack.custom {
             b.on_start(&mut ctx);
         }
@@ -559,6 +566,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_tick(&mut ctx, i));
                 prof.recovery.time(|| stack.recovery.on_tick(&mut ctx, i));
                 prof.scheduling.time(|| stack.scheduling.on_tick(&mut ctx, i));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_tick(&mut ctx, i));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_tick(&mut ctx, i)),
@@ -572,6 +582,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_demand(&mut ctx, i));
                 prof.recovery.time(|| stack.recovery.on_demand(&mut ctx, i));
                 prof.scheduling.time(|| stack.scheduling.on_demand(&mut ctx, i));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_demand(&mut ctx, i));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_demand(&mut ctx, i)),
@@ -585,6 +598,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_halo(&mut ctx, i));
                 prof.recovery.time(|| stack.recovery.on_halo(&mut ctx, i));
                 prof.scheduling.time(|| stack.scheduling.on_halo(&mut ctx, i));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_halo(&mut ctx, i));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_halo(&mut ctx, i)),
@@ -607,6 +623,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_serve(&mut ctx, provider, to, chunk));
                 prof.recovery.time(|| stack.recovery.on_serve(&mut ctx, provider, to, chunk));
                 prof.scheduling.time(|| stack.scheduling.on_serve(&mut ctx, provider, to, chunk));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_serve(&mut ctx, provider, to, chunk));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_serve(&mut ctx, provider, to, chunk)),
@@ -646,6 +665,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_delivered(&mut ctx, to, from, chunk, est_bps));
                 prof.recovery.time(|| stack.recovery.on_delivered(&mut ctx, to, from, chunk, est_bps));
                 prof.scheduling.time(|| stack.scheduling.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_delivered(&mut ctx, to, from, chunk, est_bps));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_delivered(&mut ctx, to, from, chunk, est_bps)),
@@ -659,6 +681,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_depart(&mut ctx, id));
                 prof.recovery.time(|| stack.recovery.on_depart(&mut ctx, id));
                 prof.scheduling.time(|| stack.scheduling.on_depart(&mut ctx, id));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_depart(&mut ctx, id));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_depart(&mut ctx, id)),
@@ -672,6 +697,9 @@ pub(crate) fn deliver(
                 prof.announce.time(|| stack.announce.on_arrive(&mut ctx, id));
                 prof.recovery.time(|| stack.recovery.on_arrive(&mut ctx, id));
                 prof.scheduling.time(|| stack.scheduling.on_arrive(&mut ctx, id));
+                if let Some(e) = stack.epidemic.as_mut() {
+                    prof.epidemic.time(|| e.on_arrive(&mut ctx, id));
+                }
                 for (idx, b) in stack.custom.iter_mut().enumerate() {
                     match prof.custom.get(idx) {
                         Some(c) => c.time(|| b.on_arrive(&mut ctx, id)),

@@ -1,0 +1,163 @@
+//! Epidemic chunk-diffusion behaviour: sender-driven push policies.
+//!
+//! Mathieu & Perino ("On Resource Aware Algorithms in Epidemic Live
+//! Streaming") study chunk diffusion where the *holder* of a chunk
+//! pushes it onward instead of waiting to be asked. This module is that
+//! family as an optional built-in behaviour: on every protocol tick the
+//! probe picks a target among its live neighbors — uniformly for the
+//! **random-peer** policy, biased by upstream capacity for the
+//! **bandwidth-aware** variant — and pushes the *latest useful* chunk it
+//! holds (the newest buffered chunk the target plausibly lacks, per the
+//! same static playout-lag heuristic the pull scheduler prices requests
+//! with).
+//!
+//! ## Determinism and sharding
+//!
+//! The push draws ride the pusher's private probe stream
+//! ([`Ctx::probe_rng`]-equivalent), so a profile without a push policy
+//! (`AppProfile::push == None`) consumes zero extra draws and stays
+//! byte-identical to the pre-epidemic engine — the paper-profile golden
+//! fingerprints pin that. The behaviour is a true built-in: shard
+//! replicas clone it (it is pure configuration), every push happens
+//! while handling the pusher's own `Tick` lane, and transfers reuse the
+//! two-sided `probe_serve_chunk` path, so sharded runs remain
+//! byte-identical to serial ones.
+
+use super::behaviour::{Behaviour, Ctx};
+use crate::chunk::{ChunkId, BUFFER_WINDOW};
+use crate::peer::{PeerId, PeerRole};
+use crate::profiles::PushPolicy;
+use netaware_obs::Level;
+
+/// The epidemic push behaviour (see the module docs). Pure
+/// configuration — cloning it replicates the policy, not mid-run state.
+#[derive(Clone, Debug)]
+pub(crate) struct EpidemicPush {
+    /// Push attempts per protocol tick.
+    pushes_per_tick: u32,
+    /// Exponent biasing target choice toward high-upstream neighbors;
+    /// `0.0` is the uniform random-peer policy.
+    bw_exponent: f64,
+    /// Uplink backlog (µs) above which the pusher sits a tick out.
+    backlog_cap_us: u64,
+}
+
+impl EpidemicPush {
+    /// Builds the behaviour from a profile's push policy.
+    pub(crate) fn from_policy(policy: &PushPolicy, backlog_cap_us: u64) -> Self {
+        EpidemicPush {
+            pushes_per_tick: policy.pushes_per_tick,
+            bw_exponent: policy.bw_exponent,
+            backlog_cap_us,
+        }
+    }
+}
+
+impl Behaviour for EpidemicPush {
+    fn name(&self) -> &'static str {
+        "epidemic"
+    }
+
+    /// One push round: pick a target (uniform or bandwidth-weighted),
+    /// find the latest chunk in the local buffer the target plausibly
+    /// lacks, and send it through the provider-side transfer path.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, '_>, i: usize) {
+        let now = ctx.now();
+        let now_us = now.as_us();
+        let pusher = PeerId(1 + i as u32);
+        let core = &mut *ctx.core;
+        let actions = &mut *ctx.actions;
+        if core.probe_states[i].sched.bufmap.held() == 0 {
+            return; // nothing buffered yet (startup)
+        }
+        for _ in 0..self.pushes_per_tick {
+            // A saturated uplink sits the round out, like the pull
+            // serve path refusing requests past the backlog cap.
+            if core.probe_states[i].link.uplink.backlog_us(now) > self.backlog_cap_us {
+                return;
+            }
+            // Candidate targets: live neighbors (the source never needs
+            // a push). Weights only matter for the bandwidth-aware
+            // variant.
+            let mut cand: Vec<PeerId> = Vec::new();
+            for n in &core.probe_states[i].disc.neighbors {
+                if core.peers[n.id.0 as usize].role == PeerRole::Source || core.is_offline(n.id) {
+                    continue;
+                }
+                cand.push(n.id);
+            }
+            if cand.is_empty() {
+                return;
+            }
+            let target = if self.bw_exponent == 0.0 {
+                let k = core.probe_states[i].rng.range(0..cand.len());
+                cand[k]
+            } else {
+                let weights: Vec<f64> = cand
+                    .iter()
+                    .map(|id| {
+                        (core.meta[id.0 as usize].up_bps.max(1) as f64).powf(self.bw_exponent)
+                    })
+                    .collect();
+                match core.probe_states[i].rng.pick_weighted(&weights) {
+                    Some(k) => cand[k],
+                    None => return,
+                }
+            };
+            // Latest useful chunk: newest held chunk the target
+            // plausibly lacks. Probes are priced by the same static
+            // playout-lag heuristic the pull scheduler uses (never the
+            // remote's live state — the sharding contract); externals by
+            // their configured playout lag.
+            let chunk = {
+                let map = &core.probe_states[i].sched.bufmap;
+                let base = map.base();
+                let mut found = None;
+                for off in (0..BUFFER_WINDOW).rev() {
+                    let c = ChunkId(base.0 + off);
+                    if !map.contains(c) {
+                        continue;
+                    }
+                    let useful = match core.peers[target.0 as usize].role {
+                        PeerRole::Probe => {
+                            let qi = target.0 as usize - 1;
+                            let lag = core.probe_states[qi].sched.fetch_lag_chunks;
+                            core.cfg.stream.chunk_time_us(ChunkId(c.0 + 2 + lag)) > now_us
+                        }
+                        PeerRole::External => {
+                            let m = &core.meta[target.0 as usize];
+                            core.cfg.stream.chunk_time_us(c) + m.lag_us > now_us
+                        }
+                        PeerRole::Source => false,
+                    };
+                    if useful {
+                        found = Some(c);
+                    }
+                    // Held chunks older than the newest useful one are
+                    // plausibly held by the target too — stop at the
+                    // first (newest) useful hit.
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                found
+            };
+            let Some(chunk) = chunk else {
+                continue; // target plausibly holds everything we do
+            };
+            core.report.chunks_pushed += 1;
+            netaware_obs::event!(
+                core.obs,
+                Level::Debug,
+                "swarm.epidemic.push",
+                now,
+                "probe" = i,
+                "target" = target.0,
+                "chunk" = chunk.0,
+            );
+            // Receiver-side dedup (`chunks_duplicate`) absorbs pushes
+            // the heuristic mispriced, exactly like stale pull serves.
+            core.probe_serve_chunk(actions, now, pusher, target, chunk);
+        }
+    }
+}

@@ -36,6 +36,7 @@ pub(crate) mod behaviour;
 pub(crate) mod churn_recovery;
 pub(crate) mod discovery;
 pub(crate) mod dispatch;
+pub(crate) mod epidemic;
 mod report;
 pub(crate) mod scheduling;
 mod state;
@@ -281,7 +282,9 @@ impl<'a> Swarm<'a> {
         self.core.offline.clear();
         if plan.is_noop() {
             self.core.links = Vec::new();
-            self.stack.recovery.set_churn(None, seed);
+            self.stack
+                .recovery
+                .set_churn(None, netaware_faults::SessionModel::default(), seed);
             self.stack.discovery.outages = Vec::new();
             return;
         }
@@ -297,7 +300,11 @@ impl<'a> Swarm<'a> {
                 })
                 .collect()
         };
-        self.stack.recovery.set_churn(plan.churn.clone(), seed);
+        self.stack.recovery.set_churn(
+            plan.churn.clone(),
+            plan.session.clone().unwrap_or_default(),
+            seed,
+        );
         self.stack.discovery.outages = plan
             .churn
             .as_ref()

@@ -33,6 +33,9 @@ pub struct SwarmReport {
     pub chunks_served_by_probes: u64,
     /// Chunks externals uploaded to probes.
     pub chunks_served_by_externals: u64,
+    /// Chunks sent unsolicited by the epidemic push behaviour (zero for
+    /// pull-only profiles; a subset of `chunks_served_by_probes`).
+    pub chunks_pushed: u64,
     /// Upload requests refused (backlog cap or nothing to send).
     pub chunks_refused: u64,
     /// Signalling packets emitted (both directions, all probes).
@@ -74,6 +77,7 @@ impl SwarmReport {
         self.chunks_lost += other.chunks_lost;
         self.chunks_served_by_probes += other.chunks_served_by_probes;
         self.chunks_served_by_externals += other.chunks_served_by_externals;
+        self.chunks_pushed += other.chunks_pushed;
         self.chunks_refused += other.chunks_refused;
         self.signal_packets += other.signal_packets;
         self.video_bytes_tx += other.video_bytes_tx;

@@ -12,12 +12,14 @@
 #![warn(missing_docs)]
 
 pub mod hosts;
+pub mod matrix;
 pub mod population;
 pub mod replication;
 pub mod runner;
 pub mod scenario;
 
 pub use hosts::{table1_hosts, HostDef, Site, SITES};
+pub use matrix::{run_matrix, FaultSpec, MatrixConfig, SessionSpec};
 pub use population::PopulationConfig;
 pub use runner::{
     run_ablation, run_experiment, run_on_scenario, run_paper_suite, run_streamed,

@@ -25,7 +25,7 @@ fn usage() -> ExitCode {
         "usage: netaware-xtask <command>\n\n\
          commands:\n  \
          lint [options]   run the workspace lint pass\n  \
-         perf [options]   run the perf matrix (6 app cells + shard scaling); write BENCH_*.json snapshots\n  \
+         perf [options]   run the perf matrix (6 app cells + 2 scenario cells + shard scaling); write BENCH_*.json snapshots\n  \
          rules [--json]   print the lint catalogue\n\n\
          lint options:\n  \
          --format <text|json|sarif>  output format (default text)\n  \

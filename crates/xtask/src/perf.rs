@@ -1,7 +1,10 @@
 //! The perf-snapshot matrix and budget gate behind `xtask perf`.
 //!
 //! `run_matrix` executes the three paper applications clean and faulted
-//! (six cells) under a profiled [`netaware_obs::Obs`] handle and writes
+//! (six cells), plus two scenario-diversity cells — PPLive under the
+//! flash-crowd/heavy-tail session model (`pplive_flashcrowd`) and the
+//! random-peer epidemic push profile clean (`epidemic_rp`) — under a
+//! profiled [`netaware_obs::Obs`] handle and writes
 //! one `BENCH_<scenario>.json` per cell. The gate compares the *gated
 //! series* of those reports against a checked-in `perf-baseline.json`:
 //!
@@ -19,7 +22,7 @@
 //! of a gated cost over a gated workload, so gating them separately
 //! would double-count noise.
 
-use netaware_faults::FaultPlan;
+use netaware_faults::{ChurnPlan, FaultPlan, SessionModel};
 use netaware_obs::{Obs, PerfMeta, PerfReport};
 use netaware_proto::AppProfile;
 use netaware_testbed::{run_experiment, ExperimentOptions};
@@ -58,6 +61,17 @@ fn faulted_plan() -> FaultPlan {
     FaultPlan::from_flags(Some(0.05), Some(2_000), true)
 }
 
+/// The session-model stress plan of the `pplive_flashcrowd` cell:
+/// preset churn reshaped by the flash-crowd/heavy-tail/zapping model —
+/// the most churn-event-heavy scenario the matrix runner produces.
+fn flashcrowd_plan() -> FaultPlan {
+    FaultPlan {
+        churn: Some(ChurnPlan::preset()),
+        session: Some(SessionModel::flashcrowd_preset()),
+        ..FaultPlan::none()
+    }
+}
+
 /// Runs one profiled cell and returns its report.
 pub fn run_cell(profile: AppProfile, faulted: bool, cfg: &PerfConfig) -> PerfReport {
     let scenario = format!(
@@ -83,6 +97,24 @@ fn run_named_cell(
     scenario: String,
     cfg: &PerfConfig,
 ) -> PerfReport {
+    let plan = if faulted {
+        faulted_plan()
+    } else {
+        FaultPlan::none()
+    };
+    run_plan_cell(profile, plan, shards, scenario, cfg)
+}
+
+/// Runs one profiled cell under an explicit fault plan (the
+/// scenario-diversity cells carry session models the boolean
+/// clean/faulted split cannot express).
+pub fn run_plan_cell(
+    profile: AppProfile,
+    plan: FaultPlan,
+    shards: usize,
+    scenario: String,
+    cfg: &PerfConfig,
+) -> PerfReport {
     // The peak-heap counter is a process-global high-water mark; rebase
     // it so each cell reports its own peak, not the matrix maximum.
     netaware_obs::alloc::reset_peak();
@@ -93,11 +125,7 @@ fn run_named_cell(
         duration_us: cfg.sim_secs * 1_000_000,
         obs: obs.clone(),
         shards,
-        faults: if faulted {
-            faulted_plan()
-        } else {
-            FaultPlan::none()
-        },
+        faults: plan,
         ..Default::default()
     };
     let _ = run_experiment(profile, &opts);
@@ -122,6 +150,23 @@ pub fn run_matrix(cfg: &PerfConfig) -> Vec<PerfReport> {
             out.push(run_cell(profile.clone(), faulted, cfg));
         }
     }
+    // Scenario-diversity cells: the session-model machinery under its
+    // heaviest configuration, and the epidemic push scheduler — both
+    // new subsystems get their own gated cost series.
+    out.push(run_plan_cell(
+        AppProfile::pplive(),
+        flashcrowd_plan(),
+        1,
+        String::from("pplive_flashcrowd"),
+        cfg,
+    ));
+    out.push(run_plan_cell(
+        AppProfile::epidemic_rp(),
+        FaultPlan::none(),
+        1,
+        String::from("epidemic_rp"),
+        cfg,
+    ));
     // Shard-scaling pass: the same PPLive clean workload at each worker
     // count. Byte-identical results are enforced elsewhere (goldens,
     // CI determinism job); these cells gate the *cost* of parallelism.

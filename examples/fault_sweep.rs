@@ -6,7 +6,9 @@
 //!
 //! The paper measured PPLive/SopCast/TVAnts on real access networks;
 //! this sweep asks how each application profile's mesh-pull machinery
-//! degrades when the network misbehaves. Every paper application runs
+//! degrades when the network misbehaves. Every registered profile
+//! (`AppProfile::all` — the paper applications plus the unpopular-channel,
+//! next-generation and epidemic-push variants) runs
 //! across a loss sweep (0–20%, clean links otherwise) and a churn grid
 //! (preset churn alone, and churn combined with 5% loss). Reported per
 //! cell: overall continuity, the worst probe's continuity, and the
@@ -60,7 +62,7 @@ fn main() {
         ("churn+5%", FaultPlan::from_flags(Some(0.05), None, true)),
     ];
 
-    let jobs: Vec<(AppProfile, &'static str, FaultPlan)> = AppProfile::paper_apps()
+    let jobs: Vec<(AppProfile, &'static str, FaultPlan)> = AppProfile::all()
         .into_iter()
         .flat_map(|app| plans.iter().map(move |(l, p)| (app.clone(), *l, p.clone())))
         .collect();

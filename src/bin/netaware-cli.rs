@@ -7,6 +7,8 @@
 //!                      [--obs-log FILE] [--metrics FILE] [--profile FILE] [--shards N]
 //!                      [--faults FILE] [--loss P] [--jitter-us N] [--churn]
 //! netaware-cli nextgen [--scale F] [--secs N] [--seed N]
+//! netaware-cli matrix  --config FILE [--out DIR] [--seed N] [--shards N] [--json FILE]
+//! netaware-cli matrix  --example
 //! netaware-cli testbed
 //! netaware-cli export  --dir DIR [--app APP] [--scale F] [--secs N]
 //! netaware-cli analyze --dir CORPUS | --probe IP FILE.pcap [--probe IP FILE.pcap …] [--profile FILE]
@@ -14,7 +16,17 @@
 //! netaware-cli obs profile FILE
 //! ```
 //!
-//! `APP` is one of `pplive`, `sopcast`, `tvants`, `nextgen`.
+//! `APP` is any registered profile name or alias (`pplive`, `sopcast`,
+//! `tvants`, `nextgen`, `pplive-unpop`, `epidemic-rp`, `epidemic-ba` —
+//! see `AppProfile::all`).
+//!
+//! `matrix --config FILE` sweeps a scenario grid (profiles × scales ×
+//! session models × fault plans, JSON `MatrixConfig`; start from
+//! `matrix --example`) through the streaming pipeline and emits one
+//! deterministic cross-scenario awareness report (markdown on stdout;
+//! `--out DIR` additionally writes `report.json`/`report.md` plus a
+//! re-analysable per-cell trace corpus). `--seed` overrides the
+//! config's seed; same seed ⇒ byte-identical report, any `--shards`.
 //! `run --spill DIR` spills the capture to an on-disk corpus as it is
 //! produced and streams the analysis back off disk — constant memory in
 //! the experiment size, and the corpus stays behind for `analyze --dir`.
@@ -78,7 +90,7 @@ static ALLOC: netaware::obs::alloc::CountingAlloc = netaware::obs::alloc::Counti
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: netaware-cli <suite|run|replicate|nextgen|testbed|export|analyze|obs> [options]\n\
+        "usage: netaware-cli <suite|run|replicate|nextgen|matrix|testbed|export|analyze|obs> [options]\n\
          see the crate docs (cargo doc --open) for details"
     );
     ExitCode::from(2)
@@ -103,6 +115,10 @@ struct Common {
     profile_out: Option<String>,
     faults: FaultPlan,
     shards: usize,
+    config: Option<String>,
+    out: Option<String>,
+    example: bool,
+    seed_set: bool,
 }
 
 fn parse_common(args: &[String]) -> Result<Common, String> {
@@ -125,6 +141,10 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         profile_out: None,
         faults: FaultPlan::none(),
         shards: 1,
+        config: None,
+        out: None,
+        example: false,
+        seed_set: false,
     };
     let mut i = 0;
     let mut pending_probe: Option<Ip> = None;
@@ -142,7 +162,13 @@ fn parse_common(args: &[String]) -> Result<Common, String> {
         match args[i].as_str() {
             "--scale" => c.scale = take(&mut i)?.parse().map_err(|e| format!("scale: {e}"))?,
             "--secs" => c.secs = take(&mut i)?.parse().map_err(|e| format!("secs: {e}"))?,
-            "--seed" => c.seed = take(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?,
+            "--seed" => {
+                c.seed = take(&mut i)?.parse().map_err(|e| format!("seed: {e}"))?;
+                c.seed_set = true;
+            }
+            "--config" => c.config = Some(take(&mut i)?),
+            "--out" => c.out = Some(take(&mut i)?),
+            "--example" => c.example = true,
             "--shards" => {
                 c.shards = take(&mut i)?.parse().map_err(|e| format!("shards: {e}"))?
             }
@@ -244,13 +270,8 @@ fn perf_meta(scenario: String, c: &Common) -> PerfMeta {
 }
 
 fn profile_by_name(name: &str) -> Option<AppProfile> {
-    match name.to_ascii_lowercase().as_str() {
-        "pplive" => Some(AppProfile::pplive()),
-        "sopcast" => Some(AppProfile::sopcast()),
-        "tvants" => Some(AppProfile::tvants()),
-        "nextgen" | "napa-ng" => Some(AppProfile::nextgen()),
-        _ => None,
-    }
+    // Single source of truth: the profile registry (names and aliases).
+    AppProfile::by_name(name)
 }
 
 fn opts_of(c: &Common) -> ExperimentOptions {
@@ -329,7 +350,7 @@ fn cmd_suite(c: &Common) -> ExitCode {
 
 fn cmd_run(c: &Common) -> ExitCode {
     let Some(name) = &c.app else {
-        eprintln!("run: which app? (pplive|sopcast|tvants|nextgen)");
+        eprintln!("run: which app? (see AppProfile::all: pplive|sopcast|tvants|nextgen|pplive-unpop|epidemic-rp|epidemic-ba)");
         return ExitCode::from(2);
     };
     let Some(mut profile) = profile_by_name(name) else {
@@ -540,7 +561,7 @@ fn cmd_obs(rest: &[String]) -> ExitCode {
 
 fn cmd_replicate(c: &Common) -> ExitCode {
     let Some(name) = &c.app else {
-        eprintln!("replicate: which app? (pplive|sopcast|tvants|nextgen)");
+        eprintln!("replicate: which app? (see AppProfile::all: pplive|sopcast|tvants|nextgen|pplive-unpop|epidemic-rp|epidemic-ba)");
         return ExitCode::from(2);
     };
     let Some(profile) = profile_by_name(name) else {
@@ -572,6 +593,73 @@ fn cmd_nextgen(c: &Common) -> ExitCode {
             f.mean_hops_per_byte,
             out.report.continuity()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `matrix --config FILE` — run the scenario matrix and emit the
+/// deterministic cross-scenario awareness report.
+fn cmd_matrix(c: &Common) -> ExitCode {
+    if c.example {
+        println!("{}", netaware::testbed::MatrixConfig::example_json());
+        return ExitCode::SUCCESS;
+    }
+    let Some(path) = &c.config else {
+        eprintln!("matrix: --config FILE is required (start from `matrix --example`)");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("matrix: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = match netaware::testbed::MatrixConfig::from_json(&body) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("matrix: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if c.seed_set {
+        cfg.seed = c.seed;
+    }
+    let out_dir = c.out.as_ref().map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("matrix: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match netaware::testbed::run_matrix(&cfg, c.shards, out_dir.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("matrix: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.to_markdown());
+    if let Some(dir) = &out_dir {
+        let json = dir.join("report.json");
+        let md = dir.join("report.md");
+        if std::fs::write(&json, report.to_json()).is_err()
+            || std::fs::write(&md, report.to_markdown()).is_err()
+        {
+            eprintln!("matrix: writing report into {} failed", dir.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "matrix report and per-cell corpora written to {}/",
+            dir.display()
+        );
+    }
+    if let Some(p) = &c.json {
+        if let Err(e) = std::fs::write(p, report.to_json()) {
+            eprintln!("matrix: writing {p} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("matrix report written to {p}");
     }
     ExitCode::SUCCESS
 }
@@ -714,6 +802,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&common),
         "replicate" => cmd_replicate(&common),
         "nextgen" => cmd_nextgen(&common),
+        "matrix" => cmd_matrix(&common),
         "testbed" => cmd_testbed(),
         "export" => cmd_export(&common),
         "analyze" => cmd_analyze(&common),

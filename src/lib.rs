@@ -51,7 +51,7 @@ pub use netaware_testbed as testbed;
 pub use netaware_trace as trace;
 
 pub use netaware_analysis::{analyze, analyze_corpus, AnalysisConfig, ExperimentAnalysis};
-pub use netaware_faults::{ChurnPlan, FaultPlan, LinkFaultPlan, TrackerOutage};
+pub use netaware_faults::{ChurnPlan, FaultPlan, LinkFaultPlan, SessionModel, TrackerOutage};
 pub use netaware_obs::Obs;
 pub use netaware_proto::AppProfile;
 pub use netaware_testbed::{

@@ -6,7 +6,9 @@
 //! checked-in fingerprints: the corpus bytes, the obs event log, and
 //! the metrics snapshot of all three paper profiles — plan-free and
 //! fault-armed — hashed and compared against constants generated from
-//! the last pre-refactor commit.
+//! the last pre-refactor commit. The epidemic push profiles
+//! (Epidemic-RP / Epidemic-BA) are pinned the same way, with an extra
+//! assertion that the two push policies stay mutually distinguishable.
 //!
 //! Since the sharded parallel engine landed, every cell runs across the
 //! full shard axis (`SHARD_AXIS` = 1/2/8 workers) and must reproduce
@@ -137,16 +139,19 @@ const GOLDEN: &[Golden] = &[
     Golden { app: "SopCast", faulted: true, corpus: 0xe352c7abd446e85d, obs_log: 0x8fc32b09f760b90b, metrics: 0x7d58c0fbf4815f89 },
     Golden { app: "TVAnts", faulted: false, corpus: 0x8d6d98cf22f22728, obs_log: 0xe757145bfe98a813, metrics: 0xf131d489d1ecbf89 },
     Golden { app: "TVAnts", faulted: true, corpus: 0x2fbedd7ff4d806fb, obs_log: 0xf5f11083306d89d4, metrics: 0x83170092cf65f013 },
+    Golden { app: "Epidemic-RP", faulted: false, corpus: 0x029e634dc01fb8cd, obs_log: 0x7ffbff52c3642a91, metrics: 0xdad33ca7ab82f6e1 },
+    Golden { app: "Epidemic-RP", faulted: true, corpus: 0xc96981c22c6993e9, obs_log: 0xffb06796e0d6b366, metrics: 0x42299d78469a5351 },
+    Golden { app: "Epidemic-BA", faulted: false, corpus: 0x9fe5d7a2072bd7db, obs_log: 0x15bcb6a057c0955e, metrics: 0x65089d060351e231 },
+    Golden { app: "Epidemic-BA", faulted: true, corpus: 0xd821e17b13bb1108, obs_log: 0x2b318cbf73b40c1b, metrics: 0xabdff705c366be63 },
 ];
 
 fn profile_by_name(name: &str) -> AppProfile {
-    match name {
-        "PPLive" => AppProfile::pplive(),
-        "SopCast" => AppProfile::sopcast(),
-        "TVAnts" => AppProfile::tvants(),
-        other => panic!("unknown app {other}"),
-    }
+    AppProfile::by_name(name).unwrap_or_else(|| panic!("unknown app {name}"))
 }
+
+/// Every golden cell's app, in table order: the three paper profiles
+/// plus the two epidemic push profiles.
+const GOLDEN_APPS: &[&str] = &["PPLive", "SopCast", "TVAnts", "Epidemic-RP", "Epidemic-BA"];
 
 fn check(g: &Golden) {
     let faults = if g.faulted { fault_plan() } else { FaultPlan::none() };
@@ -165,8 +170,8 @@ fn check(g: &Golden) {
 }
 
 #[test]
-fn golden_covers_all_paper_profiles_both_ways() {
-    for app in ["PPLive", "SopCast", "TVAnts"] {
+fn golden_covers_all_profiles_both_ways() {
+    for app in GOLDEN_APPS.iter().copied() {
         for faulted in [false, true] {
             assert!(
                 GOLDEN.iter().any(|g| g.app == app && g.faulted == faulted),
@@ -197,12 +202,29 @@ fn tvants_matches_pre_refactor_golden() {
     }
 }
 
+#[test]
+fn epidemic_profiles_match_golden_and_differ() {
+    for g in GOLDEN.iter().filter(|g| g.app.starts_with("Epidemic")) {
+        check(g);
+    }
+    // The two push policies must be *distinguishable*: random-peer and
+    // bandwidth-aware push produce different traffic, so every artifact
+    // fingerprint differs cell-by-cell.
+    for faulted in [false, true] {
+        let rp = GOLDEN.iter().find(|g| g.app == "Epidemic-RP" && g.faulted == faulted).unwrap();
+        let ba = GOLDEN.iter().find(|g| g.app == "Epidemic-BA" && g.faulted == faulted).unwrap();
+        assert_ne!(rp.corpus, ba.corpus, "push policies indistinguishable (corpus, faulted={faulted})");
+        assert_ne!(rp.obs_log, ba.obs_log, "push policies indistinguishable (obs log, faulted={faulted})");
+        assert_ne!(rp.metrics, ba.metrics, "push policies indistinguishable (metrics, faulted={faulted})");
+    }
+}
+
 /// Prints the golden table for the current tree. Run with
 /// `--ignored --nocapture` and paste the output over `GOLDEN`.
 #[test]
 #[ignore = "regeneration helper, not a check"]
 fn print_golden_table() {
-    for app in ["PPLive", "SopCast", "TVAnts"] {
+    for app in GOLDEN_APPS.iter().copied() {
         for faulted in [false, true] {
             let faults = if faulted { fault_plan() } else { FaultPlan::none() };
             let (corpus, obs_log, metrics) = fingerprint(profile_by_name(app), faults, 1);
